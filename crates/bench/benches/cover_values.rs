@@ -1,0 +1,49 @@
+//! Criterion bench: Figure 12 scaled down — native `cover_values` versus
+//! the exponential plain-cover lowering at 8 bits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtlcov_core::cover_values::lower_cover_values;
+use rtlcov_firrtl::parser::parse;
+use rtlcov_firrtl::passes;
+use rtlcov_sim::compiled::CompiledSim;
+use rtlcov_sim::Simulator;
+
+fn circuit() -> rtlcov_firrtl::ir::Circuit {
+    parse(
+        "
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    output o : UInt<8>
+    reg x : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
+    x <= tail(add(x, UInt<8>(1)), 1)
+    o <= x
+    cover_values(clock, x, UInt<1>(1)) : vals
+",
+    )
+    .unwrap()
+}
+
+fn bench_cover_values(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cover-values-8bit-5k-cycles");
+    group.sample_size(20);
+
+    let native = passes::lower(circuit()).unwrap();
+    group.bench_function("native cover_values", |b| {
+        let mut sim = CompiledSim::new(&native).unwrap();
+        b.iter(|| sim.step_n(5000))
+    });
+
+    let mut lowered_circuit = circuit();
+    lower_cover_values(&mut lowered_circuit).unwrap();
+    let lowered = passes::lower(lowered_circuit).unwrap();
+    group.bench_function("lowered to 256 plain covers", |b| {
+        let mut sim = CompiledSim::new(&lowered).unwrap();
+        b.iter(|| sim.step_n(5000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cover_values);
+criterion_main!(benches);

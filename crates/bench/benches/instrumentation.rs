@@ -1,0 +1,34 @@
+//! Criterion bench: Figure 8 scaled down — run-time cost of each coverage
+//! instrumentation on the compiled simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtlcov_core::instrument::{CoverageCompiler, Metrics};
+use rtlcov_core::passes::toggle::ToggleOptions;
+use rtlcov_designs::workloads::gcd_workload;
+use rtlcov_sim::compiled::CompiledSim;
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let workload = gcd_workload(20);
+    let configs: Vec<(&str, Metrics)> = vec![
+        ("baseline", Metrics::none()),
+        ("line", Metrics::line_only()),
+        ("toggle-regs", Metrics::toggle_only(ToggleOptions::regs_only())),
+        ("toggle-all", Metrics::toggle_only(ToggleOptions::default())),
+        ("all-metrics", Metrics::all()),
+    ];
+    let mut group = c.benchmark_group("gcd-replay");
+    group.sample_size(20);
+    for (name, metrics) in configs {
+        let inst = CoverageCompiler::new(metrics).run(workload.circuit.clone()).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = CompiledSim::new(&inst.circuit).unwrap();
+                workload.trace.replay(&mut sim)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_instrumentation);
+criterion_main!(benches);

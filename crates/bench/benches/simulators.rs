@@ -1,0 +1,50 @@
+//! Criterion bench: throughput of the three software simulator backends
+//! on the same design (the Treadle / Verilator / ESSENT split of §3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtlcov_designs::programs::boot_workload;
+use rtlcov_designs::riscv_mini::riscv_mini_with;
+use rtlcov_firrtl::passes;
+use rtlcov_sim::compiled::CompiledSim;
+use rtlcov_sim::essent::EssentSim;
+use rtlcov_sim::interp::InterpSim;
+use rtlcov_sim::Simulator;
+
+fn bench_simulators(c: &mut Criterion) {
+    let low = passes::lower(riscv_mini_with(256)).unwrap();
+    let program = boot_workload(50);
+    let mut group = c.benchmark_group("riscv-mini-1k-cycles");
+    group.sample_size(10);
+
+    group.bench_function("compiled (Verilator analog)", |b| {
+        b.iter(|| {
+            let mut sim = CompiledSim::new(&low).unwrap();
+            program.load(&mut sim, "icache.mem", "dcache.mem").unwrap();
+            sim.reset(2);
+            sim.step_n(1000);
+            sim.peek("retired")
+        })
+    });
+    group.bench_function("essent (activity-driven analog)", |b| {
+        b.iter(|| {
+            let mut sim = EssentSim::new(&low).unwrap();
+            program.load(&mut sim, "icache.mem", "dcache.mem").unwrap();
+            sim.reset(2);
+            sim.step_n(1000);
+            sim.peek("retired")
+        })
+    });
+    group.bench_function("interpreter (Treadle analog)", |b| {
+        b.iter(|| {
+            let mut sim = InterpSim::new(&low).unwrap();
+            program.load(&mut sim, "icache.mem", "dcache.mem").unwrap();
+            sim.reset(2);
+            sim.step_n(100); // 10x fewer cycles: the interpreter is slow
+            sim.peek("retired")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

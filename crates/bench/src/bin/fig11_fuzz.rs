@@ -1,0 +1,70 @@
+//! **Figure 11**: cumulative line coverage of inputs discovered through
+//! fuzzing the I2C peripheral with different feedback metrics, averaged
+//! over five runs.
+//!
+//! Feedback metrics: FIRRTL line coverage, rfuzz-style mux-toggle
+//! (structural) coverage, and no feedback (random inputs).
+
+use rtlcov_bench::{scale, Table};
+use rtlcov_core::instrument::{CoverageCompiler, Metrics};
+use rtlcov_designs::i2c::i2c;
+use rtlcov_fuzz::{averaged_campaign, Feedback, FuzzHarness};
+
+fn make_harness(native: bool) -> FuzzHarness {
+    let inst = CoverageCompiler::new(Metrics::line_only())
+        .run(i2c())
+        .expect("i2c lowers");
+    let mut h = FuzzHarness::new(&inst.circuit, 256).expect("harness builds");
+    if native {
+        h.enable_native_feedback();
+    }
+    h
+}
+
+fn main() {
+    let iterations = 5000 * scale(4);
+    let runs = 5;
+    let samples = 12;
+    println!("Figure 11: cumulative line coverage under fuzzing (I2C peripheral,");
+    println!("{iterations} executions, averaged over {runs} runs)");
+    println!("(paper's shape: coverage-guided feedback dominates; line-coverage");
+    println!(" feedback at least matches the rfuzz mux metric)\n");
+    let curves: Vec<(&str, Vec<(usize, f64)>)> = vec![
+        (
+            "line feedback",
+            averaged_campaign(
+                || make_harness(false),
+                Feedback::InstrumentedCovers,
+                iterations,
+                runs,
+                samples,
+            ),
+        ),
+        (
+            "mux-toggle feedback (rfuzz)",
+            averaged_campaign(
+                || make_harness(true),
+                Feedback::NativeMux,
+                iterations,
+                runs,
+                samples,
+            ),
+        ),
+        (
+            "random (no feedback)",
+            averaged_campaign(|| make_harness(false), Feedback::Random, iterations, runs, samples),
+        ),
+    ];
+    let mut table = Table::new();
+    let mut header = vec!["executions".to_string()];
+    header.extend(curves.iter().map(|(n, _)| n.to_string()));
+    table.row(header);
+    for i in 0..samples {
+        let mut row = vec![curves[0].1[i].0.to_string()];
+        for (_, curve) in &curves {
+            row.push(format!("{:.1}%", curve[i].1 * 100.0));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,71 @@
+//! **Figure 8**: run-time overhead of coverage instrumentation on the
+//! compiled (Verilator-analog) simulator, relative to the uninstrumented
+//! baseline.
+//!
+//! Configurations per design: the simulator's *built-in* structural
+//! coverage (per-mux branch counting, Verilator's native coverage analog),
+//! FIRRTL line coverage, toggle coverage (registers only and all
+//! signals), FSM coverage, and line+toggle combined.
+
+use rtlcov_bench::{instrumented_sim, scale, timed, Table};
+use rtlcov_core::instrument::Metrics;
+use rtlcov_core::passes::toggle::ToggleOptions;
+use rtlcov_designs::workloads::{table2_workloads, Workload};
+
+fn measure(w: &Workload, metrics: Metrics, native: bool) -> f64 {
+    let (mut sim, _) = instrumented_sim(w, metrics);
+    if native {
+        sim.enable_native_coverage();
+    }
+    if let Some((imem, dmem, program)) = &w.program {
+        use rtlcov_sim::Simulator;
+        let _ = &program;
+        program.load(&mut sim as &mut dyn Simulator, imem, dmem).expect("fits");
+    }
+    let (_, elapsed) = timed(|| w.trace.replay(&mut sim));
+    elapsed.as_secs_f64()
+}
+
+fn main() {
+    let scale = scale(4);
+    println!("Figure 8: coverage instrumentation overhead over baseline (scale {scale})");
+    println!("(paper: FIRRTL coverage has the same or slightly less overhead than");
+    println!(" Verilator's built-in coverage; TLRAM line overhead close to zero)\n");
+    let configs: Vec<(&str, Metrics, bool)> = vec![
+        ("built-in (native mux)", Metrics::none(), true),
+        ("line", Metrics::line_only(), false),
+        ("toggle (regs)", Metrics::toggle_only(ToggleOptions::regs_only()), false),
+        ("toggle (all)", Metrics::toggle_only(ToggleOptions::default()), false),
+        ("fsm", Metrics::fsm_only(), false),
+        (
+            "line+toggle",
+            Metrics {
+                line: true,
+                toggle: Some(ToggleOptions::default()),
+                ..Metrics::none()
+            },
+            false,
+        ),
+    ];
+    let mut table = Table::new();
+    let mut header = vec!["Design".to_string(), "baseline".to_string()];
+    header.extend(configs.iter().map(|(n, _, _)| format!("{n} (×)")));
+    table.row(header);
+    for w in table2_workloads(scale) {
+        // measure baseline 3 times, take the median-ish best
+        let mut base = f64::MAX;
+        for _ in 0..3 {
+            base = base.min(measure(&w, Metrics::none(), false));
+        }
+        let mut row = vec![w.name.to_string(), format!("{:.3} s", base)];
+        for (_, metrics, native) in &configs {
+            let mut t = f64::MAX;
+            for _ in 0..2 {
+                t = t.min(measure(&w, *metrics, *native));
+            }
+            row.push(format!("{:.2}", t / base));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,108 @@
+//! The `cover-values` primitive and its exponential lowering (§6).
+//!
+//! The paper's limitation section: covering every value of a `w`-bit signal
+//! with plain `cover` statements requires `2^w` of them — exponential
+//! blowup — while a dedicated `cover-values` primitive indexes an array of
+//! counters (software) or a block RAM (FPGA). Our IR carries
+//! `cover_values` natively and every backend implements it; this module
+//! provides the *lowering* to plain covers so Figure 12 can compare both.
+
+use rtlcov_firrtl::dsl::ExprExt;
+use rtlcov_firrtl::ir::*;
+
+/// Maximum signal width accepted by the exponential lowering (2^16 covers).
+pub const MAX_LOWERED_WIDTH: u32 = 16;
+
+/// Replace every `cover_values` statement with `2^w` plain cover
+/// statements named `name[v]` (matching the runtime naming of the native
+/// primitive, so reports are interchangeable).
+///
+/// # Errors
+///
+/// Fails if a signal is wider than [`MAX_LOWERED_WIDTH`] — the blowup the
+/// primitive exists to avoid.
+pub fn lower_cover_values(circuit: &mut Circuit) -> Result<usize, String> {
+    let reference = circuit.clone();
+    let mut total = 0usize;
+    for module in circuit.modules.iter_mut() {
+        let env = rtlcov_firrtl::typecheck::module_env(module, &reference)
+            .map_err(|e| e.0)?;
+        let body = std::mem::take(&mut module.body);
+        let mut out = Vec::with_capacity(body.len());
+        for s in body {
+            match s {
+                Stmt::CoverValues { name, clock, signal, enable, info } => {
+                    let ty = rtlcov_firrtl::typecheck::expr_type(&signal, &env)
+                        .map_err(|e| e.0)?;
+                    let w = ty.width().ok_or_else(|| format!("`{name}` has unknown width"))?;
+                    if w > MAX_LOWERED_WIDTH {
+                        return Err(format!(
+                            "cover_values `{name}` covers a {w}-bit signal: 2^{w} covers would \
+                             be required (the exponential blowup of §6); keep the native \
+                             primitive instead"
+                        ));
+                    }
+                    for v in 0..(1u64 << w) {
+                        out.push(Stmt::Cover {
+                            name: format!("{name}[{v}]"),
+                            clock: clock.clone(),
+                            pred: signal.eq_(&Expr::u(v, w)),
+                            enable: enable.clone(),
+                            info: info.clone(),
+                        });
+                        total += 1;
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        module.body = out;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcov_firrtl::parser::parse;
+
+    const SRC: &str = "
+circuit T :
+  module T :
+    input clock : Clock
+    input v : UInt<3>
+    cover_values(clock, v, UInt<1>(1)) : vals
+";
+
+    #[test]
+    fn lowers_to_exponentially_many_covers() {
+        let mut c = parse(SRC).unwrap();
+        let n = lower_cover_values(&mut c).unwrap();
+        assert_eq!(n, 8);
+        let mut names = Vec::new();
+        c.top_module().for_each_stmt(&mut |s| {
+            if let Stmt::Cover { name, .. } = s {
+                names.push(name.clone());
+            }
+        });
+        assert_eq!(names.len(), 8);
+        assert!(names.contains(&"vals[0]".to_string()));
+        assert!(names.contains(&"vals[7]".to_string()));
+    }
+
+    #[test]
+    fn rejects_wide_signals() {
+        let mut c = parse(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input v : UInt<24>
+    cover_values(clock, v, UInt<1>(1)) : vals
+",
+        )
+        .unwrap();
+        let err = lower_cover_values(&mut c).unwrap_err();
+        assert!(err.contains("exponential"), "{err}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Instance-tree enumeration shared by the report generators.
+//!
+//! Cover counts come back from simulators under hierarchical names
+//! (`path.cover`); instrumentation metadata is recorded per *module*. This
+//! module enumerates every `(instance path, module)` pair so reports can
+//! join the two.
+
+use rtlcov_firrtl::ir::{Circuit, Stmt};
+
+/// All `(instance path, module name)` pairs in the elaborated design, in
+/// DFS order. The top module has the empty path.
+pub fn instance_paths(circuit: &Circuit) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    walk(circuit, &circuit.top, "", &mut out);
+    out
+}
+
+fn walk(circuit: &Circuit, module: &str, path: &str, out: &mut Vec<(String, String)>) {
+    out.push((path.to_string(), module.to_string()));
+    let Some(m) = circuit.module(module) else { return };
+    m.for_each_stmt(&mut |s| {
+        if let Stmt::Inst { name, module: target, .. } = s {
+            let child = if path.is_empty() { name.clone() } else { format!("{path}.{name}") };
+            walk(circuit, target, &child, out);
+        }
+    });
+}
+
+/// Hierarchical runtime name of a cover declared as `name` in an instance
+/// at `path`.
+pub fn runtime_cover_name(path: &str, name: &str) -> String {
+    if path.is_empty() {
+        name.to_string()
+    } else {
+        format!("{path}.{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcov_firrtl::parser::parse;
+
+    #[test]
+    fn enumerates_tree() {
+        let c = parse(
+            "
+circuit Top :
+  module Leaf :
+    input clock : Clock
+    skip
+  module Mid :
+    input clock : Clock
+    inst l1 of Leaf
+    inst l2 of Leaf
+  module Top :
+    input clock : Clock
+    inst m of Mid
+",
+        )
+        .unwrap();
+        let paths = instance_paths(&c);
+        assert_eq!(
+            paths,
+            vec![
+                ("".to_string(), "Top".to_string()),
+                ("m".to_string(), "Mid".to_string()),
+                ("m.l1".to_string(), "Leaf".to_string()),
+                ("m.l2".to_string(), "Leaf".to_string()),
+            ]
+        );
+        assert_eq!(runtime_cover_name("m.l1", "c0"), "m.l1.c0");
+        assert_eq!(runtime_cover_name("", "c0"), "c0");
+    }
+}

@@ -1,0 +1,220 @@
+//! The simulator-independent coverage interchange format.
+//!
+//! Every backend — software simulators, the FPGA host, the formal tool —
+//! reports coverage as a [`CoverageMap`]: a map from the cover statement's
+//! hierarchical name (instance path + name) to a saturating count. Because
+//! the format is identical across backends, maps can be trivially merged
+//! (§5.3 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Map from hierarchical cover-point name to saturating hit count.
+///
+/// ```
+/// use rtlcov_core::map::CoverageMap;
+/// let mut sw = CoverageMap::new();
+/// sw.record("core.fetch_taken", 7);
+/// let mut fpga = CoverageMap::new();
+/// fpga.record("core.fetch_taken", 3);
+/// fpga.record("core.icache_miss", 1);
+/// sw.merge(&fpga);
+/// assert_eq!(sw.count("core.fetch_taken"), Some(10));
+/// assert_eq!(sw.count("core.icache_miss"), Some(1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageMap {
+    counts: BTreeMap<String, u64>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `count` additional hits for `name` (saturating).
+    pub fn record(&mut self, name: impl Into<String>, count: u64) {
+        let entry = self.counts.entry(name.into()).or_insert(0);
+        *entry = entry.saturating_add(count);
+    }
+
+    /// Declare a cover point with zero hits (so uncovered points appear in
+    /// reports).
+    pub fn declare(&mut self, name: impl Into<String>) {
+        self.counts.entry(name.into()).or_insert(0);
+    }
+
+    /// The count for a cover point, if the point is known.
+    pub fn count(&self, name: &str) -> Option<u64> {
+        self.counts.get(name).copied()
+    }
+
+    /// Number of known cover points.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no cover point is known.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of cover points with a non-zero count.
+    pub fn covered(&self) -> usize {
+        self.counts.values().filter(|&&c| c > 0).count()
+    }
+
+    /// Fraction of points covered, in `[0, 1]`; 1.0 for an empty map.
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.counts.is_empty() {
+            1.0
+        } else {
+            self.covered() as f64 / self.counts.len() as f64
+        }
+    }
+
+    /// Merge another map into this one (saturating adds; §5.3).
+    pub fn merge(&mut self, other: &CoverageMap) {
+        for (name, count) in &other.counts {
+            let entry = self.counts.entry(name.clone()).or_insert(0);
+            *entry = entry.saturating_add(*count);
+        }
+    }
+
+    /// Names of points covered at least `threshold` times — the candidates
+    /// for removal before FPGA instrumentation (§5.3).
+    pub fn covered_at_least(&self, threshold: u64) -> Vec<&str> {
+        self.counts
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Iterate over `(name, count)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(n, &c)| (n.as_str(), c))
+    }
+
+    /// Serialize to the JSON interchange format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("BTreeMap<String, u64> always serializes")
+    }
+
+    /// Parse from the JSON interchange format.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl FromIterator<(String, u64)> for CoverageMap {
+    fn from_iter<I: IntoIterator<Item = (String, u64)>>(iter: I) -> Self {
+        let mut m = CoverageMap::new();
+        for (n, c) in iter {
+            m.record(n, c);
+        }
+        m
+    }
+}
+
+impl Extend<(String, u64)> for CoverageMap {
+    fn extend<I: IntoIterator<Item = (String, u64)>>(&mut self, iter: I) {
+        for (n, c) in iter {
+            self.record(n, c);
+        }
+    }
+}
+
+impl fmt::Display for CoverageMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} / {} cover points hit", self.covered(), self.len())?;
+        for (name, count) in &self.counts {
+            writeln!(f, "  {name}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut m = CoverageMap::new();
+        m.record("a", 2);
+        m.record("a", 3);
+        m.declare("b");
+        assert_eq!(m.count("a"), Some(5));
+        assert_eq!(m.count("b"), Some(0));
+        assert_eq!(m.count("c"), None);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.covered(), 1);
+    }
+
+    #[test]
+    fn record_saturates() {
+        let mut m = CoverageMap::new();
+        m.record("a", u64::MAX);
+        m.record("a", 10);
+        assert_eq!(m.count("a"), Some(u64::MAX));
+    }
+
+    #[test]
+    fn merge_is_commutative_on_counts() {
+        let mut a = CoverageMap::new();
+        a.record("x", 1);
+        a.record("y", 2);
+        let mut b = CoverageMap::new();
+        b.record("y", 3);
+        b.record("z", 4);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count("y"), Some(5));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut m = CoverageMap::new();
+        m.record("top.cover_0", 42);
+        m.declare("top.sub.cover_1");
+        let m2 = CoverageMap::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn removal_threshold() {
+        let mut m = CoverageMap::new();
+        m.record("hot", 100);
+        m.record("warm", 10);
+        m.record("cold", 2);
+        m.declare("never");
+        let removable = m.covered_at_least(10);
+        assert_eq!(removable, vec!["hot", "warm"]);
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let mut m = CoverageMap::new();
+        assert_eq!(m.coverage_fraction(), 1.0);
+        m.declare("a");
+        m.record("b", 1);
+        assert!((m.coverage_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let m: CoverageMap =
+            vec![("a".to_string(), 1), ("b".to_string(), 2)].into_iter().collect();
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,486 @@
+//! Finite state machine coverage (§4.3 of the paper).
+//!
+//! The pass consumes the `EnumDef`/`EnumReg` annotations the front-end
+//! attaches (the ChiselEnum analog) and analyzes each annotated state
+//! register's next-state expression: for the reset case and for each legal
+//! current state, the state symbol is substituted and the expression
+//! constant-propagated; mux trees are explored branch-wise. Where the
+//! expression does not resolve to constants or muxes, the analysis
+//! **over-approximates** — it assumes every state is a possible successor
+//! and records that it did so (§5.5 shows formal verification catching
+//! exactly this over-approximation).
+//!
+//! Cover statements are then added for every state and every possible
+//! transition.
+
+use rtlcov_firrtl::bv::Bv;
+use rtlcov_firrtl::dsl::ExprExt;
+use rtlcov_firrtl::eval::{eval, Value};
+use rtlcov_firrtl::ir::*;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Result of the next-state analysis for one `(state, input)` case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Next {
+    /// Only these encodings are possible.
+    States(BTreeSet<u64>),
+    /// Analysis gave up: every state is possible (over-approximation).
+    All,
+}
+
+/// Analysis + instrumentation metadata for one FSM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FsmInfo {
+    /// Module containing the register.
+    pub module: String,
+    /// State register name.
+    pub reg: String,
+    /// Enum type name.
+    pub enum_name: String,
+    /// `state name → encoding`.
+    pub states: BTreeMap<String, u64>,
+    /// Possible transitions `(from, to)` by state name, including those
+    /// introduced by over-approximation.
+    pub transitions: Vec<(String, String)>,
+    /// True if any case fell back to "all states possible".
+    pub over_approximated: bool,
+    /// Initial states reachable out of reset.
+    pub reset_states: Vec<String>,
+}
+
+impl FsmInfo {
+    /// Cover name for a state.
+    pub fn state_cover(&self, state: &str) -> String {
+        format!("fsm_{}_s_{state}", self.reg)
+    }
+
+    /// Cover name for a transition.
+    pub fn transition_cover(&self, from: &str, to: &str) -> String {
+        format!("fsm_{}_t_{from}_{to}", self.reg)
+    }
+}
+
+/// Metadata emitted by the FSM pass, consumed by [`crate::report::fsm`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FsmCoverageInfo {
+    /// One entry per annotated state register.
+    pub fsms: Vec<FsmInfo>,
+}
+
+impl FsmCoverageInfo {
+    /// Total number of inserted cover points (states + transitions).
+    pub fn cover_count(&self) -> usize {
+        self.fsms.iter().map(|f| f.states.len() + f.transitions.len()).sum()
+    }
+}
+
+struct NodeEnv<'a> {
+    nodes: HashMap<&'a str, &'a Expr>,
+    reg: &'a str,
+    reg_width: u32,
+    state: u64,
+    reset: Option<&'a str>,
+    reset_value: u64,
+}
+
+impl NodeEnv<'_> {
+    /// Non-strict partial evaluation: short-circuits `and`/`or`/`mux` so
+    /// branch predicates resolve even when unrelated inputs are unknown —
+    /// the "constant propagation" step of §4.3.
+    fn ceval(&self, e: &Expr) -> Option<Value> {
+        match e {
+            Expr::Ref(n) => self.resolve(n),
+            Expr::UIntLit(v) => Some(Value::uint(v.clone())),
+            Expr::SIntLit(v) => Some(Value::sint(v.clone())),
+            Expr::Mux(c, t, f) => match self.ceval(c) {
+                Some(v) if v.is_true() => self.ceval(t),
+                Some(_) => self.ceval(f),
+                None => {
+                    let (tv, fv) = (self.ceval(t)?, self.ceval(f)?);
+                    (tv == fv).then_some(tv)
+                }
+            },
+            Expr::ValidIf(c, v) => match self.ceval(c) {
+                Some(cv) if cv.is_true() => self.ceval(v),
+                _ => None,
+            },
+            Expr::Prim { op: PrimOp::And, args, .. } => {
+                let (a, b) = (self.ceval(&args[0]), self.ceval(&args[1]));
+                match (&a, &b) {
+                    (Some(x), _) if !x.is_true() && x.bits.width() == 1 => {
+                        Some(Value::bool_value(false))
+                    }
+                    (_, Some(y)) if !y.is_true() && y.bits.width() == 1 => {
+                        Some(Value::bool_value(false))
+                    }
+                    (Some(_), Some(_)) => {
+                        Some(rtlcov_firrtl::eval::eval_prim(
+                            PrimOp::And,
+                            &[a.expect("checked"), b.expect("checked")],
+                            &[],
+                        ))
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Prim { op: PrimOp::Or, args, .. } => {
+                let (a, b) = (self.ceval(&args[0]), self.ceval(&args[1]));
+                match (&a, &b) {
+                    (Some(x), _) if x.is_true() && x.bits.width() == 1 => {
+                        Some(Value::bool_value(true))
+                    }
+                    (_, Some(y)) if y.is_true() && y.bits.width() == 1 => {
+                        Some(Value::bool_value(true))
+                    }
+                    (Some(_), Some(_)) => {
+                        Some(rtlcov_firrtl::eval::eval_prim(
+                            PrimOp::Or,
+                            &[a.expect("checked"), b.expect("checked")],
+                            &[],
+                        ))
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Prim { op, args, consts } => {
+                let vals: Option<Vec<Value>> =
+                    args.iter().map(|a| self.ceval(a)).collect();
+                vals.map(|v| rtlcov_firrtl::eval::eval_prim(*op, &v, consts))
+            }
+            _ => eval(e, &|n: &str| self.resolve(n)).ok(),
+        }
+    }
+
+    fn resolve(&self, n: &str) -> Option<Value> {
+        if n == self.reg {
+            return Some(Value::uint(Bv::from_u64(self.state, self.reg_width)));
+        }
+        if Some(n) == self.reset {
+            return Some(Value::uint(Bv::bit_value(self.reset_value != 0)));
+        }
+        self.nodes.get(n).and_then(|expr| self.ceval(expr))
+    }
+
+    fn analyze(&self, e: &Expr, depth: usize) -> Next {
+        if depth > 512 {
+            return Next::All;
+        }
+        match e {
+            Expr::UIntLit(v) | Expr::SIntLit(v) => {
+                Next::States(BTreeSet::from([v.to_u64()]))
+            }
+            Expr::Ref(n) if n == self.reg => Next::States(BTreeSet::from([self.state])),
+            Expr::Ref(n) => match self.nodes.get(n.as_str()) {
+                Some(expr) => self.analyze(expr, depth + 1),
+                None => match self.resolve(n) {
+                    Some(v) => Next::States(BTreeSet::from([v.bits.to_u64()])),
+                    None => Next::All,
+                },
+            },
+            Expr::Mux(c, t, f) => match self.ceval(c) {
+                Some(v) if v.is_true() => self.analyze(t, depth + 1),
+                Some(_) => self.analyze(f, depth + 1),
+                None => {
+                    let a = self.analyze(t, depth + 1);
+                    let b = self.analyze(f, depth + 1);
+                    match (a, b) {
+                        (Next::States(mut x), Next::States(y)) => {
+                            x.extend(y);
+                            Next::States(x)
+                        }
+                        _ => Next::All,
+                    }
+                }
+            },
+            other => match self.ceval(other) {
+                Some(v) => Next::States(BTreeSet::from([v.bits.to_u64()])),
+                None => Next::All,
+            },
+        }
+    }
+}
+
+/// Analyze and instrument every annotated FSM register.
+///
+/// Must run on low-form modules (after `expand_whens`), before elaboration.
+pub fn instrument_fsm_coverage(circuit: &mut Circuit) -> FsmCoverageInfo {
+    let mut info = FsmCoverageInfo::default();
+    let annotations = circuit.annotations.clone();
+    let enum_defs: HashMap<&str, &EnumDef> = annotations
+        .iter()
+        .filter_map(|a| match a {
+            Annotation::EnumDef(def) => Some((def.name.as_str(), def)),
+            _ => None,
+        })
+        .collect();
+
+    for a in &annotations {
+        let Annotation::EnumReg { module: mod_name, reg, enum_name } = a else { continue };
+        let Some(def) = enum_defs.get(enum_name.as_str()) else { continue };
+        let Some(module) = circuit.module_mut(mod_name) else { continue };
+        let Some(clock) = module.clock() else { continue };
+
+        // locate the register, its next expression, and node definitions
+        let mut reg_width = 0;
+        let mut reset: Option<(Expr, Expr)> = None;
+        let mut next: Option<Expr> = None;
+        let mut nodes: Vec<(String, Expr)> = Vec::new();
+        for s in &module.body {
+            match s {
+                Stmt::Reg { name, ty, reset: r, .. } if name == reg => {
+                    reg_width = ty.width().unwrap_or(0);
+                    reset = r.clone();
+                }
+                Stmt::Connect { loc, value, .. } if loc == &Expr::Ref(reg.clone()) => {
+                    next = Some(value.clone());
+                }
+                Stmt::Node { name, value, .. } => nodes.push((name.clone(), value.clone())),
+                _ => {}
+            }
+        }
+        if reg_width == 0 {
+            continue;
+        }
+        // a register that is never assigned keeps its value
+        let next = next.unwrap_or_else(|| Expr::Ref(reg.clone()));
+        let node_map: HashMap<&str, &Expr> =
+            nodes.iter().map(|(n, e)| (n.as_str(), e)).collect();
+        let reset_name = reset.as_ref().and_then(|(r, _)| match r {
+            Expr::Ref(n) => Some(n.clone()),
+            _ => None,
+        });
+        let by_value: BTreeMap<u64, &str> =
+            def.variants.iter().map(|(n, v)| (*v, n.as_str())).collect();
+
+        let mut fsm = FsmInfo {
+            module: mod_name.clone(),
+            reg: reg.clone(),
+            enum_name: enum_name.clone(),
+            states: def.variants.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+            transitions: Vec::new(),
+            over_approximated: false,
+            reset_states: Vec::new(),
+        };
+
+        // reset case: which states come out of reset?
+        if let Some((_, init)) = &reset {
+            let env = NodeEnv {
+                nodes: node_map.clone(),
+                reg: reg.as_str(),
+                reg_width,
+                state: 0,
+                reset: reset_name.as_deref(),
+                reset_value: 1,
+            };
+            match env.analyze(init, 0) {
+                Next::States(s) => {
+                    for v in s {
+                        if let Some(name) = by_value.get(&v) {
+                            fsm.reset_states.push((*name).to_string());
+                        }
+                    }
+                }
+                Next::All => {
+                    fsm.over_approximated = true;
+                    fsm.reset_states =
+                        def.variants.iter().map(|(n, _)| n.clone()).collect();
+                }
+            }
+        }
+
+        // per-state analysis of the next expression with reset = 0
+        for (from_name, from_value) in &def.variants {
+            let env = NodeEnv {
+                nodes: node_map.clone(),
+                reg: reg.as_str(),
+                reg_width,
+                state: *from_value,
+                reset: reset_name.as_deref(),
+                reset_value: 0,
+            };
+            match env.analyze(&next, 0) {
+                Next::States(set) => {
+                    for v in set {
+                        if let Some(to_name) = by_value.get(&v) {
+                            fsm.transitions.push((from_name.clone(), (*to_name).to_string()));
+                        }
+                    }
+                }
+                Next::All => {
+                    fsm.over_approximated = true;
+                    for (to_name, _) in &def.variants {
+                        fsm.transitions.push((from_name.clone(), to_name.clone()));
+                    }
+                }
+            }
+        }
+
+        // instrumentation: one node for the next value, covers for states
+        // and transitions
+        let next_node = format!("_fsm_next_{reg}");
+        let mut added: Vec<Stmt> = vec![Stmt::Node {
+            name: next_node.clone(),
+            value: next.clone(),
+            info: Info::none(),
+        }];
+        let not_reset = reset_name
+            .as_ref()
+            .map(|r| Expr::not(Expr::r(r.clone())))
+            .unwrap_or_else(Expr::one);
+        for (state_name, value) in &fsm.states {
+            added.push(Stmt::Cover {
+                name: fsm.state_cover(state_name),
+                clock: clock.clone(),
+                pred: Expr::r(reg.clone()).eq_(&Expr::u(*value, reg_width)),
+                enable: Expr::one(),
+                info: Info::none(),
+            });
+        }
+        for (from, to) in &fsm.transitions {
+            let from_v = fsm.states[from];
+            let to_v = fsm.states[to];
+            let pred = Expr::and(
+                Expr::r(reg.clone()).eq_(&Expr::u(from_v, reg_width)),
+                Expr::r(&next_node).eq_(&Expr::u(to_v, reg_width)),
+            );
+            added.push(Stmt::Cover {
+                name: fsm.transition_cover(from, to),
+                clock: clock.clone(),
+                pred,
+                enable: not_reset.clone(),
+                info: Info::none(),
+            });
+        }
+        module.body.extend(added);
+        info.fsms.push(fsm);
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcov_firrtl::parser::parse;
+    use rtlcov_firrtl::passes;
+
+    /// The paper's Figure 7 example: S ∈ {A, B, C},
+    /// A: mux(in, A, B); B: mux(in, B, C); C: stays C.
+    const FIG7: &str = "
+; @enumdef S A=0,B=1,C=2
+; @enumreg T.state S
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    input in : UInt<1>
+    output o : UInt<2>
+    reg state : UInt<2>, clock with : (reset => (reset, UInt<2>(0)))
+    when eq(state, UInt<2>(0)) :
+      state <= mux(in, UInt<2>(0), UInt<2>(1))
+    else when eq(state, UInt<2>(1)) :
+      when in :
+        state <= UInt<2>(1)
+      else :
+        state <= UInt<2>(2)
+    o <= state
+";
+
+    fn run(src: &str) -> (Circuit, FsmCoverageInfo) {
+        let mut c = passes::lower(parse(src).unwrap()).unwrap();
+        let info = instrument_fsm_coverage(&mut c);
+        (c, info)
+    }
+
+    #[test]
+    fn figure7_transitions() {
+        let (_, info) = run(FIG7);
+        assert_eq!(info.fsms.len(), 1);
+        let fsm = &info.fsms[0];
+        assert!(!fsm.over_approximated, "{fsm:?}");
+        assert_eq!(fsm.reset_states, vec!["A".to_string()]);
+        let t: BTreeSet<(String, String)> = fsm.transitions.iter().cloned().collect();
+        let expect: BTreeSet<(String, String)> = [
+            ("A", "A"),
+            ("A", "B"),
+            ("B", "B"),
+            ("B", "C"),
+            ("C", "C"),
+        ]
+        .iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+        assert_eq!(t, expect);
+    }
+
+    #[test]
+    fn covers_inserted_and_valid() {
+        let (c, info) = run(FIG7);
+        // 3 states + 5 transitions
+        assert_eq!(info.cover_count(), 8);
+        let mut covers = 0;
+        c.top_module().for_each_stmt(&mut |s| {
+            if matches!(s, Stmt::Cover { .. }) {
+                covers += 1;
+            }
+        });
+        assert_eq!(covers, 8);
+        assert!(passes::check::check(c).is_ok());
+    }
+
+    #[test]
+    fn opaque_next_over_approximates() {
+        // next state comes in from a port: analysis cannot resolve it
+        let src = "
+; @enumdef S A=0,B=1
+; @enumreg T.state S
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    input nxt : UInt<1>
+    output o : UInt<1>
+    reg state : UInt<1>, clock with : (reset => (reset, UInt<1>(0)))
+    state <= nxt
+    o <= state
+";
+        let (_, info) = run(src);
+        let fsm = &info.fsms[0];
+        assert!(fsm.over_approximated);
+        // 2 states × 2 possible next = 4 transitions
+        assert_eq!(fsm.transitions.len(), 4);
+    }
+
+    #[test]
+    fn self_loop_only_when_never_assigned() {
+        let src = "
+; @enumdef S A=0,B=1
+; @enumreg T.state S
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    output o : UInt<1>
+    reg state : UInt<1>, clock with : (reset => (reset, UInt<1>(0)))
+    o <= state
+";
+        let (_, info) = run(src);
+        let fsm = &info.fsms[0];
+        assert!(!fsm.over_approximated);
+        let t: BTreeSet<_> = fsm.transitions.iter().cloned().collect();
+        assert_eq!(
+            t,
+            BTreeSet::from([
+                ("A".to_string(), "A".to_string()),
+                ("B".to_string(), "B".to_string())
+            ])
+        );
+    }
+
+    #[test]
+    fn counts_in_simulation_shape() {
+        // smoke: instrumented circuit passes full check and re-lowering
+        let (c, _) = run(FIG7);
+        assert!(passes::const_prop::const_prop(c).is_ok());
+    }
+}

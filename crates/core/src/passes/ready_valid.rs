@@ -1,0 +1,186 @@
+//! Ready/valid (DecoupledIO) coverage (§4.4 of the paper).
+//!
+//! Runs *before* type lowering because it needs bundle structure: every
+//! module port whose bundle contains `ready` and `valid` fields with
+//! opposite flips (the Chisel `DecoupledIO` shape) gets a cover statement
+//! counting cycles in which a transfer fires (`ready && valid`). Ports
+//! explicitly marked with a `Decoupled` annotation are included as well.
+//!
+//! The paper built this metric in ~3 hours on top of the existing
+//! machinery, as a demonstration that ecosystem-specific metrics are cheap
+//! to add; it replaces what verification engineers would otherwise
+//! hand-annotate as functional coverage.
+
+use rtlcov_firrtl::dsl::ExprExt;
+use rtlcov_firrtl::ir::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Direction of a decoupled interface from the module's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecoupledDir {
+    /// The module consumes data (valid is an input).
+    Sink,
+    /// The module produces data (valid is an output).
+    Source,
+}
+
+/// One detected decoupled interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecoupledPort {
+    /// Port name (pre-lowering).
+    pub port: String,
+    /// Interface direction.
+    pub dir: DecoupledDir,
+}
+
+/// Metadata emitted by the ready/valid pass.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReadyValidInfo {
+    /// module → cover name → interface.
+    pub modules: BTreeMap<String, BTreeMap<String, DecoupledPort>>,
+}
+
+impl ReadyValidInfo {
+    /// Total number of inserted cover points.
+    pub fn cover_count(&self) -> usize {
+        self.modules.values().map(|m| m.len()).sum()
+    }
+}
+
+fn find_ready_valid(ty: &Type) -> Option<bool> {
+    // returns Some(valid_flipped) if this bundle is decoupled-shaped
+    let Type::Bundle(fields) = ty else { return None };
+    let ready = fields.iter().find(|f| f.name == "ready")?;
+    let valid = fields.iter().find(|f| f.name == "valid")?;
+    if ready.ty != Type::bool() || valid.ty != Type::bool() {
+        return None;
+    }
+    // ready flows against valid
+    (ready.flip != valid.flip).then_some(valid.flip)
+}
+
+/// Instrument every decoupled interface in the circuit.
+///
+/// Must run before type lowering (bundle structure is required).
+pub fn instrument_ready_valid_coverage(circuit: &mut Circuit) -> ReadyValidInfo {
+    let mut info = ReadyValidInfo::default();
+    let annotated: Vec<(String, String)> = circuit
+        .annotations
+        .iter()
+        .filter_map(|a| match a {
+            Annotation::Decoupled { module, port } => Some((module.clone(), port.clone())),
+            _ => None,
+        })
+        .collect();
+
+    for module in circuit.modules.iter_mut() {
+        let Some(clock) = module.clock() else { continue };
+        let mut minfo: BTreeMap<String, DecoupledPort> = BTreeMap::new();
+        let mut added: Vec<Stmt> = Vec::new();
+        for p in &module.ports {
+            let structural = find_ready_valid(&p.ty);
+            let forced = annotated.iter().any(|(m, q)| m == &module.name && q == &p.name);
+            let Some(valid_flipped) = structural.or(if forced { Some(false) } else { None })
+            else {
+                continue;
+            };
+            let dir = match (p.dir, valid_flipped) {
+                (Direction::Input, false) | (Direction::Output, true) => DecoupledDir::Sink,
+                _ => DecoupledDir::Source,
+            };
+            let fire = Expr::r(&p.name).field("valid").and(&Expr::r(&p.name).field("ready"));
+            let cover = format!("rv_{}", p.name);
+            added.push(Stmt::Cover {
+                name: cover.clone(),
+                clock: clock.clone(),
+                pred: fire,
+                enable: Expr::one(),
+                info: p.info.clone(),
+            });
+            minfo.insert(cover, DecoupledPort { port: p.name.clone(), dir });
+        }
+        if !minfo.is_empty() {
+            module.body.extend(added);
+            info.modules.insert(module.name.clone(), minfo);
+        }
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcov_firrtl::parser::parse;
+    use rtlcov_firrtl::passes;
+
+    const SRC: &str = "
+circuit Q :
+  module Q :
+    input clock : Clock
+    input reset : UInt<1>
+    input enq : { flip ready : UInt<1>, valid : UInt<1>, bits : UInt<8> }
+    output deq : { flip ready : UInt<1>, valid : UInt<1>, bits : UInt<8> }
+    enq.ready <= deq.ready
+    deq.valid <= enq.valid
+    deq.bits <= enq.bits
+";
+
+    #[test]
+    fn detects_both_directions() {
+        let mut c = parse(SRC).unwrap();
+        let info = instrument_ready_valid_coverage(&mut c);
+        assert_eq!(info.cover_count(), 2);
+        let m = &info.modules["Q"];
+        assert_eq!(m["rv_enq"].dir, DecoupledDir::Sink);
+        assert_eq!(m["rv_deq"].dir, DecoupledDir::Source);
+    }
+
+    #[test]
+    fn instrumented_circuit_lowers() {
+        let mut c = parse(SRC).unwrap();
+        instrument_ready_valid_coverage(&mut c);
+        let low = passes::lower(c).unwrap();
+        let mut covers = Vec::new();
+        low.top_module().for_each_stmt(&mut |s| {
+            if let Stmt::Cover { name, .. } = s {
+                covers.push(name.clone());
+            }
+        });
+        assert_eq!(covers, vec!["rv_enq", "rv_deq"]);
+    }
+
+    #[test]
+    fn ignores_non_decoupled_bundles() {
+        let mut c = parse(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input io : { a : UInt<1>, b : UInt<1> }
+    output o : UInt<1>
+    o <= io.a
+",
+        )
+        .unwrap();
+        let info = instrument_ready_valid_coverage(&mut c);
+        assert_eq!(info.cover_count(), 0);
+    }
+
+    #[test]
+    fn same_flip_ready_valid_is_not_decoupled() {
+        let mut c = parse(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input io : { ready : UInt<1>, valid : UInt<1> }
+    output o : UInt<1>
+    o <= io.valid
+",
+        )
+        .unwrap();
+        let info = instrument_ready_valid_coverage(&mut c);
+        assert_eq!(info.cover_count(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! FSM coverage report generator (§4.3).
+
+use super::Summary;
+use crate::instances::{instance_paths, runtime_cover_name};
+use crate::passes::fsm::FsmCoverageInfo;
+use crate::CoverageMap;
+use rtlcov_firrtl::ir::Circuit;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Results for one FSM instance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FsmInstanceReport {
+    /// Instance-qualified register name.
+    pub reg: String,
+    /// state name → visit count.
+    pub states: BTreeMap<String, u64>,
+    /// `(from, to)` → count.
+    pub transitions: BTreeMap<(String, String), u64>,
+    /// True if the static analysis over-approximated transitions.
+    pub over_approximated: bool,
+}
+
+impl FsmInstanceReport {
+    /// States never visited.
+    pub fn unvisited_states(&self) -> Vec<&str> {
+        self.states.iter().filter(|(_, &c)| c == 0).map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Transitions never taken.
+    pub fn untaken_transitions(&self) -> Vec<(&str, &str)> {
+        self.transitions
+            .iter()
+            .filter(|(_, &c)| c == 0)
+            .map(|((a, b), _)| (a.as_str(), b.as_str()))
+            .collect()
+    }
+}
+
+/// The FSM report across all instances.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FsmReport {
+    /// One entry per FSM instance.
+    pub fsms: Vec<FsmInstanceReport>,
+    /// Combined state+transition summary.
+    pub summary: Summary,
+}
+
+impl FsmReport {
+    /// Build the report by joining metadata, the instance tree and counts.
+    pub fn build(circuit: &Circuit, info: &FsmCoverageInfo, counts: &CoverageMap) -> Self {
+        let mut fsms = Vec::new();
+        for (path, module) in instance_paths(circuit) {
+            for fsm in info.fsms.iter().filter(|f| f.module == module) {
+                let qualified = if path.is_empty() {
+                    fsm.reg.clone()
+                } else {
+                    format!("{path}.{}", fsm.reg)
+                };
+                let mut inst = FsmInstanceReport {
+                    reg: qualified,
+                    over_approximated: fsm.over_approximated,
+                    ..Default::default()
+                };
+                for state in fsm.states.keys() {
+                    let c = counts
+                        .count(&runtime_cover_name(&path, &fsm.state_cover(state)))
+                        .unwrap_or(0);
+                    inst.states.insert(state.clone(), c);
+                }
+                for (from, to) in &fsm.transitions {
+                    let c = counts
+                        .count(&runtime_cover_name(&path, &fsm.transition_cover(from, to)))
+                        .unwrap_or(0);
+                    inst.transitions.insert((from.clone(), to.clone()), c);
+                }
+                fsms.push(inst);
+            }
+        }
+        let total = fsms.iter().map(|f| f.states.len() + f.transitions.len()).sum();
+        let covered = fsms
+            .iter()
+            .map(|f| {
+                f.states.values().filter(|&&c| c > 0).count()
+                    + f.transitions.values().filter(|&&c| c > 0).count()
+            })
+            .sum();
+        FsmReport { fsms, summary: Summary { total, covered } }
+    }
+
+    /// Render the ASCII report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fsm coverage: {} of {} states+transitions ({})",
+            self.summary.covered,
+            self.summary.total,
+            self.summary.percent()
+        );
+        for fsm in &self.fsms {
+            let _ = writeln!(out, "\nfsm `{}`:", fsm.reg);
+            if fsm.over_approximated {
+                let _ = writeln!(out, "  (transition set over-approximated by analysis)");
+            }
+            for (state, count) in &fsm.states {
+                let marker = if *count == 0 { ">>>" } else { "   " };
+                let _ = writeln!(out, "  {marker} state {state}: {count}");
+            }
+            for ((from, to), count) in &fsm.transitions {
+                let marker = if *count == 0 { ">>>" } else { "   " };
+                let _ = writeln!(out, "  {marker} {from} -> {to}: {count}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::fsm::instrument_fsm_coverage;
+    use rtlcov_firrtl::parser::parse;
+    use rtlcov_firrtl::passes;
+
+    #[test]
+    fn report_joins_states_and_transitions() {
+        let mut c = passes::lower(
+            parse(
+                "
+; @enumdef S A=0,B=1
+; @enumreg T.state S
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    input go : UInt<1>
+    output o : UInt<1>
+    reg state : UInt<1>, clock with : (reset => (reset, UInt<1>(0)))
+    when go :
+      state <= UInt<1>(1)
+    o <= state
+",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let info = instrument_fsm_coverage(&mut c);
+        let mut counts = CoverageMap::new();
+        counts.record("fsm_state_s_A", 5);
+        counts.declare("fsm_state_s_B");
+        counts.record("fsm_state_t_A_B", 1);
+        let report = FsmReport::build(&c, &info, &counts);
+        assert_eq!(report.fsms.len(), 1);
+        let fsm = &report.fsms[0];
+        assert_eq!(fsm.states["A"], 5);
+        assert_eq!(fsm.unvisited_states(), vec!["B"]);
+        assert!(fsm.transitions[&("A".to_string(), "B".to_string())] == 1);
+        assert!(report.render().contains("state B: 0"));
+    }
+}

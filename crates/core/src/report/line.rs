@@ -1,0 +1,147 @@
+//! Line coverage report generator (§4.1).
+//!
+//! Joins [`LineCoverageInfo`] with a [`CoverageMap`] (from any backend or a
+//! merge of several) and produces per-file line counts: each source line
+//! receives the maximum count over all branch covers dominating it.
+
+use super::Summary;
+use crate::instances::{instance_paths, runtime_cover_name};
+use crate::passes::line::LineCoverageInfo;
+use crate::CoverageMap;
+use rtlcov_firrtl::ir::Circuit;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Per-file, per-line counts plus a summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LineReport {
+    /// file → line → count.
+    pub files: BTreeMap<String, BTreeMap<u32, u64>>,
+    /// Coverable-line summary.
+    pub summary: Summary,
+}
+
+impl LineReport {
+    /// Build the report by joining metadata, the instance tree and counts.
+    pub fn build(circuit: &Circuit, info: &LineCoverageInfo, counts: &CoverageMap) -> Self {
+        let mut files: BTreeMap<String, BTreeMap<u32, u64>> = BTreeMap::new();
+        for (path, module) in instance_paths(circuit) {
+            let Some(minfo) = info.modules.get(&module) else { continue };
+            for (cover, lines) in &minfo.covers {
+                let count = counts.count(&runtime_cover_name(&path, cover)).unwrap_or(0);
+                for sl in lines {
+                    let entry =
+                        files.entry(sl.file.clone()).or_default().entry(sl.line).or_insert(0);
+                    *entry = (*entry).max(count);
+                }
+            }
+        }
+        let total = files.values().map(|m| m.len()).sum();
+        let covered =
+            files.values().flat_map(|m| m.values()).filter(|&&c| c > 0).count();
+        LineReport { files, summary: Summary { total, covered } }
+    }
+
+    /// Lines that were never executed, as `(file, line)` pairs.
+    pub fn uncovered(&self) -> Vec<(String, u32)> {
+        let mut out = Vec::new();
+        for (file, lines) in &self.files {
+            for (line, count) in lines {
+                if *count == 0 {
+                    out.push((file.clone(), *line));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the ASCII report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "line coverage: {} of {} lines ({})",
+            self.summary.covered,
+            self.summary.total,
+            self.summary.percent()
+        );
+        for (file, lines) in &self.files {
+            let cov = lines.values().filter(|&&c| c > 0).count();
+            let _ = writeln!(out, "\n{file}: {cov}/{} lines", lines.len());
+            for (line, count) in lines {
+                let marker = if *count == 0 { ">>> " } else { "    " };
+                let _ = writeln!(out, "{marker}{line:>5}: {count}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::line::instrument_line_coverage;
+    use rtlcov_firrtl::parser::parse;
+
+    fn setup() -> (Circuit, LineCoverageInfo) {
+        let mut c = parse(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<1>
+    output o : UInt<4>
+    o <= UInt<4>(0) @[t.scala 4:3]
+    when a : @[t.scala 5:3]
+      o <= UInt<4>(1) @[t.scala 6:5]
+    else :
+      o <= UInt<4>(2) @[t.scala 8:5]
+",
+        )
+        .unwrap();
+        let info = instrument_line_coverage(&mut c);
+        (c, info)
+    }
+
+    #[test]
+    fn counts_map_to_lines() {
+        let (c, info) = setup();
+        let mut counts = CoverageMap::new();
+        counts.record("l_0", 7); // then-branch
+        counts.record("l_1", 0); // else-branch
+        let report = LineReport::build(&c, &info, &counts);
+        assert_eq!(report.files["t.scala"][&6], 7);
+        assert_eq!(report.files["t.scala"][&8], 0);
+        assert_eq!(report.summary.total, 2);
+        assert_eq!(report.summary.covered, 1);
+        assert_eq!(report.uncovered(), vec![("t.scala".to_string(), 8)]);
+    }
+
+    #[test]
+    fn render_marks_uncovered() {
+        let (c, info) = setup();
+        let mut counts = CoverageMap::new();
+        counts.record("l_0", 3);
+        let report = LineReport::build(&c, &info, &counts);
+        let text = report.render();
+        assert!(text.contains("1 of 2 lines"), "{text}");
+        assert!(text.contains(">>>"), "{text}");
+    }
+
+    #[test]
+    fn merged_backends_raise_coverage() {
+        let (c, info) = setup();
+        let mut sw = CoverageMap::new();
+        sw.record("l_0", 1);
+        sw.declare("l_1");
+        let mut fpga = CoverageMap::new();
+        fpga.declare("l_0");
+        fpga.record("l_1", 1);
+        let partial = LineReport::build(&c, &info, &sw);
+        assert_eq!(partial.summary.covered, 1);
+        let mut merged = sw.clone();
+        merged.merge(&fpga);
+        let full = LineReport::build(&c, &info, &merged);
+        assert_eq!(full.summary.covered, 2);
+    }
+}

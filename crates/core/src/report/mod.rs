@@ -1,0 +1,36 @@
+//! Simulator-independent report generators.
+//!
+//! Each generator joins the metadata emitted by an instrumentation pass
+//! with a [`crate::CoverageMap`] — from any backend, or merged across
+//! several — and renders a plain-text report, mirroring the paper's
+//! bare-bones ASCII reports (§4, Table 1).
+
+pub mod fsm;
+pub mod line;
+pub mod ready_valid;
+pub mod toggle;
+
+/// Summary statistics shared by all reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of coverable items (lines, bits, states...).
+    pub total: usize,
+    /// Items hit at least once.
+    pub covered: usize,
+}
+
+impl Summary {
+    /// Fraction covered in `[0, 1]`; 1.0 when there is nothing to cover.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.covered as f64 / self.total as f64
+        }
+    }
+
+    /// Percentage string, e.g. `"87.5%"`.
+    pub fn percent(&self) -> String {
+        format!("{:.1}%", self.fraction() * 100.0)
+    }
+}

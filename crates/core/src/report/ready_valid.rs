@@ -1,0 +1,101 @@
+//! Ready/valid coverage report generator (§4.4).
+
+use super::Summary;
+use crate::instances::{instance_paths, runtime_cover_name};
+use crate::passes::ready_valid::{DecoupledDir, ReadyValidInfo};
+use crate::CoverageMap;
+use rtlcov_firrtl::ir::Circuit;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// The ready/valid report: instance-qualified interface → transfer count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReadyValidReport {
+    /// `qualified interface name → (direction, transfers)`.
+    pub interfaces: BTreeMap<String, (DecoupledDir, u64)>,
+    /// Interface summary.
+    pub summary: Summary,
+}
+
+impl ReadyValidReport {
+    /// Build the report by joining metadata, the instance tree and counts.
+    pub fn build(circuit: &Circuit, info: &ReadyValidInfo, counts: &CoverageMap) -> Self {
+        let mut interfaces = BTreeMap::new();
+        for (path, module) in instance_paths(circuit) {
+            let Some(minfo) = info.modules.get(&module) else { continue };
+            for (cover, port) in minfo {
+                let count = counts.count(&runtime_cover_name(&path, cover)).unwrap_or(0);
+                let qualified = if path.is_empty() {
+                    port.port.clone()
+                } else {
+                    format!("{path}.{}", port.port)
+                };
+                interfaces.insert(qualified, (port.dir, count));
+            }
+        }
+        let total = interfaces.len();
+        let covered = interfaces.values().filter(|(_, c)| *c > 0).count();
+        ReadyValidReport { interfaces, summary: Summary { total, covered } }
+    }
+
+    /// Interfaces on which no transfer ever fired.
+    pub fn silent_interfaces(&self) -> Vec<&str> {
+        self.interfaces
+            .iter()
+            .filter(|(_, (_, c))| *c == 0)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Render the ASCII report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "ready/valid coverage: {} of {} interfaces transferred ({})",
+            self.summary.covered,
+            self.summary.total,
+            self.summary.percent()
+        );
+        for (name, (dir, count)) in &self.interfaces {
+            let marker = if *count == 0 { ">>>" } else { "   " };
+            let d = match dir {
+                DecoupledDir::Sink => "sink",
+                DecoupledDir::Source => "source",
+            };
+            let _ = writeln!(out, "{marker} {name} ({d}): {count} transfers");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::ready_valid::instrument_ready_valid_coverage;
+    use rtlcov_firrtl::parser::parse;
+
+    #[test]
+    fn joins_interfaces() {
+        let mut c = parse(
+            "
+circuit Q :
+  module Q :
+    input clock : Clock
+    input enq : { flip ready : UInt<1>, valid : UInt<1> }
+    output deq : { flip ready : UInt<1>, valid : UInt<1> }
+    enq.ready <= deq.ready
+    deq.valid <= enq.valid
+",
+        )
+        .unwrap();
+        let info = instrument_ready_valid_coverage(&mut c);
+        let mut counts = CoverageMap::new();
+        counts.record("rv_enq", 42);
+        counts.declare("rv_deq");
+        let report = ReadyValidReport::build(&c, &info, &counts);
+        assert_eq!(report.interfaces["enq"].1, 42);
+        assert_eq!(report.silent_interfaces(), vec!["deq"]);
+        assert!(report.render().contains("42 transfers"));
+    }
+}

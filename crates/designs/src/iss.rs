@@ -1,0 +1,226 @@
+//! A golden-model RV32I instruction-set simulator.
+//!
+//! Used by the differential tests: random programs run both on this ISS
+//! and on the RTL core (through any backend), and the architectural state
+//! must match. This is how the riscv-mini analog earns trust as a
+//! benchmark substrate.
+
+/// Architectural state of the golden model.
+#[derive(Debug, Clone)]
+pub struct Iss {
+    /// Register file (x0 hardwired to zero on read).
+    pub regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Instruction memory (word addressed from 0).
+    pub imem: Vec<u32>,
+    /// Data memory (word addressed from 0).
+    pub dmem: Vec<u32>,
+    /// Set when an `ecall` retires.
+    pub halted: bool,
+    /// Instructions retired.
+    pub retired: u64,
+}
+
+impl Iss {
+    /// Fresh state with the given program and data memory size (words).
+    pub fn new(program: &[u32], dmem_words: usize) -> Self {
+        Iss {
+            regs: [0; 32],
+            pc: 0,
+            imem: program.to_vec(),
+            dmem: vec![0; dmem_words],
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    fn read_reg(&self, r: u32) -> u32 {
+        if r == 0 {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    fn write_reg(&mut self, r: u32, v: u32) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    /// Execute one instruction; no-op once halted.
+    ///
+    /// Unknown opcodes are executed as no-ops (matching the RTL core's
+    /// behavior of writing nothing and advancing the PC).
+    pub fn step(&mut self) {
+        if self.halted {
+            return;
+        }
+        let word = self.imem.get((self.pc / 4) as usize).copied().unwrap_or(0x13);
+        let opcode = word & 0x7f;
+        let rd = (word >> 7) & 0x1f;
+        let funct3 = (word >> 12) & 0x7;
+        let rs1 = (word >> 15) & 0x1f;
+        let rs2 = (word >> 20) & 0x1f;
+        let funct7b5 = (word >> 30) & 1;
+        let imm_i = (word as i32) >> 20;
+        let imm_s = (((word as i32) >> 25) << 5) | ((word >> 7) & 0x1f) as i32;
+        let imm_b = ((((word as i32) >> 31) << 12)
+            | ((((word >> 7) & 1) as i32) << 11)
+            | ((((word >> 25) & 0x3f) as i32) << 5)
+            | ((((word >> 8) & 0xf) as i32) << 1)) as i32;
+        let imm_u = (word & 0xffff_f000) as i32;
+        let imm_j = ((((word as i32) >> 31) << 20)
+            | ((((word >> 12) & 0xff) as i32) << 12)
+            | ((((word >> 20) & 1) as i32) << 11)
+            | ((((word >> 21) & 0x3ff) as i32) << 1)) as i32;
+
+        let a = self.read_reg(rs1);
+        let b = self.read_reg(rs2);
+        let mut next_pc = self.pc.wrapping_add(4);
+
+        match opcode {
+            0b0110111 => self.write_reg(rd, imm_u as u32), // lui
+            0b0010111 => self.write_reg(rd, self.pc.wrapping_add(imm_u as u32)), // auipc
+            0b1101111 => {
+                // jal
+                self.write_reg(rd, self.pc.wrapping_add(4));
+                next_pc = self.pc.wrapping_add(imm_j as u32);
+            }
+            0b1100111 => {
+                // jalr
+                self.write_reg(rd, self.pc.wrapping_add(4));
+                next_pc = a.wrapping_add(imm_i as u32) & !1;
+            }
+            0b1100011 => {
+                // branches
+                let taken = match funct3 {
+                    0b000 => a == b,
+                    0b001 => a != b,
+                    0b100 => (a as i32) < (b as i32),
+                    0b101 => (a as i32) >= (b as i32),
+                    0b110 => a < b,
+                    _ => a >= b,
+                };
+                if taken {
+                    next_pc = self.pc.wrapping_add(imm_b as u32);
+                }
+            }
+            0b0000011 => {
+                // lw (the RTL core implements word loads)
+                let addr = a.wrapping_add(imm_i as u32);
+                let v = self.dmem.get((addr / 4) as usize).copied().unwrap_or(0);
+                self.write_reg(rd, v);
+            }
+            0b0100011 => {
+                // sw
+                let addr = a.wrapping_add(imm_s as u32);
+                let idx = (addr / 4) as usize;
+                if idx < self.dmem.len() {
+                    self.dmem[idx] = b;
+                }
+            }
+            0b0010011 | 0b0110011 => {
+                let is_imm = opcode == 0b0010011;
+                let operand = if is_imm { imm_i as u32 } else { b };
+                let shamt = operand & 0x1f;
+                let result = match funct3 {
+                    0b000 => {
+                        if !is_imm && funct7b5 == 1 {
+                            a.wrapping_sub(operand)
+                        } else {
+                            a.wrapping_add(operand)
+                        }
+                    }
+                    0b001 => a.wrapping_shl(shamt),
+                    0b010 => u32::from((a as i32) < (operand as i32)),
+                    0b011 => u32::from(a < operand),
+                    0b100 => a ^ operand,
+                    0b101 => {
+                        if (word >> 30) & 1 == 1 {
+                            ((a as i32) >> shamt) as u32
+                        } else {
+                            a.wrapping_shr(shamt)
+                        }
+                    }
+                    0b110 => a | operand,
+                    _ => a & operand,
+                };
+                self.write_reg(rd, result);
+            }
+            0b1110011 => {
+                // ecall: halt. Not counted as retired — the RTL core
+                // raises `halted` during execute, before its writeback
+                // stage would have bumped the counter.
+                self.halted = true;
+                return;
+            }
+            _ => {}
+        }
+        self.pc = next_pc;
+        self.retired += 1;
+    }
+
+    /// Run until halt or the cycle budget is spent.
+    pub fn run(&mut self, max_steps: usize) {
+        for _ in 0..max_steps {
+            if self.halted {
+                break;
+            }
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::asm;
+
+    #[test]
+    fn golden_model_basics() {
+        let mut iss = Iss::new(
+            &[
+                asm::addi(1, 0, 7),
+                asm::addi(2, 0, 35),
+                asm::add(3, 1, 2),
+                asm::sub(4, 2, 1),
+                asm::ecall(),
+            ],
+            64,
+        );
+        iss.run(100);
+        assert!(iss.halted);
+        assert_eq!(iss.regs[3], 42);
+        assert_eq!(iss.regs[4], 28);
+    }
+
+    #[test]
+    fn golden_model_memory_and_branches() {
+        let mut iss = Iss::new(
+            &[
+                asm::addi(1, 0, 5),
+                asm::addi(2, 0, 0),
+                asm::add(2, 2, 1),
+                asm::addi(1, 1, -1),
+                asm::bne(1, 0, -8),
+                asm::sw(2, 0, 0x40),
+                asm::lw(3, 0, 0x40),
+                asm::ecall(),
+            ],
+            64,
+        );
+        iss.run(200);
+        assert_eq!(iss.regs[2], 15);
+        assert_eq!(iss.regs[3], 15);
+        assert_eq!(iss.dmem[0x10], 15);
+    }
+
+    #[test]
+    fn x0_stays_zero() {
+        let mut iss = Iss::new(&[asm::addi(0, 0, 99), asm::ecall()], 4);
+        iss.run(10);
+        assert_eq!(iss.regs[0], 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # rtlcov-designs
+//!
+//! Benchmark circuits for the coverage system, mirroring the paper's
+//! evaluation targets (Table 2, §5.2–5.5):
+//!
+//! * [`riscv_mini`] — multi-cycle RV32I core with split caches (the §5.5
+//!   formal target and Table 2's long-running CPU benchmark);
+//! * [`tlram`] — TileLink-flavored RAM with decoupled channels;
+//! * [`serv_like`] — bit-serial ALU (serv-chisel analog);
+//! * [`neuroproc_like`] — spiking neuron processor (NeuroProc analog);
+//! * [`i2c`] — I2C slave peripheral (the §5.4 fuzzing target);
+//! * [`gcd`] / [`fsm_examples`] — small teaching designs;
+//! * [`soc`] — scaled rocket-like / boom-like SoCs for Figures 9/10;
+//! * [`programs`] — an RV32I assembler + test programs incl. the §5.2
+//!   Linux-boot substitute;
+//! * [`iss`] — a golden-model RV32I instruction-set simulator for
+//!   differential testing;
+//! * [`workloads`] — replayable input traces per benchmark (§5.1).
+
+#![warn(missing_docs)]
+
+pub mod fsm_examples;
+pub mod iss;
+pub mod gcd;
+pub mod i2c;
+pub mod neuroproc_like;
+pub mod programs;
+pub mod queue;
+pub mod riscv_mini;
+pub mod serv_like;
+pub mod soc;
+pub mod tlram;
+pub mod workloads;

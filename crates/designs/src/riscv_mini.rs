@@ -1,0 +1,706 @@
+//! A riscv-mini analog: a multi-cycle RV32I core with split instruction and
+//! data caches.
+//!
+//! The structure mirrors the paper's riscv-mini benchmark deliberately:
+//!
+//! * the **same `Cache` module** is instantiated for both the instruction
+//!   and the data path, but the instruction port never issues writes —
+//!   the cache's write-handling code is *unreachable* in the icache
+//!   instance, which is exactly the dead code the paper's formal trace
+//!   generation discovered (§5.5);
+//! * both caches and the core use **enum-annotated FSM registers**, giving
+//!   the FSM coverage pass real state machines to analyze;
+//! * all memory interfaces are **decoupled (ready/valid) bundles**, giving
+//!   the ready/valid pass real interfaces to find.
+//!
+//! The core executes RV32I arithmetic, logic, shifts, branches, jumps,
+//! `lw`/`sw`, and treats `SYSTEM` (ecall) as halt. Programs are loaded
+//! through the simulator's backdoor memory interface (see
+//! [`crate::programs`]).
+
+use rtlcov_firrtl::builder::{CircuitBuilder, ModuleBuilder};
+use rtlcov_firrtl::dsl::ExprExt;
+use rtlcov_firrtl::ir::{Circuit, Expr, Field, Type};
+
+/// Cache FSM states (enum `CacheState`).
+pub mod cache_state {
+    /// Waiting for a request.
+    pub const IDLE: u64 = 0;
+    /// Reading the backing store.
+    pub const READ: u64 = 1;
+    /// Writing the backing store.
+    pub const WRITE: u64 = 2;
+    /// Holding the response until accepted.
+    pub const RESP: u64 = 3;
+}
+
+/// Core FSM states (enum `CoreState`).
+pub mod core_state {
+    /// Issue instruction fetch.
+    pub const FETCH: u64 = 0;
+    /// Wait for fetch response.
+    pub const FETCH_WAIT: u64 = 1;
+    /// Decode + execute.
+    pub const EXEC: u64 = 2;
+    /// Wait for data memory response.
+    pub const MEM_WAIT: u64 = 3;
+    /// Write back + advance PC.
+    pub const WB: u64 = 4;
+}
+
+/// Number of 32-bit words in each cache's backing store.
+pub const CACHE_WORDS: usize = 4096;
+
+fn req_bundle() -> Type {
+    Type::Bundle(vec![
+        Field { name: "ready".into(), flip: true, ty: Type::bool() },
+        Field { name: "valid".into(), flip: false, ty: Type::bool() },
+        Field {
+            name: "bits".into(),
+            flip: false,
+            ty: Type::Bundle(vec![
+                Field { name: "addr".into(), flip: false, ty: Type::uint(32) },
+                Field { name: "wdata".into(), flip: false, ty: Type::uint(32) },
+                Field { name: "wen".into(), flip: false, ty: Type::bool() },
+            ]),
+        },
+    ])
+}
+
+fn resp_bundle() -> Type {
+    Type::Bundle(vec![
+        Field { name: "ready".into(), flip: true, ty: Type::bool() },
+        Field { name: "valid".into(), flip: false, ty: Type::bool() },
+        Field {
+            name: "bits".into(),
+            flip: false,
+            ty: Type::Bundle(vec![Field {
+                name: "rdata".into(),
+                flip: false,
+                ty: Type::uint(32),
+            }]),
+        },
+    ])
+}
+
+/// Build the `Cache` module: a blocking cache-shaped scratchpad with a
+/// 4-state FSM and a decoupled request/response interface.
+fn cache_module(words: usize) -> ModuleBuilder {
+    use cache_state::*;
+    let mut m = ModuleBuilder::new("Cache");
+    m.clock();
+    m.reset();
+    let req = m.input_ty("req", req_bundle());
+    let resp = m.output_ty("resp", resp_bundle());
+
+    let state = m.reg_enum("state", 2, Expr::u(IDLE, 2), "CacheState");
+    let addr_reg = m.reg("addr_reg", 32);
+    let wdata_reg = m.reg("wdata_reg", 32);
+    let wen_reg = m.reg("wen_reg", 1);
+    let rdata_reg = m.reg("rdata_reg", 32);
+
+    let mem = m.mem("mem", 32, words, &["r"], &["w"]);
+    let addr_hi = 1 + rtlcov_firrtl::typecheck::addr_width(words);
+    let word_addr = m.node("word_addr", addr_reg.bits(addr_hi, 2));
+
+    m.connect(req.field("ready"), state.eq_(&Expr::u(IDLE, 2)));
+    m.connect(resp.field("valid"), state.eq_(&Expr::u(RESP, 2)));
+    m.connect(resp.field("bits").field("rdata"), rdata_reg.clone());
+
+    m.connect(mem.field("r").field("addr"), word_addr.clone());
+    m.connect(mem.field("r").field("en"), state.eq_(&Expr::u(READ, 2)));
+    m.connect(mem.field("w").field("addr"), word_addr.clone());
+    m.connect(mem.field("w").field("en"), state.eq_(&Expr::u(WRITE, 2)));
+    m.connect(mem.field("w").field("data"), wdata_reg.clone());
+    m.connect(mem.field("w").field("mask"), Expr::one());
+
+    // FSM
+    let st = state.clone();
+    let req2 = req.clone();
+    m.when(st.eq_(&Expr::u(IDLE, 2)), move |m| {
+        let fire = req2.field("valid");
+        let st2 = st.clone();
+        let req3 = req2.clone();
+        m.when(fire, move |m| {
+            m.connect(Expr::r("addr_reg"), req3.field("bits").field("addr"));
+            m.connect(Expr::r("wdata_reg"), req3.field("bits").field("wdata"));
+            m.connect(Expr::r("wen_reg"), req3.field("bits").field("wen"));
+            let st3 = st2.clone();
+            m.when_else(
+                req3.field("bits").field("wen"),
+                move |m| {
+                    // write path: unreachable when the requester never
+                    // asserts wen (the icache instance)
+                    m.connect(st3.clone(), Expr::u(WRITE, 2));
+                },
+                move |m| {
+                    m.connect(Expr::r("state"), Expr::u(READ, 2));
+                },
+            );
+        });
+    });
+    let st = state.clone();
+    m.when(st.eq_(&Expr::u(READ, 2)), move |m| {
+        m.connect(Expr::r("rdata_reg"), Expr::r("mem").field("r").field("data"));
+        m.connect(Expr::r("state"), Expr::u(RESP, 2));
+    });
+    let st = state.clone();
+    m.when(st.eq_(&Expr::u(WRITE, 2)), move |m| {
+        // write completes in one cycle; data was latched in IDLE
+        m.connect(Expr::r("state"), Expr::u(RESP, 2));
+    });
+    let st = state.clone();
+    let resp2 = resp.clone();
+    m.when(st.eq_(&Expr::u(RESP, 2)), move |m| {
+        let st2 = st.clone();
+        m.when(resp2.field("ready"), move |m| {
+            m.connect(st2.clone(), Expr::u(IDLE, 2));
+        });
+    });
+    let _ = (wen_reg, mem);
+    m
+}
+
+// RV32I opcodes
+const OP_LUI: u64 = 0b0110111;
+const OP_AUIPC: u64 = 0b0010111;
+const OP_JAL: u64 = 0b1101111;
+const OP_JALR: u64 = 0b1100111;
+const OP_BRANCH: u64 = 0b1100011;
+const OP_LOAD: u64 = 0b0000011;
+const OP_STORE: u64 = 0b0100011;
+const OP_IMM: u64 = 0b0010011;
+const OP_OP: u64 = 0b0110011;
+const OP_SYSTEM: u64 = 0b1110011;
+
+fn sext_to_32(e: Expr) -> Expr {
+    e.as_sint().pad(32).as_uint().bits(31, 0)
+}
+
+/// Build the `Core` module: a 5-state multi-cycle RV32I core.
+#[allow(clippy::too_many_lines)]
+fn core_module() -> ModuleBuilder {
+    use core_state::*;
+    let mut m = ModuleBuilder::new("Core");
+    m.clock();
+    m.reset();
+    let ireq = m.output_ty("ireq", req_bundle());
+    let iresp = m.input_ty("iresp", resp_bundle());
+    let dreq = m.output_ty("dreq", req_bundle());
+    let dresp = m.input_ty("dresp", resp_bundle());
+    let halted = m.output("halted", 1);
+    let retired = m.output("retired", 32);
+
+    let state = m.reg_enum("state", 3, Expr::u(FETCH, 3), "CoreState");
+    let pc = m.reg_init("pc", 32, Expr::u(0, 32));
+    let inst = m.reg_init("inst", 32, Expr::u(0x13, 32)); // nop
+    let halt_reg = m.reg_init("halt_reg", 1, Expr::u(0, 1));
+    let retired_reg = m.reg_init("retired_reg", 32, Expr::u(0, 32));
+    let next_pc = m.reg("next_pc", 32);
+    let wb_val = m.reg("wb_val", 32);
+    let wb_en = m.reg("wb_en", 1);
+    let is_load_reg = m.reg("is_load_reg", 1);
+    let ld_data = m.reg("ld_data", 32);
+
+    let rf = m.mem("rf", 32, 32, &["r1", "r2"], &["w"]);
+
+    // ------------------------------------------------------ decode nodes
+    let opcode = m.node("opcode", inst.bits(6, 0));
+    let rd = m.node("rd", inst.bits(11, 7));
+    let funct3 = m.node("funct3", inst.bits(14, 12));
+    let funct7b5 = m.node("funct7b5", inst.bit(30));
+    let rs1 = m.node("rs1", inst.bits(19, 15));
+    let rs2 = m.node("rs2", inst.bits(24, 20));
+
+    m.connect(rf.field("r1").field("addr"), rs1.clone());
+    m.connect(rf.field("r1").field("en"), Expr::one());
+    m.connect(rf.field("r2").field("addr"), rs2.clone());
+    m.connect(rf.field("r2").field("en"), Expr::one());
+    let rs1_data = m.node(
+        "rs1_data",
+        rs1.eq_(&Expr::u(0, 5)).mux(&Expr::u(0, 32), &rf.field("r1").field("data")),
+    );
+    let rs2_data = m.node(
+        "rs2_data",
+        rs2.eq_(&Expr::u(0, 5)).mux(&Expr::u(0, 32), &rf.field("r2").field("data")),
+    );
+
+    // immediates
+    let imm_i = m.node("imm_i", sext_to_32(inst.bits(31, 20)));
+    let imm_s = m.node("imm_s", sext_to_32(inst.bits(31, 25).cat(&inst.bits(11, 7))));
+    let _imm_b = m.node(
+        "imm_b",
+        sext_to_32(
+            inst.bit(31)
+                .cat(&inst.bit(7))
+                .cat(&inst.bits(30, 25))
+                .cat(&inst.bits(11, 8))
+                .cat(&Expr::u(0, 1)),
+        ),
+    );
+    let _imm_u = m.node("imm_u", inst.bits(31, 12).cat(&Expr::u(0, 12)));
+    let _imm_j = m.node(
+        "imm_j",
+        sext_to_32(
+            inst.bit(31)
+                .cat(&inst.bits(19, 12))
+                .cat(&inst.bit(20))
+                .cat(&inst.bits(30, 21))
+                .cat(&Expr::u(0, 1)),
+        ),
+    );
+
+    // ------------------------------------------------------ ALU
+    let is_imm_op = m.node("is_imm_op", opcode.eq_(&Expr::u(OP_IMM, 7)));
+    let alu_a = m.node("alu_a", rs1_data.clone());
+    let alu_b = m.node("alu_b", is_imm_op.mux(&imm_i, &rs2_data));
+    let shamt = m.node("shamt", alu_b.bits(4, 0));
+    // sub only for OP (not OP-IMM) when funct7[5]
+    let is_sub = m.node(
+        "is_sub",
+        opcode.eq_(&Expr::u(OP_OP, 7)).and(&funct7b5.clone()),
+    );
+    let add_res = m.node("add_res", alu_a.addw(&alu_b));
+    let sub_res = m.node("sub_res", alu_a.subw(&alu_b));
+    let sll_res = m.node("sll_res", alu_a.dshl(&shamt).bits(31, 0));
+    let slt_res = m.node(
+        "slt_res",
+        alu_a.as_sint().lt(&alu_b.as_sint()).pad(32),
+    );
+    let sltu_res = m.node("sltu_res", alu_a.lt(&alu_b).pad(32));
+    let xor_res = m.node("xor_res", alu_a.xor(&alu_b));
+    let srl_res = m.node("srl_res", alu_a.dshr(&shamt));
+    let sra_res = m.node("sra_res", alu_a.as_sint().dshr(&shamt).as_uint().bits(31, 0));
+    let or_res = m.node("or_res", alu_a.or(&alu_b));
+    let and_res = m.node("and_res", alu_a.and(&alu_b));
+
+    let _alu_out = m.node(
+        "alu_out",
+        funct3
+            .eq_(&Expr::u(0, 3))
+            .mux(&is_sub.mux(&sub_res, &add_res),
+            &funct3.eq_(&Expr::u(1, 3)).mux(&sll_res,
+            &funct3.eq_(&Expr::u(2, 3)).mux(&slt_res,
+            &funct3.eq_(&Expr::u(3, 3)).mux(&sltu_res,
+            &funct3.eq_(&Expr::u(4, 3)).mux(&xor_res,
+            &funct3.eq_(&Expr::u(5, 3)).mux(&funct7b5.mux(&sra_res, &srl_res),
+            &funct3.eq_(&Expr::u(6, 3)).mux(&or_res, &and_res))))))),
+    );
+
+    // branch condition
+    let br_eq = m.node("br_eq", rs1_data.eq_(&rs2_data));
+    let br_lt = m.node("br_lt", rs1_data.as_sint().lt(&rs2_data.as_sint()));
+    let br_ltu = m.node("br_ltu", rs1_data.lt(&rs2_data));
+    let _br_taken = m.node(
+        "br_taken",
+        funct3
+            .eq_(&Expr::u(0, 3))
+            .mux(&br_eq,
+            &funct3.eq_(&Expr::u(1, 3)).mux(&br_eq.not_().bits(0, 0),
+            &funct3.eq_(&Expr::u(4, 3)).mux(&br_lt,
+            &funct3.eq_(&Expr::u(5, 3)).mux(&br_lt.not_().bits(0, 0),
+            &funct3.eq_(&Expr::u(6, 3)).mux(&br_ltu, &br_ltu.not_().bits(0, 0)))))),
+    );
+
+    let pc_plus4 = m.node("pc_plus4", pc.addw(&Expr::u(4, 32)));
+    let mem_addr = m.node(
+        "mem_addr",
+        rs1_data.addw(&opcode.eq_(&Expr::u(OP_STORE, 7)).mux(&imm_s, &imm_i)),
+    );
+
+    // ------------------------------------------------------ default outputs
+    m.connect(ireq.field("valid"), state.eq_(&Expr::u(FETCH, 3)).and(&halt_reg.not_()));
+    m.connect(ireq.field("bits").field("addr"), pc.clone());
+    m.connect(ireq.field("bits").field("wdata"), Expr::u(0, 32));
+    m.connect(ireq.field("bits").field("wen"), Expr::u(0, 1)); // never writes
+    m.connect(iresp.field("ready"), state.eq_(&Expr::u(FETCH_WAIT, 3)));
+
+    let is_mem = m.node(
+        "is_mem",
+        opcode.eq_(&Expr::u(OP_LOAD, 7)).or(&opcode.eq_(&Expr::u(OP_STORE, 7))).bits(0, 0),
+    );
+    m.connect(
+        dreq.field("valid"),
+        state.eq_(&Expr::u(EXEC, 3)).and(&is_mem),
+    );
+    m.connect(dreq.field("bits").field("addr"), mem_addr.clone());
+    m.connect(dreq.field("bits").field("wdata"), rs2_data.clone());
+    m.connect(dreq.field("bits").field("wen"), opcode.eq_(&Expr::u(OP_STORE, 7)));
+    m.connect(dresp.field("ready"), state.eq_(&Expr::u(MEM_WAIT, 3)));
+
+    m.connect(halted.clone(), halt_reg.clone());
+    m.connect(retired.clone(), retired_reg.clone());
+
+    // regfile write (only in WB)
+    m.connect(rf.field("w").field("addr"), rd.clone());
+    m.connect(
+        rf.field("w").field("en"),
+        state
+            .eq_(&Expr::u(WB, 3))
+            .and(&wb_en)
+            .and(&rd.eq_(&Expr::u(0, 5)).not_().bits(0, 0)),
+    );
+    m.connect(
+        rf.field("w").field("data"),
+        is_load_reg.mux(&ld_data, &wb_val),
+    );
+    m.connect(rf.field("w").field("mask"), Expr::one());
+
+    // ------------------------------------------------------ FSM
+    let st = state.clone();
+    let ireq2 = ireq.clone();
+    let hr = halt_reg.clone();
+    m.when(st.eq_(&Expr::u(FETCH, 3)).and(&hr.not_().bits(0, 0)), move |m| {
+        let st2 = st.clone();
+        m.when(ireq2.field("ready"), move |m| {
+            m.connect(st2.clone(), Expr::u(FETCH_WAIT, 3));
+        });
+    });
+    let st = state.clone();
+    let iresp2 = iresp.clone();
+    m.when(st.eq_(&Expr::u(FETCH_WAIT, 3)), move |m| {
+        let st2 = st.clone();
+        let iresp3 = iresp2.clone();
+        m.when(iresp3.field("valid"), move |m| {
+            m.connect(Expr::r("inst"), iresp3.field("bits").field("rdata"));
+            m.connect(st2.clone(), Expr::u(EXEC, 3));
+        });
+    });
+
+    // EXEC: dispatch on opcode
+    let st = state.clone();
+    m.when(st.eq_(&Expr::u(EXEC, 3)), move |m| {
+        // defaults for this instruction
+        m.connect(Expr::r("next_pc"), Expr::r("pc_plus4"));
+        m.connect(Expr::r("wb_en"), Expr::u(0, 1));
+        m.connect(Expr::r("is_load_reg"), Expr::u(0, 1));
+        m.connect(Expr::r("state"), Expr::u(WB, 3));
+
+        let op = Expr::r("opcode");
+        m.when(op.eq_(&Expr::u(OP_LUI, 7)), |m| {
+            m.connect(Expr::r("wb_val"), Expr::r("imm_u"));
+            m.connect(Expr::r("wb_en"), Expr::u(1, 1));
+        });
+        m.when(op.eq_(&Expr::u(OP_AUIPC, 7)), |m| {
+            m.connect(Expr::r("wb_val"), Expr::r("pc").addw(&Expr::r("imm_u")));
+            m.connect(Expr::r("wb_en"), Expr::u(1, 1));
+        });
+        m.when(op.eq_(&Expr::u(OP_JAL, 7)), |m| {
+            m.connect(Expr::r("wb_val"), Expr::r("pc_plus4"));
+            m.connect(Expr::r("wb_en"), Expr::u(1, 1));
+            m.connect(Expr::r("next_pc"), Expr::r("pc").addw(&Expr::r("imm_j")));
+        });
+        m.when(op.eq_(&Expr::u(OP_JALR, 7)), |m| {
+            m.connect(Expr::r("wb_val"), Expr::r("pc_plus4"));
+            m.connect(Expr::r("wb_en"), Expr::u(1, 1));
+            m.connect(
+                Expr::r("next_pc"),
+                Expr::r("rs1_data")
+                    .addw(&Expr::r("imm_i"))
+                    .and(&Expr::u(0xffff_fffe, 32)),
+            );
+        });
+        m.when(op.eq_(&Expr::u(OP_BRANCH, 7)), |m| {
+            m.when(Expr::r("br_taken"), |m| {
+                m.connect(Expr::r("next_pc"), Expr::r("pc").addw(&Expr::r("imm_b")));
+            });
+        });
+        m.when(op.eq_(&Expr::u(OP_IMM, 7)).or(&op.eq_(&Expr::u(OP_OP, 7))).bits(0, 0), |m| {
+            m.connect(Expr::r("wb_val"), Expr::r("alu_out"));
+            m.connect(Expr::r("wb_en"), Expr::u(1, 1));
+        });
+        m.when(op.eq_(&Expr::u(OP_LOAD, 7)), |m| {
+            m.connect(Expr::r("wb_en"), Expr::u(1, 1));
+            m.connect(Expr::r("is_load_reg"), Expr::u(1, 1));
+            m.when_else(
+                Expr::r("dreq").field("ready"),
+                |m| m.connect(Expr::r("state"), Expr::u(MEM_WAIT, 3)),
+                |m| m.connect(Expr::r("state"), Expr::u(EXEC, 3)), // retry
+            );
+        });
+        m.when(op.eq_(&Expr::u(OP_STORE, 7)), |m| {
+            m.when_else(
+                Expr::r("dreq").field("ready"),
+                |m| m.connect(Expr::r("state"), Expr::u(MEM_WAIT, 3)),
+                |m| m.connect(Expr::r("state"), Expr::u(EXEC, 3)),
+            );
+        });
+        m.when(op.eq_(&Expr::u(OP_SYSTEM, 7)), |m| {
+            m.connect(Expr::r("halt_reg"), Expr::u(1, 1));
+        });
+    });
+
+    let st = state.clone();
+    let dresp2 = dresp.clone();
+    m.when(st.eq_(&Expr::u(MEM_WAIT, 3)), move |m| {
+        let dresp3 = dresp2.clone();
+        m.when(dresp3.field("valid"), move |m| {
+            m.connect(Expr::r("ld_data"), dresp3.field("bits").field("rdata"));
+            m.connect(Expr::r("state"), Expr::u(WB, 3));
+        });
+    });
+
+    let st = state.clone();
+    m.when(st.eq_(&Expr::u(WB, 3)), move |m| {
+        m.connect(Expr::r("pc"), Expr::r("next_pc"));
+        m.connect(
+            Expr::r("retired_reg"),
+            Expr::r("retired_reg").addw(&Expr::u(1, 32)),
+        );
+        m.connect(Expr::r("state"), Expr::u(FETCH, 3));
+    });
+
+    let _ = (next_pc, wb_val, wb_en, ld_data, retired_reg, pc_plus4);
+    m
+}
+
+/// Build the `Tile` module: core + icache + dcache.
+fn tile_module() -> ModuleBuilder {
+    let mut m = ModuleBuilder::new("Tile");
+    m.clock();
+    m.reset();
+    let halted = m.output("halted", 1);
+    let retired = m.output("retired", 32);
+    let core = m.inst("core", "Core");
+    let icache = m.inst("icache", "Cache");
+    let dcache = m.inst("dcache", "Cache");
+    for inst in ["core", "icache", "dcache"] {
+        m.connect(Expr::r(inst).field("clock"), Expr::r("clock"));
+        m.connect(Expr::r(inst).field("reset"), Expr::r("reset"));
+    }
+    m.connect(icache.field("req"), core.field("ireq"));
+    m.connect(core.field("iresp"), icache.field("resp"));
+    m.connect(dcache.field("req"), core.field("dreq"));
+    m.connect(core.field("dresp"), dcache.field("resp"));
+    m.connect(halted, core.field("halted"));
+    m.connect(retired, core.field("retired"));
+    m
+}
+
+/// Build the complete riscv-mini analog circuit (`Tile` on top) with the
+/// default cache size.
+pub fn riscv_mini() -> Circuit {
+    riscv_mini_with(CACHE_WORDS)
+}
+
+/// Build the riscv-mini analog with `cache_words` words per cache — small
+/// sizes keep the formal backend's memory encoding tractable (§5.5).
+pub fn riscv_mini_with(cache_words: usize) -> Circuit {
+    CircuitBuilder::new("Tile")
+        .enum_def(
+            "CacheState",
+            &[
+                ("Idle", cache_state::IDLE),
+                ("Read", cache_state::READ),
+                ("Write", cache_state::WRITE),
+                ("Resp", cache_state::RESP),
+            ],
+        )
+        .enum_def(
+            "CoreState",
+            &[
+                ("Fetch", core_state::FETCH),
+                ("FetchWait", core_state::FETCH_WAIT),
+                ("Exec", core_state::EXEC),
+                ("MemWait", core_state::MEM_WAIT),
+                ("Wb", core_state::WB),
+            ],
+        )
+        .add(cache_module(cache_words))
+        .add(core_module())
+        .add(tile_module())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{asm, Program};
+    use rtlcov_firrtl::passes;
+    use rtlcov_sim::compiled::CompiledSim;
+    use rtlcov_sim::Simulator;
+
+    fn boot(program: &Program, max_cycles: usize) -> CompiledSim {
+        let low = passes::lower(riscv_mini()).unwrap();
+        let mut sim = CompiledSim::new(&low).unwrap();
+        program.load(&mut sim, "icache.mem", "dcache.mem").unwrap();
+        sim.reset(2);
+        for _ in 0..max_cycles {
+            if sim.peek("halted") == 1 {
+                return sim;
+            }
+            sim.step();
+        }
+        panic!("program did not halt in {max_cycles} cycles");
+    }
+
+    fn reg(sim: &CompiledSim, x: u64) -> u64 {
+        sim.read_mem("core.rf", x).unwrap()
+    }
+
+    #[test]
+    fn lowers_and_elaborates() {
+        let low = passes::lower(riscv_mini()).unwrap();
+        assert!(CompiledSim::new(&low).is_ok());
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        // x1 = 7; x2 = 35; x3 = x1 + x2; x4 = x2 - x1; halt
+        let p = Program::new(vec![
+            asm::addi(1, 0, 7),
+            asm::addi(2, 0, 35),
+            asm::add(3, 1, 2),
+            asm::sub(4, 2, 1),
+            asm::ecall(),
+        ]);
+        let sim = boot(&p, 2000);
+        assert_eq!(reg(&sim, 1), 7);
+        assert_eq!(reg(&sim, 2), 35);
+        assert_eq!(reg(&sim, 3), 42);
+        assert_eq!(reg(&sim, 4), 28);
+    }
+
+    #[test]
+    fn logic_and_shifts() {
+        let p = Program::new(vec![
+            asm::addi(1, 0, 0b1100),
+            asm::addi(2, 0, 0b1010),
+            asm::and(3, 1, 2),
+            asm::or(4, 1, 2),
+            asm::xor(5, 1, 2),
+            asm::slli(6, 1, 4),
+            asm::srli(7, 6, 2),
+            asm::ecall(),
+        ]);
+        let sim = boot(&p, 3000);
+        assert_eq!(reg(&sim, 3), 0b1000);
+        assert_eq!(reg(&sim, 4), 0b1110);
+        assert_eq!(reg(&sim, 5), 0b0110);
+        assert_eq!(reg(&sim, 6), 0b1100 << 4);
+        assert_eq!(reg(&sim, 7), (0b1100 << 4) >> 2);
+    }
+
+    #[test]
+    fn signed_ops() {
+        let p = Program::new(vec![
+            asm::addi(1, 0, -5),
+            asm::addi(2, 0, 3),
+            asm::slt(3, 1, 2),  // -5 < 3 => 1
+            asm::sltu(4, 1, 2), // huge unsigned < 3 => 0
+            asm::srai(5, 1, 1), // -5 >> 1 = -3
+            asm::ecall(),
+        ]);
+        let sim = boot(&p, 3000);
+        assert_eq!(reg(&sim, 3), 1);
+        assert_eq!(reg(&sim, 4), 0);
+        assert_eq!(reg(&sim, 5) as u32 as i32, -3);
+    }
+
+    #[test]
+    fn branches_and_loop() {
+        // sum = 0; for (i = 5; i != 0; i--) sum += i;  => 15
+        let p = Program::new(vec![
+            asm::addi(1, 0, 5),  // i
+            asm::addi(2, 0, 0),  // sum
+            asm::add(2, 2, 1),   // loop: sum += i
+            asm::addi(1, 1, -1), // i--
+            asm::bne(1, 0, -8),  // back to loop
+            asm::ecall(),
+        ]);
+        let mut sim = boot(&p, 8000);
+        assert_eq!(reg(&sim, 2), 15);
+        assert!(sim.peek("retired") >= 5 * 3);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let p = Program::new(vec![
+            asm::addi(1, 0, 0x100), // base address
+            asm::addi(2, 0, 77),
+            asm::sw(2, 1, 0),  // mem[0x100] = 77
+            asm::lw(3, 1, 0),  // x3 = mem[0x100]
+            asm::addi(3, 3, 1),
+            asm::sw(3, 1, 4),  // mem[0x104] = 78
+            asm::lw(4, 1, 4),
+            asm::ecall(),
+        ]);
+        let sim = boot(&p, 5000);
+        assert_eq!(reg(&sim, 3), 78);
+        assert_eq!(reg(&sim, 4), 78);
+        // value actually landed in the data cache backing store
+        assert_eq!(sim.read_mem("dcache.mem", 0x100 / 4).unwrap(), 77);
+    }
+
+    #[test]
+    fn jal_and_jalr() {
+        let p = Program::new(vec![
+            asm::jal(1, 8),      // skip next instruction; x1 = 4
+            asm::addi(2, 0, 99), // skipped
+            asm::addi(3, 0, 1),
+            asm::jalr(4, 1, 0),  // jump to addr in x1 (=4): addi x2 99 runs now
+            asm::ecall(),        // (skipped on first pass)
+        ]);
+        // flow: jal -> addi x3 -> jalr -> addi x2 -> addi x3 (again) -> jalr
+        // loops... To keep it terminating, jump forward instead:
+        let p2 = Program::new(vec![
+            asm::jal(1, 12),     // to insn 3; x1 = 4
+            asm::addi(2, 0, 99), // skipped
+            asm::ecall(),        // insn 2 (landing pad for jalr)
+            asm::addi(3, 0, 1),  // insn 3
+            asm::jalr(4, 0, 8),  // jump to absolute 8 = insn 2 (ecall)
+        ]);
+        let sim = boot(&p2, 4000);
+        assert_eq!(reg(&sim, 1), 4);
+        assert_eq!(reg(&sim, 3), 1);
+        assert_eq!(reg(&sim, 2), 0); // the skipped insn never ran
+        let _ = p;
+    }
+
+    #[test]
+    fn lui_auipc() {
+        let p = Program::new(vec![
+            asm::lui(1, 0x12345),
+            asm::auipc(2, 0x1),
+            asm::ecall(),
+        ]);
+        let sim = boot(&p, 2000);
+        assert_eq!(reg(&sim, 1), 0x12345000);
+        assert_eq!(reg(&sim, 2), 0x1000 + 4); // pc of auipc is 4
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let p = Program::new(vec![
+            asm::addi(0, 0, 55), // write to x0 is dropped
+            asm::add(1, 0, 0),
+            asm::ecall(),
+        ]);
+        let sim = boot(&p, 2000);
+        assert_eq!(reg(&sim, 1), 0);
+    }
+
+    #[test]
+    fn icache_never_writes() {
+        let p = Program::new(vec![
+            asm::addi(1, 0, 1),
+            asm::sw(1, 0, 64),
+            asm::ecall(),
+        ]);
+        let low = passes::lower(riscv_mini()).unwrap();
+        let mut sim = CompiledSim::new(&low).unwrap();
+        p.load(&mut sim, "icache.mem", "dcache.mem").unwrap();
+        sim.reset(2);
+        for _ in 0..2000 {
+            // the icache FSM must never enter the Write state
+            assert_ne!(sim.peek("icache.state"), cache_state::WRITE);
+            if sim.peek("halted") == 1 {
+                break;
+            }
+            sim.step();
+        }
+        assert_eq!(sim.peek("halted"), 1);
+        // but the dcache did see a write
+        assert_eq!(sim.read_mem("dcache.mem", 16).unwrap(), 1);
+    }
+}

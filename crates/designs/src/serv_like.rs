@@ -1,0 +1,180 @@
+//! A bit-serial ALU core in the spirit of the SERV benchmark
+//! (`serv-chisel` in the paper's Table 2).
+//!
+//! Operations stream one bit per cycle through a 1-bit datapath: an
+//! operation takes `width` cycles. Very few line cover points, a long
+//! cycle count — the profile that makes serv a distinct benchmark.
+
+use rtlcov_firrtl::builder::{CircuitBuilder, ModuleBuilder};
+use rtlcov_firrtl::dsl::ExprExt;
+use rtlcov_firrtl::ir::{Circuit, Expr};
+
+/// Serial ALU opcodes.
+pub mod op {
+    /// Bit-serial addition.
+    pub const ADD: u64 = 0;
+    /// Bit-serial subtraction.
+    pub const SUB: u64 = 1;
+    /// Bitwise and.
+    pub const AND: u64 = 2;
+    /// Bitwise or.
+    pub const OR: u64 = 3;
+    /// Bitwise xor.
+    pub const XOR: u64 = 4;
+}
+
+/// Build a `width`-bit bit-serial ALU.
+///
+/// Drive `start` with operands on `op_a`/`op_b` and the opcode on `op_sel`;
+/// `done` rises after `width` cycles with the result on `result`.
+pub fn serv_like(width: u32) -> Circuit {
+    let cnt_w = rtlcov_firrtl::typecheck::addr_width(width as usize) + 1;
+    let mut m = ModuleBuilder::new("SerialAlu");
+    m.clock();
+    m.reset();
+    let start = m.input("start", 1);
+    let op_a = m.input("op_a", width);
+    let op_b = m.input("op_b", width);
+    let op_sel = m.input("op_sel", 3);
+    let result = m.output("result", width);
+    let done = m.output("done", 1);
+
+    let busy = m.reg_init("busy", 1, Expr::u(0, 1));
+    let _cnt = m.reg_init("cnt", cnt_w, Expr::u(0, cnt_w));
+    let sh_a = m.reg("sh_a", width);
+    let sh_b = m.reg("sh_b", width);
+    let acc = m.reg("acc", width);
+    let carry = m.reg("carry", 1);
+    let _sel = m.reg("sel", 3);
+    let done_reg = m.reg_init("done_reg", 1, Expr::u(0, 1));
+
+    m.connect(result.clone(), acc.clone());
+    m.connect(done.clone(), done_reg.clone());
+
+    // bit-serial datapath: lsb of the shifters this cycle
+    let a_bit = m.node("a_bit", sh_a.bit(0));
+    // subtraction streams the complement of b with carry-in 1
+    let b_raw = m.node("b_raw", sh_b.bit(0));
+    let is_sub = m.node("is_sub", Expr::r("sel").eq_(&Expr::u(op::SUB, 3)));
+    let b_bit = m.node("b_bit", is_sub.mux(&b_raw.not_().bits(0, 0), &b_raw));
+    let sum = m.node(
+        "sum",
+        a_bit.xor(&b_bit).xor(&carry.clone()).bits(0, 0),
+    );
+    let _carry_next = m.node(
+        "carry_next",
+        a_bit.and(&b_bit).or(&a_bit.and(&carry.clone())).or(&b_bit.and(&carry.clone())).bits(0, 0),
+    );
+    let and_bit = m.node("and_bit", a_bit.and(&b_raw).bits(0, 0));
+    let or_bit = m.node("or_bit", a_bit.or(&b_raw).bits(0, 0));
+    let xor_bit = m.node("xor_bit", a_bit.xor(&b_raw).bits(0, 0));
+
+    let _out_bit = m.node(
+        "out_bit",
+        Expr::r("sel").eq_(&Expr::u(op::AND, 3)).mux(&and_bit,
+        &Expr::r("sel").eq_(&Expr::u(op::OR, 3)).mux(&or_bit,
+        &Expr::r("sel").eq_(&Expr::u(op::XOR, 3)).mux(&xor_bit, &sum))),
+    );
+
+    let idle = m.node("idle", busy.not_().bits(0, 0));
+    let go = m.node("go", start.and(&idle).bits(0, 0));
+    m.when(go, move |m| {
+        m.connect(Expr::r("busy"), Expr::u(1, 1));
+        m.connect(Expr::r("cnt"), Expr::u(0, cnt_w));
+        m.connect(Expr::r("sh_a"), op_a.clone());
+        m.connect(Expr::r("sh_b"), op_b.clone());
+        m.connect(Expr::r("sel"), op_sel.clone());
+        m.connect(Expr::r("done_reg"), Expr::u(0, 1));
+        // carry-in: 1 for subtraction (two's complement), else 0
+        m.connect(
+            Expr::r("carry"),
+            op_sel.eq_(&Expr::u(op::SUB, 3)),
+        );
+    });
+    let b = busy.clone();
+    m.when(b, move |m| {
+        // shift one bit through the datapath
+        m.connect(Expr::r("sh_a"), Expr::r("sh_a").shr(1).pad(width));
+        m.connect(Expr::r("sh_b"), Expr::r("sh_b").shr(1).pad(width));
+        m.connect(
+            Expr::r("acc"),
+            Expr::r("out_bit").dshl(&Expr::u(width as u64 - 1, 6)).bits(width - 1, 0)
+                .or(&Expr::r("acc").shr(1).pad(width)),
+        );
+        m.connect(Expr::r("carry"), Expr::r("carry_next"));
+        m.connect(Expr::r("cnt"), Expr::r("cnt").addw(&Expr::u(1, cnt_w)));
+        let last = Expr::r("cnt").eq_(&Expr::u(width as u64 - 1, cnt_w));
+        m.when(last, |m| {
+            m.connect(Expr::r("busy"), Expr::u(0, 1));
+            m.connect(Expr::r("done_reg"), Expr::u(1, 1));
+        });
+    });
+
+    CircuitBuilder::new("SerialAlu").add(m).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcov_firrtl::passes;
+    use rtlcov_sim::compiled::CompiledSim;
+    use rtlcov_sim::Simulator;
+
+    fn run(a: u64, b: u64, sel: u64) -> u64 {
+        let low = passes::lower(serv_like(16)).unwrap();
+        let mut s = CompiledSim::new(&low).unwrap();
+        s.reset(1);
+        s.poke("op_a", a);
+        s.poke("op_b", b);
+        s.poke("op_sel", sel);
+        s.poke("start", 1);
+        s.step();
+        s.poke("start", 0);
+        for _ in 0..64 {
+            if s.peek("done") == 1 {
+                return s.peek("result");
+            }
+            s.step();
+        }
+        panic!("serial alu did not finish");
+    }
+
+    #[test]
+    fn serial_add() {
+        assert_eq!(run(1234, 4321, op::ADD), 5555);
+        assert_eq!(run(0xffff, 1, op::ADD), 0); // wraps at 16 bits
+    }
+
+    #[test]
+    fn serial_sub() {
+        assert_eq!(run(100, 58, op::SUB), 42);
+        assert_eq!(run(0, 1, op::SUB), 0xffff);
+    }
+
+    #[test]
+    fn serial_logic() {
+        assert_eq!(run(0b1100, 0b1010, op::AND), 0b1000);
+        assert_eq!(run(0b1100, 0b1010, op::OR), 0b1110);
+        assert_eq!(run(0b1100, 0b1010, op::XOR), 0b0110);
+    }
+
+    #[test]
+    fn takes_width_cycles() {
+        let low = passes::lower(serv_like(16)).unwrap();
+        let mut s = CompiledSim::new(&low).unwrap();
+        s.reset(1);
+        s.poke("op_a", 1);
+        s.poke("op_b", 2);
+        s.poke("op_sel", op::ADD);
+        s.poke("start", 1);
+        s.step();
+        s.poke("start", 0);
+        let mut cycles = 0;
+        while s.peek("done") == 0 {
+            s.step();
+            cycles += 1;
+            assert!(cycles < 100);
+        }
+        assert_eq!(cycles, 16); // one shift per bit of the 16-bit datapath
+    }
+}

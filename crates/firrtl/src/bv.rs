@@ -1,0 +1,841 @@
+//! Arbitrary-width bit vectors.
+//!
+//! [`Bv`] is the value representation shared by every part of the system:
+//! the FIRRTL constant folder, all three software simulators, the emulated
+//! FPGA host and the bit-blaster of the formal backend. Values are stored as
+//! little-endian `u64` words with all bits above `width` kept at zero.
+//!
+//! Widths are explicit and operations follow FIRRTL semantics: `add`/`sub`
+//! grow by one bit, `mul` produces the sum of the operand widths, comparisons
+//! return a 1-bit value, and so on. Helpers that would be nonsensical for a
+//! hardware value (like negative widths) simply cannot be expressed.
+
+use std::fmt;
+
+/// Number of bits per storage word.
+const WORD_BITS: u32 = 64;
+
+/// An unsigned bit vector of a fixed, explicit width.
+///
+/// The two's complement interpretation used by FIRRTL `SInt` operations is
+/// provided through the `*_signed` methods; the storage is always the raw
+/// bit pattern.
+///
+/// ```
+/// use rtlcov_firrtl::bv::Bv;
+/// let a = Bv::from_u64(5, 8);
+/// let b = Bv::from_u64(250, 8);
+/// assert_eq!(a.add(&b).to_u64(), 255); // result width 9, no overflow
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bv {
+    width: u32,
+    words: Vec<u64>,
+}
+
+fn words_for(width: u32) -> usize {
+    ((width + WORD_BITS - 1) / WORD_BITS).max(1) as usize
+}
+
+impl Bv {
+    /// The all-zeros value of the given width.
+    pub fn zero(width: u32) -> Self {
+        Bv { width, words: vec![0; words_for(width)] }
+    }
+
+    /// The all-ones value of the given width.
+    pub fn ones(width: u32) -> Self {
+        let mut v = Bv { width, words: vec![u64::MAX; words_for(width)] };
+        v.mask_top();
+        v
+    }
+
+    /// Construct from a `u64`, truncating to `width` bits.
+    pub fn from_u64(value: u64, width: u32) -> Self {
+        let mut v = Bv::zero(width);
+        v.words[0] = value;
+        v.mask_top();
+        v
+    }
+
+    /// Construct from a `u128`, truncating to `width` bits.
+    pub fn from_u128(value: u128, width: u32) -> Self {
+        let mut v = Bv::zero(width);
+        v.words[0] = value as u64;
+        if v.words.len() > 1 {
+            v.words[1] = (value >> 64) as u64;
+        }
+        v.mask_top();
+        v
+    }
+
+    /// Construct from a signed integer using two's complement at `width`.
+    pub fn from_i64(value: i64, width: u32) -> Self {
+        let mut v = Bv { width, words: vec![value as u64; 1] };
+        if words_for(width) > 1 {
+            let ext = if value < 0 { u64::MAX } else { 0 };
+            v.words.resize(words_for(width), ext);
+        }
+        v.mask_top();
+        v
+    }
+
+    /// Construct a single bit.
+    pub fn bit_value(bit: bool) -> Self {
+        Bv::from_u64(bit as u64, 1)
+    }
+
+    /// Parse a decimal string into a value of the given width.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the string contains non-decimal characters.
+    pub fn from_decimal(s: &str, width: u32) -> Option<Self> {
+        let mut v = Bv::zero(width.max(1));
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        if digits.is_empty() {
+            return None;
+        }
+        for c in digits.chars() {
+            let d = c.to_digit(10)?;
+            v = v.mul_small_wrapping(10).add_small_wrapping(d as u64);
+        }
+        if neg {
+            v = v.negate_wrapping();
+        }
+        v.mask_top();
+        Some(v)
+    }
+
+    /// Parse from a radix-prefixed literal body (`h`, `o`, `b` or decimal).
+    pub fn from_radix_str(s: &str, width: u32) -> Option<Self> {
+        if let Some(hex) = s.strip_prefix('h') {
+            let mut v = Bv::zero(width.max(1));
+            for c in hex.chars() {
+                let d = c.to_digit(16)?;
+                v = v.shl_wrapping(4).add_small_wrapping(d as u64);
+            }
+            v.mask_top();
+            Some(v)
+        } else if let Some(bin) = s.strip_prefix('b') {
+            let mut v = Bv::zero(width.max(1));
+            for c in bin.chars() {
+                let d = c.to_digit(2)?;
+                v = v.shl_wrapping(1).add_small_wrapping(d as u64);
+            }
+            v.mask_top();
+            Some(v)
+        } else if let Some(oct) = s.strip_prefix('o') {
+            let mut v = Bv::zero(width.max(1));
+            for c in oct.chars() {
+                let d = c.to_digit(8)?;
+                v = v.shl_wrapping(3).add_small_wrapping(d as u64);
+            }
+            v.mask_top();
+            Some(v)
+        } else {
+            Bv::from_decimal(s, width)
+        }
+    }
+
+    /// Bit width of this value.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// True if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The value of bit `i` (little endian). Bits past the width read zero.
+    pub fn bit(&self, i: u32) -> bool {
+        let word = (i / WORD_BITS) as usize;
+        if word >= self.words.len() {
+            return false;
+        }
+        (self.words[word] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Set bit `i` to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn set_bit(&mut self, i: u32, b: bool) {
+        assert!(i < self.width.max(1), "bit index {i} out of range for width {}", self.width);
+        let word = (i / WORD_BITS) as usize;
+        let mask = 1u64 << (i % WORD_BITS);
+        if b {
+            self.words[word] |= mask;
+        } else {
+            self.words[word] &= !mask;
+        }
+    }
+
+    /// The low 64 bits of the value.
+    pub fn to_u64(&self) -> u64 {
+        self.words[0]
+    }
+
+    /// The low 128 bits of the value.
+    pub fn to_u128(&self) -> u128 {
+        let lo = self.words[0] as u128;
+        let hi = if self.words.len() > 1 { self.words[1] as u128 } else { 0 };
+        lo | (hi << 64)
+    }
+
+    /// Two's complement interpretation as `i64` (for widths ≤ 64).
+    pub fn to_i64(&self) -> i64 {
+        if self.width == 0 {
+            return 0;
+        }
+        let raw = self.words[0];
+        if self.width >= 64 {
+            raw as i64
+        } else if self.bit(self.width - 1) {
+            (raw | (u64::MAX << self.width)) as i64
+        } else {
+            raw as i64
+        }
+    }
+
+    /// The sign bit under two's complement interpretation.
+    pub fn sign_bit(&self) -> bool {
+        self.width > 0 && self.bit(self.width - 1)
+    }
+
+    /// Underlying words (little endian), mainly for the bit-blaster.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn mask_top(&mut self) {
+        let need = words_for(self.width);
+        self.words.truncate(need);
+        while self.words.len() < need {
+            self.words.push(0);
+        }
+        if self.width == 0 {
+            self.words[0] = 0;
+            return;
+        }
+        let rem = self.width % WORD_BITS;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    fn add_small_wrapping(mut self, v: u64) -> Self {
+        let mut carry = v;
+        for w in self.words.iter_mut() {
+            let (s, c) = w.overflowing_add(carry);
+            *w = s;
+            carry = c as u64;
+            if carry == 0 {
+                break;
+            }
+        }
+        self.mask_top();
+        self
+    }
+
+    fn mul_small_wrapping(mut self, v: u64) -> Self {
+        let mut carry: u128 = 0;
+        for w in self.words.iter_mut() {
+            let p = (*w as u128) * (v as u128) + carry;
+            *w = p as u64;
+            carry = p >> 64;
+        }
+        self.mask_top();
+        self
+    }
+
+    fn shl_wrapping(mut self, by: u32) -> Self {
+        if by == 0 || self.width == 0 {
+            return self;
+        }
+        let word_shift = (by / WORD_BITS) as usize;
+        let bit_shift = by % WORD_BITS;
+        let n = self.words.len();
+        for i in (0..n).rev() {
+            let mut val = 0u64;
+            if i >= word_shift {
+                val = self.words[i - word_shift] << bit_shift;
+                if bit_shift > 0 && i > word_shift {
+                    val |= self.words[i - word_shift - 1] >> (WORD_BITS - bit_shift);
+                }
+            }
+            self.words[i] = val;
+        }
+        self.mask_top();
+        self
+    }
+
+    fn negate_wrapping(&self) -> Self {
+        let mut v = self.clone();
+        for w in v.words.iter_mut() {
+            *w = !*w;
+        }
+        v.mask_top();
+        v.add_small_wrapping(1)
+    }
+
+    /// Zero-extend or truncate to a new width.
+    pub fn resize_zext(&self, width: u32) -> Self {
+        let mut v = self.clone();
+        v.width = width;
+        v.words.resize(words_for(width), 0);
+        v.mask_top();
+        v
+    }
+
+    /// Sign-extend (two's complement) or truncate to a new width.
+    pub fn resize_sext(&self, width: u32) -> Self {
+        if width <= self.width || !self.sign_bit() {
+            return self.resize_zext(width);
+        }
+        let mut v = self.resize_zext(width);
+        for i in self.width..width {
+            v.set_bit(i, true);
+        }
+        v
+    }
+
+    /// FIRRTL `add`: result width `max(w_a, w_b) + 1`, never overflows.
+    pub fn add(&self, other: &Bv) -> Self {
+        let w = self.width.max(other.width) + 1;
+        let a = self.resize_zext(w);
+        let b = other.resize_zext(w);
+        a.add_raw(&b)
+    }
+
+    /// Signed FIRRTL `add` (operands sign-extended).
+    pub fn add_signed(&self, other: &Bv) -> Self {
+        let w = self.width.max(other.width) + 1;
+        let a = self.resize_sext(w);
+        let b = other.resize_sext(w);
+        a.add_raw(&b)
+    }
+
+    fn add_raw(&self, other: &Bv) -> Self {
+        debug_assert_eq!(self.width, other.width);
+        let mut v = self.clone();
+        let mut carry = 0u64;
+        for (w, o) in v.words.iter_mut().zip(other.words.iter()) {
+            let (s1, c1) = w.overflowing_add(*o);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *w = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        v.mask_top();
+        v
+    }
+
+    /// FIRRTL `sub`: result width `max(w_a, w_b) + 1` (two's complement).
+    pub fn sub(&self, other: &Bv) -> Self {
+        let w = self.width.max(other.width) + 1;
+        let a = self.resize_zext(w);
+        let b = other.resize_zext(w);
+        a.add_raw(&b.negate_wrapping())
+    }
+
+    /// Signed FIRRTL `sub`.
+    pub fn sub_signed(&self, other: &Bv) -> Self {
+        let w = self.width.max(other.width) + 1;
+        let a = self.resize_sext(w);
+        let b = other.resize_sext(w);
+        a.add_raw(&b.negate_wrapping())
+    }
+
+    /// FIRRTL `mul`: result width `w_a + w_b`.
+    pub fn mul(&self, other: &Bv) -> Self {
+        let w = self.width + other.width;
+        let mut out = Bv::zero(w);
+        for (i, &aw) in self.words.iter().enumerate() {
+            if aw == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for (j, &bw) in other.words.iter().enumerate() {
+                let k = i + j;
+                if k >= out.words.len() {
+                    break;
+                }
+                let p = (aw as u128) * (bw as u128) + (out.words[k] as u128) + carry;
+                out.words[k] = p as u64;
+                carry = p >> 64;
+            }
+            let mut k = i + other.words.len();
+            while carry > 0 && k < out.words.len() {
+                let p = (out.words[k] as u128) + carry;
+                out.words[k] = p as u64;
+                carry = p >> 64;
+                k += 1;
+            }
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Signed FIRRTL `mul` (two's complement operands).
+    pub fn mul_signed(&self, other: &Bv) -> Self {
+        let w = self.width + other.width;
+        let a_neg = self.sign_bit();
+        let b_neg = other.sign_bit();
+        let a = if a_neg { self.negate_wrapping() } else { self.clone() };
+        let b = if b_neg { other.negate_wrapping() } else { other.clone() };
+        let m = a.mul(&b);
+        if a_neg != b_neg {
+            m.negate_wrapping().resize_zext(w)
+        } else {
+            m
+        }
+    }
+
+    /// Unsigned division; division by zero yields zero (FIRRTL leaves it
+    /// undefined, Chisel simulators conventionally return 0).
+    pub fn div(&self, other: &Bv) -> Self {
+        self.divrem(other).0.resize_zext(self.width)
+    }
+
+    /// Unsigned remainder; remainder by zero yields zero.
+    pub fn rem(&self, other: &Bv) -> Self {
+        self.divrem(other).1.resize_zext(self.width.min(other.width).max(1))
+    }
+
+    fn divrem(&self, other: &Bv) -> (Bv, Bv) {
+        let w = self.width.max(1);
+        if other.is_zero() {
+            return (Bv::zero(w), Bv::zero(w));
+        }
+        if self.width <= 128 && other.width <= 128 {
+            let a = self.to_u128();
+            let b = other.to_u128();
+            return (Bv::from_u128(a / b, w), Bv::from_u128(a % b, w));
+        }
+        // Schoolbook restoring division over bits.
+        let mut quo = Bv::zero(w);
+        let mut rem = Bv::zero(w + 1);
+        let divisor = other.resize_zext(w + 1);
+        for i in (0..w).rev() {
+            rem = rem.shl_wrapping(1);
+            if self.bit(i) {
+                rem.words[0] |= 1;
+            }
+            if !rem.ult(&divisor) {
+                rem = rem.add_raw(&divisor.negate_wrapping());
+                quo.set_bit(i, true);
+            }
+        }
+        (quo, rem.resize_zext(w))
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(&self, other: &Bv) -> bool {
+        let w = self.width.max(other.width);
+        let a = self.resize_zext(w);
+        let b = other.resize_zext(w);
+        for i in (0..a.words.len()).rev() {
+            if a.words[i] != b.words[i] {
+                return a.words[i] < b.words[i];
+            }
+        }
+        false
+    }
+
+    /// Signed (two's complement) less-than.
+    pub fn slt(&self, other: &Bv) -> bool {
+        match (self.sign_bit(), other.sign_bit()) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => {
+                let w = self.width.max(other.width);
+                self.resize_sext(w).ult(&other.resize_sext(w))
+            }
+        }
+    }
+
+    /// Bitwise and; operands zero-extended to the max width.
+    pub fn and(&self, other: &Bv) -> Self {
+        self.bitwise(other, |a, b| a & b)
+    }
+
+    /// Bitwise or.
+    pub fn or(&self, other: &Bv) -> Self {
+        self.bitwise(other, |a, b| a | b)
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&self, other: &Bv) -> Self {
+        self.bitwise(other, |a, b| a ^ b)
+    }
+
+    fn bitwise(&self, other: &Bv, f: impl Fn(u64, u64) -> u64) -> Self {
+        let w = self.width.max(other.width);
+        let a = self.resize_zext(w);
+        let b = other.resize_zext(w);
+        let mut out = a;
+        for (x, y) in out.words.iter_mut().zip(b.words.iter()) {
+            *x = f(*x, *y);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Bitwise not at the same width.
+    pub fn not(&self) -> Self {
+        let mut v = self.clone();
+        for w in v.words.iter_mut() {
+            *w = !*w;
+        }
+        v.mask_top();
+        v
+    }
+
+    /// Reduction and/or/xor returning a single bit.
+    pub fn reduce_and(&self) -> bool {
+        *self == Bv::ones(self.width)
+    }
+
+    /// True if any bit is set.
+    pub fn reduce_or(&self) -> bool {
+        !self.is_zero()
+    }
+
+    /// Parity of the set bits.
+    pub fn reduce_xor(&self) -> bool {
+        self.words.iter().map(|w| w.count_ones()).sum::<u32>() % 2 == 1
+    }
+
+    /// Static left shift: width grows by `by`.
+    pub fn shl(&self, by: u32) -> Self {
+        let mut v = self.resize_zext(self.width + by);
+        v = v.shl_wrapping(by);
+        v
+    }
+
+    /// Static logical right shift: width shrinks by `by` (min 1).
+    pub fn shr(&self, by: u32) -> Self {
+        let new_w = self.width.saturating_sub(by).max(1);
+        let mut out = Bv::zero(new_w);
+        for i in 0..new_w {
+            if self.bit(i + by) {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Arithmetic static right shift for signed values.
+    pub fn shr_signed(&self, by: u32) -> Self {
+        let new_w = self.width.saturating_sub(by).max(1);
+        let sign = self.sign_bit();
+        let mut out = Bv::zero(new_w);
+        for i in 0..new_w {
+            let src = i + by;
+            let b = if src < self.width { self.bit(src) } else { sign };
+            if b {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Dynamic left shift by the value of `amount` (FIRRTL `dshl`): result
+    /// width `w + 2^amount_width - 1`, capped to keep memory bounded.
+    pub fn dshl(&self, amount: &Bv, result_width: u32) -> Self {
+        let shift = amount.to_u64().min(result_width as u64) as u32;
+        let mut v = self.resize_zext(result_width);
+        v = v.shl_wrapping(shift);
+        v
+    }
+
+    /// Dynamic logical right shift.
+    pub fn dshr(&self, amount: &Bv) -> Self {
+        let shift = amount.to_u64().min(self.width as u64) as u32;
+        let mut out = Bv::zero(self.width);
+        for i in 0..self.width.saturating_sub(shift) {
+            if self.bit(i + shift) {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Dynamic arithmetic right shift for signed values.
+    pub fn dshr_signed(&self, amount: &Bv) -> Self {
+        let shift = amount.to_u64().min(self.width as u64) as u32;
+        self.resize_sext(self.width + shift).shr_signed(shift).resize_zext(self.width)
+    }
+
+    /// Concatenation: `self` becomes the high bits.
+    pub fn cat(&self, low: &Bv) -> Self {
+        let w = self.width + low.width;
+        let mut out = low.resize_zext(w);
+        let hi = self.resize_zext(w).shl_wrapping(low.width);
+        for (o, h) in out.words.iter_mut().zip(hi.words.iter()) {
+            *o |= h;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Bit extraction `bits(hi, lo)` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo`.
+    pub fn bits(&self, hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "bits({hi}, {lo}) with hi < lo");
+        let w = hi - lo + 1;
+        let mut out = Bv::zero(w);
+        for i in 0..w {
+            if self.bit(lo + i) {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+impl fmt::Debug for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bv<{}>(", self.width)?;
+        fmt::LowerHex::fmt(self, f)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width <= 128 {
+            write!(f, "{}", self.to_u128())
+        } else {
+            write!(f, "0x")?;
+            fmt::LowerHex::fmt(self, f)
+        }
+    }
+}
+
+impl fmt::LowerHex for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut started = false;
+        for w in self.words.iter().rev() {
+            if started {
+                write!(f, "{w:016x}")?;
+            } else if *w != 0 || std::ptr::eq(w, &self.words[0]) {
+                write!(f, "{w:x}")?;
+                started = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width.max(1)).rev() {
+            write!(f, "{}", self.bit(i) as u8)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Bv {
+    fn default() -> Self {
+        Bv::zero(1)
+    }
+}
+
+impl From<bool> for Bv {
+    fn from(b: bool) -> Self {
+        Bv::bit_value(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_ones() {
+        assert!(Bv::zero(65).is_zero());
+        let o = Bv::ones(65);
+        assert_eq!(o.count_ones(), 65);
+        assert!(o.bit(64));
+        assert!(!o.bit(65));
+    }
+
+    #[test]
+    fn from_u64_masks() {
+        let v = Bv::from_u64(0xff, 4);
+        assert_eq!(v.to_u64(), 0xf);
+        assert_eq!(v.width(), 4);
+    }
+
+    #[test]
+    fn add_grows_width() {
+        let a = Bv::from_u64(u64::MAX, 64);
+        let b = Bv::from_u64(1, 64);
+        let s = a.add(&b);
+        assert_eq!(s.width(), 65);
+        assert!(s.bit(64));
+        assert_eq!(s.to_u64(), 0);
+    }
+
+    #[test]
+    fn sub_two_complement() {
+        let a = Bv::from_u64(3, 8);
+        let b = Bv::from_u64(5, 8);
+        let d = a.sub(&b);
+        assert_eq!(d.width(), 9);
+        assert_eq!(d.to_i64(), -2);
+    }
+
+    #[test]
+    fn mul_wide() {
+        let a = Bv::from_u64(u64::MAX, 64);
+        let m = a.mul(&a);
+        assert_eq!(m.width(), 128);
+        let expect = (u64::MAX as u128) * (u64::MAX as u128);
+        assert_eq!(m.to_u128(), expect);
+    }
+
+    #[test]
+    fn mul_signed_signs() {
+        let a = Bv::from_i64(-3, 8);
+        let b = Bv::from_i64(5, 8);
+        assert_eq!(a.mul_signed(&b).to_i64(), -15);
+        assert_eq!(a.mul_signed(&a).to_i64(), 9);
+    }
+
+    #[test]
+    fn div_rem_basic() {
+        let a = Bv::from_u64(17, 8);
+        let b = Bv::from_u64(5, 8);
+        assert_eq!(a.div(&b).to_u64(), 3);
+        assert_eq!(a.rem(&b).to_u64(), 2);
+    }
+
+    #[test]
+    fn div_by_zero_is_zero() {
+        let a = Bv::from_u64(17, 8);
+        assert_eq!(a.div(&Bv::zero(8)).to_u64(), 0);
+        assert_eq!(a.rem(&Bv::zero(8)).to_u64(), 0);
+    }
+
+    #[test]
+    fn wide_divrem_matches_u128() {
+        // exercise the >128-bit long-division path against a 128-bit oracle
+        let a = Bv::from_u128(0x1234_5678_9abc_def0_1111_2222, 140);
+        let b = Bv::from_u128(0xabcdef, 140);
+        let (q, r) = a.divrem(&b);
+        assert_eq!(q.to_u128(), 0x1234_5678_9abc_def0_1111_2222u128 / 0xabcdef);
+        assert_eq!(r.to_u128(), 0x1234_5678_9abc_def0_1111_2222u128 % 0xabcdef);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = Bv::from_u64(3, 4);
+        let b = Bv::from_u64(12, 4);
+        assert!(a.ult(&b));
+        assert!(!b.ult(&a));
+        // 12 as signed 4-bit is -4
+        assert!(b.slt(&a));
+    }
+
+    #[test]
+    fn cat_and_bits_roundtrip() {
+        let hi = Bv::from_u64(0b101, 3);
+        let lo = Bv::from_u64(0b0011, 4);
+        let c = hi.cat(&lo);
+        assert_eq!(c.width(), 7);
+        assert_eq!(c.to_u64(), 0b1010011);
+        assert_eq!(c.bits(6, 4), hi);
+        assert_eq!(c.bits(3, 0), lo);
+    }
+
+    #[test]
+    fn shifts() {
+        let v = Bv::from_u64(0b1011, 4);
+        assert_eq!(v.shl(2).to_u64(), 0b101100);
+        assert_eq!(v.shl(2).width(), 6);
+        assert_eq!(v.shr(1).to_u64(), 0b101);
+        assert_eq!(v.shr(1).width(), 3);
+        assert_eq!(v.shr(10).width(), 1);
+        assert_eq!(v.shr(10).to_u64(), 0);
+    }
+
+    #[test]
+    fn arithmetic_shift() {
+        let v = Bv::from_i64(-4, 4); // 0b1100
+        assert_eq!(v.shr_signed(1).to_i64(), -2);
+        assert_eq!(v.dshr_signed(&Bv::from_u64(1, 2)).to_u64(), 0b1110);
+    }
+
+    #[test]
+    fn dynamic_shifts() {
+        let v = Bv::from_u64(0b1011, 4);
+        assert_eq!(v.dshl(&Bv::from_u64(2, 2), 7).to_u64(), 0b101100);
+        assert_eq!(v.dshr(&Bv::from_u64(2, 2)).to_u64(), 0b10);
+        // shift amount larger than the width drains to zero
+        assert_eq!(v.dshr(&Bv::from_u64(3, 8).mul(&Bv::from_u64(100, 8))).to_u64(), 0);
+    }
+
+    #[test]
+    fn sign_extension() {
+        let v = Bv::from_u64(0b110, 3);
+        assert_eq!(v.resize_sext(6).to_u64(), 0b111110);
+        assert_eq!(v.resize_zext(6).to_u64(), 0b000110);
+        assert_eq!(v.to_i64(), -2);
+    }
+
+    #[test]
+    fn reductions() {
+        assert!(Bv::ones(70).reduce_and());
+        assert!(!Bv::zero(70).reduce_or());
+        assert!(Bv::from_u64(0b100, 3).reduce_xor());
+        assert!(!Bv::from_u64(0b110, 3).reduce_xor());
+    }
+
+    #[test]
+    fn decimal_parse() {
+        let v = Bv::from_decimal("340282366920938463463374607431768211455", 128).unwrap();
+        assert_eq!(v, Bv::ones(128));
+        assert!(Bv::from_decimal("12x", 8).is_none());
+        assert_eq!(Bv::from_decimal("-1", 4).unwrap().to_u64(), 0xf);
+    }
+
+    #[test]
+    fn radix_parse() {
+        assert_eq!(Bv::from_radix_str("hff", 8).unwrap().to_u64(), 0xff);
+        assert_eq!(Bv::from_radix_str("b101", 3).unwrap().to_u64(), 5);
+        assert_eq!(Bv::from_radix_str("o17", 4).unwrap().to_u64(), 0o17);
+        assert_eq!(Bv::from_radix_str("42", 8).unwrap().to_u64(), 42);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Bv::from_u64(0b1010, 4);
+        assert_eq!(format!("{v}"), "10");
+        assert_eq!(format!("{v:b}"), "1010");
+        assert_eq!(format!("{v:x}"), "a");
+    }
+
+    #[test]
+    fn width_zero_is_tolerated() {
+        let v = Bv::zero(0);
+        assert!(v.is_zero());
+        assert_eq!(v.resize_zext(4).to_u64(), 0);
+    }
+}

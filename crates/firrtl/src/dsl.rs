@@ -1,0 +1,265 @@
+//! Expression-building sugar: Chisel-like operators on [`Expr`].
+//!
+//! All methods follow FIRRTL width rules (`add` grows by one bit, `mul`
+//! sums widths, ...). The `*w` variants wrap back to the width of `self`,
+//! which is what register update logic almost always wants.
+
+use crate::ir::{Expr, PrimOp};
+
+/// Fluent operations on expressions.
+pub trait ExprExt: Sized + Clone {
+    /// Wrap into the underlying expression type.
+    fn expr(&self) -> Expr;
+
+    /// FIRRTL `add` (width grows by one).
+    fn add(&self, other: &Self) -> Expr;
+    /// Same-width wrapping add: `tail(add(a, b), 1)`.
+    fn addw(&self, other: &Self) -> Expr;
+    /// FIRRTL `sub`.
+    fn sub(&self, other: &Self) -> Expr;
+    /// Same-width wrapping subtract.
+    fn subw(&self, other: &Self) -> Expr;
+    /// FIRRTL `mul`.
+    fn mul(&self, other: &Self) -> Expr;
+    /// FIRRTL `div`.
+    fn div(&self, other: &Self) -> Expr;
+    /// FIRRTL `rem`.
+    fn rem(&self, other: &Self) -> Expr;
+    /// Equality (1 bit).
+    fn eq_(&self, other: &Self) -> Expr;
+    /// Inequality.
+    fn neq(&self, other: &Self) -> Expr;
+    /// Unsigned/signed less-than.
+    fn lt(&self, other: &Self) -> Expr;
+    /// Less-or-equal.
+    fn leq(&self, other: &Self) -> Expr;
+    /// Greater-than.
+    fn gt(&self, other: &Self) -> Expr;
+    /// Greater-or-equal.
+    fn geq(&self, other: &Self) -> Expr;
+    /// Bitwise and.
+    fn and(&self, other: &Self) -> Expr;
+    /// Bitwise or.
+    fn or(&self, other: &Self) -> Expr;
+    /// Bitwise xor.
+    fn xor(&self, other: &Self) -> Expr;
+    /// Bitwise not.
+    fn not_(&self) -> Expr;
+    /// Reduction or (any bit set).
+    fn orr(&self) -> Expr;
+    /// Reduction and.
+    fn andr(&self) -> Expr;
+    /// Reduction xor.
+    fn xorr(&self) -> Expr;
+    /// Bit slice, `hi` and `lo` inclusive.
+    fn bits(&self, hi: u32, lo: u32) -> Expr;
+    /// Single-bit extraction.
+    fn bit(&self, i: u32) -> Expr;
+    /// Concatenation with `self` as high bits.
+    fn cat(&self, low: &Self) -> Expr;
+    /// Zero/sign extend to at least `n` bits.
+    fn pad(&self, n: u32) -> Expr;
+    /// Static left shift.
+    fn shl(&self, n: u32) -> Expr;
+    /// Static right shift.
+    fn shr(&self, n: u32) -> Expr;
+    /// Drop the `n` most-significant bits.
+    fn tail(&self, n: u32) -> Expr;
+    /// Dynamic left shift.
+    fn dshl(&self, amount: &Self) -> Expr;
+    /// Dynamic right shift.
+    fn dshr(&self, amount: &Self) -> Expr;
+    /// 2:1 mux with `self` as the condition.
+    fn mux(&self, tval: &Self, fval: &Self) -> Expr;
+    /// Bundle field access.
+    fn field(&self, name: &str) -> Expr;
+    /// Vector element access.
+    fn idx(&self, i: usize) -> Expr;
+    /// Reinterpret as signed.
+    fn as_sint(&self) -> Expr;
+    /// Reinterpret as unsigned.
+    fn as_uint(&self) -> Expr;
+}
+
+fn bin(op: PrimOp, a: &Expr, b: &Expr) -> Expr {
+    Expr::prim(op, vec![a.clone(), b.clone()], vec![])
+}
+
+fn un(op: PrimOp, a: &Expr, consts: Vec<u64>) -> Expr {
+    Expr::prim(op, vec![a.clone()], consts)
+}
+
+impl ExprExt for Expr {
+    fn expr(&self) -> Expr {
+        self.clone()
+    }
+
+    fn add(&self, other: &Self) -> Expr {
+        bin(PrimOp::Add, self, other)
+    }
+
+    fn addw(&self, other: &Self) -> Expr {
+        un(PrimOp::Tail, &bin(PrimOp::Add, self, other), vec![1])
+    }
+
+    fn sub(&self, other: &Self) -> Expr {
+        bin(PrimOp::Sub, self, other)
+    }
+
+    fn subw(&self, other: &Self) -> Expr {
+        un(PrimOp::Tail, &bin(PrimOp::Sub, self, other), vec![1])
+    }
+
+    fn mul(&self, other: &Self) -> Expr {
+        bin(PrimOp::Mul, self, other)
+    }
+
+    fn div(&self, other: &Self) -> Expr {
+        bin(PrimOp::Div, self, other)
+    }
+
+    fn rem(&self, other: &Self) -> Expr {
+        bin(PrimOp::Rem, self, other)
+    }
+
+    fn eq_(&self, other: &Self) -> Expr {
+        bin(PrimOp::Eq, self, other)
+    }
+
+    fn neq(&self, other: &Self) -> Expr {
+        bin(PrimOp::Neq, self, other)
+    }
+
+    fn lt(&self, other: &Self) -> Expr {
+        bin(PrimOp::Lt, self, other)
+    }
+
+    fn leq(&self, other: &Self) -> Expr {
+        bin(PrimOp::Leq, self, other)
+    }
+
+    fn gt(&self, other: &Self) -> Expr {
+        bin(PrimOp::Gt, self, other)
+    }
+
+    fn geq(&self, other: &Self) -> Expr {
+        bin(PrimOp::Geq, self, other)
+    }
+
+    fn and(&self, other: &Self) -> Expr {
+        bin(PrimOp::And, self, other)
+    }
+
+    fn or(&self, other: &Self) -> Expr {
+        bin(PrimOp::Or, self, other)
+    }
+
+    fn xor(&self, other: &Self) -> Expr {
+        bin(PrimOp::Xor, self, other)
+    }
+
+    fn not_(&self) -> Expr {
+        un(PrimOp::Not, self, vec![])
+    }
+
+    fn orr(&self) -> Expr {
+        un(PrimOp::Orr, self, vec![])
+    }
+
+    fn andr(&self) -> Expr {
+        un(PrimOp::Andr, self, vec![])
+    }
+
+    fn xorr(&self) -> Expr {
+        un(PrimOp::Xorr, self, vec![])
+    }
+
+    fn bits(&self, hi: u32, lo: u32) -> Expr {
+        un(PrimOp::Bits, self, vec![hi as u64, lo as u64])
+    }
+
+    fn bit(&self, i: u32) -> Expr {
+        self.bits(i, i)
+    }
+
+    fn cat(&self, low: &Self) -> Expr {
+        bin(PrimOp::Cat, self, low)
+    }
+
+    fn pad(&self, n: u32) -> Expr {
+        un(PrimOp::Pad, self, vec![n as u64])
+    }
+
+    fn shl(&self, n: u32) -> Expr {
+        un(PrimOp::Shl, self, vec![n as u64])
+    }
+
+    fn shr(&self, n: u32) -> Expr {
+        un(PrimOp::Shr, self, vec![n as u64])
+    }
+
+    fn tail(&self, n: u32) -> Expr {
+        un(PrimOp::Tail, self, vec![n as u64])
+    }
+
+    fn dshl(&self, amount: &Self) -> Expr {
+        bin(PrimOp::Dshl, self, amount)
+    }
+
+    fn dshr(&self, amount: &Self) -> Expr {
+        bin(PrimOp::Dshr, self, amount)
+    }
+
+    fn mux(&self, tval: &Self, fval: &Self) -> Expr {
+        Expr::mux(self.clone(), tval.clone(), fval.clone())
+    }
+
+    fn field(&self, name: &str) -> Expr {
+        Expr::SubField(Box::new(self.clone()), name.to_string())
+    }
+
+    fn idx(&self, i: usize) -> Expr {
+        Expr::SubIndex(Box::new(self.clone()), i)
+    }
+
+    fn as_sint(&self) -> Expr {
+        un(PrimOp::AsSInt, self, vec![])
+    }
+
+    fn as_uint(&self) -> Expr {
+        un(PrimOp::AsUInt, self, vec![])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::const_fold;
+
+    #[test]
+    fn addw_wraps() {
+        let e = Expr::u(255, 8).addw(&Expr::u(1, 8));
+        let v = const_fold(&e).unwrap();
+        assert_eq!(v.bits.width(), 8);
+        assert_eq!(v.bits.to_u64(), 0);
+    }
+
+    #[test]
+    fn subw_wraps() {
+        let e = Expr::u(0, 8).subw(&Expr::u(1, 8));
+        let v = const_fold(&e).unwrap();
+        assert_eq!(v.bits.to_u64(), 255);
+    }
+
+    #[test]
+    fn bit_extract() {
+        let e = Expr::u(0b100, 3).bit(2);
+        assert_eq!(const_fold(&e).unwrap().bits.to_u64(), 1);
+    }
+
+    #[test]
+    fn fluent_chain() {
+        let e = Expr::u(0b1100, 4).and(&Expr::u(0b1010, 4)).orr();
+        assert!(const_fold(&e).unwrap().is_true());
+    }
+}

@@ -1,0 +1,417 @@
+//! Pure evaluation of FIRRTL expressions over [`Bv`] values.
+//!
+//! Used by the constant-propagation pass, the FSM next-state analysis and
+//! the tree-walking interpreter. Signedness is tracked alongside the bit
+//! pattern so signed comparison/arithmetic rules apply without a type
+//! environment.
+
+use crate::bv::Bv;
+use crate::ir::{Expr, PrimOp};
+use std::fmt;
+
+/// A runtime value: a bit pattern plus its signedness interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Value {
+    /// The bits.
+    pub bits: Bv,
+    /// True when the value is an `SInt`.
+    pub signed: bool,
+}
+
+impl Value {
+    /// An unsigned value.
+    pub fn uint(bits: Bv) -> Self {
+        Value { bits, signed: false }
+    }
+
+    /// A signed value.
+    pub fn sint(bits: Bv) -> Self {
+        Value { bits, signed: true }
+    }
+
+    /// Convenience constructor from a `u64`.
+    pub fn from_u64(v: u64, width: u32) -> Self {
+        Value::uint(Bv::from_u64(v, width))
+    }
+
+    /// 1-bit boolean value.
+    pub fn bool_value(b: bool) -> Self {
+        Value::uint(Bv::bit_value(b))
+    }
+
+    /// True if any bit is set (condition semantics).
+    pub fn is_true(&self) -> bool {
+        !self.bits.is_zero()
+    }
+
+    /// Resize, extending according to signedness.
+    pub fn extend_to(&self, width: u32) -> Bv {
+        if self.signed {
+            self.bits.resize_sext(width)
+        } else {
+            self.bits.resize_zext(width)
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.signed {
+            write!(f, "SInt<{}>({})", self.bits.width(), self.bits.to_i64())
+        } else {
+            write!(f, "UInt<{}>({})", self.bits.width(), self.bits)
+        }
+    }
+}
+
+/// Error produced during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "eval error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluate `expr`, resolving references through `lookup`.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when a reference cannot be resolved (including any
+/// `SubField`/`SubIndex` whose flattened name `lookup` does not know).
+pub fn eval(
+    expr: &Expr,
+    lookup: &dyn Fn(&str) -> Option<Value>,
+) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Ref(name) => {
+            lookup(name).ok_or_else(|| EvalError(format!("unresolved reference `{name}`")))
+        }
+        Expr::SubField(..) | Expr::SubIndex(..) => {
+            let name = expr
+                .flat_name()
+                .ok_or_else(|| EvalError("non-static reference chain".into()))?;
+            lookup(&name).ok_or_else(|| EvalError(format!("unresolved reference `{name}`")))
+        }
+        Expr::UIntLit(v) => Ok(Value::uint(v.clone())),
+        Expr::SIntLit(v) => Ok(Value::sint(v.clone())),
+        Expr::Mux(c, t, e) => {
+            let cond = eval(c, lookup)?;
+            let tv = eval(t, lookup)?;
+            let ev = eval(e, lookup)?;
+            let w = tv.bits.width().max(ev.bits.width());
+            let signed = tv.signed && ev.signed;
+            let pick = if cond.is_true() { tv } else { ev };
+            Ok(Value { bits: pick.extend_to(w), signed })
+        }
+        Expr::ValidIf(c, v) => {
+            let cond = eval(c, lookup)?;
+            let val = eval(v, lookup)?;
+            if cond.is_true() {
+                Ok(val)
+            } else {
+                // Chisel semantics: invalid reads as zero, no X propagation.
+                Ok(Value { bits: Bv::zero(val.bits.width()), signed: val.signed })
+            }
+        }
+        Expr::Prim { op, args, consts } => {
+            let vals: Vec<Value> =
+                args.iter().map(|a| eval(a, lookup)).collect::<Result<_, _>>()?;
+            Ok(eval_prim(*op, &vals, consts))
+        }
+    }
+}
+
+/// Apply a primitive op to already-evaluated operands.
+pub fn eval_prim(op: PrimOp, vals: &[Value], consts: &[u64]) -> Value {
+    let a = &vals[0];
+    let c = |i: usize| consts[i] as u32;
+    match op {
+        PrimOp::Add => {
+            let b = &vals[1];
+            if a.signed || b.signed {
+                // each operand extends per its own signedness (two's
+                // complement addition wraps correctly at w bits)
+                let w = a.bits.width().max(b.bits.width()) + 1;
+                let sum = a.extend_to(w).add(&b.extend_to(w));
+                Value::sint(sum.bits(w - 1, 0))
+            } else {
+                Value::uint(a.bits.add(&b.bits))
+            }
+        }
+        PrimOp::Sub => {
+            let b = &vals[1];
+            if a.signed || b.signed {
+                let w = a.bits.width().max(b.bits.width()) + 1;
+                let diff = a.extend_to(w).sub(&b.extend_to(w));
+                Value::sint(diff.bits(w - 1, 0))
+            } else {
+                // FIRRTL UInt sub yields a UInt (wrapping at w+1 bits).
+                Value::uint(a.bits.sub(&b.bits))
+            }
+        }
+        PrimOp::Mul => {
+            let b = &vals[1];
+            if a.signed || b.signed {
+                let w = a.bits.width() + b.bits.width();
+                let prod = a.extend_to(w).mul(&b.extend_to(w));
+                Value::sint(prod.bits(w - 1, 0))
+            } else {
+                Value::uint(a.bits.mul(&b.bits))
+            }
+        }
+        PrimOp::Div => {
+            let b = &vals[1];
+            if a.signed {
+                let w = a.bits.width() + 1;
+                let (an, bn) = (a.bits.sign_bit(), b.bits.sign_bit());
+                let au = if an { neg(&a.bits) } else { a.bits.clone() };
+                let bu = if bn { neg(&b.bits) } else { b.bits.clone() };
+                let q = au.div(&bu).resize_zext(w);
+                Value::sint(if an != bn { neg(&q) } else { q })
+            } else {
+                Value::uint(a.bits.div(&b.bits))
+            }
+        }
+        PrimOp::Rem => {
+            let b = &vals[1];
+            if a.signed {
+                let w = a.bits.width().min(b.bits.width()).max(1);
+                let an = a.bits.sign_bit();
+                let au = if an { neg(&a.bits) } else { a.bits.clone() };
+                let bu = if b.bits.sign_bit() { neg(&b.bits) } else { b.bits.clone() };
+                let r = au.rem(&bu).resize_zext(w);
+                Value::sint(if an { neg(&r) } else { r })
+            } else {
+                Value::uint(a.bits.rem(&b.bits))
+            }
+        }
+        PrimOp::Lt => cmp(vals, |o| o == std::cmp::Ordering::Less),
+        PrimOp::Leq => cmp(vals, |o| o != std::cmp::Ordering::Greater),
+        PrimOp::Gt => cmp(vals, |o| o == std::cmp::Ordering::Greater),
+        PrimOp::Geq => cmp(vals, |o| o != std::cmp::Ordering::Less),
+        PrimOp::Eq => {
+            let w = vals[0].bits.width().max(vals[1].bits.width());
+            Value::bool_value(vals[0].extend_to(w) == vals[1].extend_to(w))
+        }
+        PrimOp::Neq => {
+            let w = vals[0].bits.width().max(vals[1].bits.width());
+            Value::bool_value(vals[0].extend_to(w) != vals[1].extend_to(w))
+        }
+        PrimOp::And => bitwise(vals, Bv::and),
+        PrimOp::Or => bitwise(vals, Bv::or),
+        PrimOp::Xor => bitwise(vals, Bv::xor),
+        PrimOp::Not => Value::uint(a.bits.not()),
+        PrimOp::Neg => {
+            let w = a.bits.width() + 1;
+            let ext = a.extend_to(w);
+            Value::sint(neg(&ext))
+        }
+        PrimOp::Andr => Value::bool_value(a.bits.reduce_and()),
+        PrimOp::Orr => Value::bool_value(a.bits.reduce_or()),
+        PrimOp::Xorr => Value::bool_value(a.bits.reduce_xor()),
+        PrimOp::Pad => {
+            let w = a.bits.width().max(c(0));
+            Value { bits: a.extend_to(w), signed: a.signed }
+        }
+        PrimOp::Shl => Value { bits: a.bits.shl(c(0)), signed: a.signed },
+        PrimOp::Shr => {
+            let bits = if a.signed { a.bits.shr_signed(c(0)) } else { a.bits.shr(c(0)) };
+            Value { bits, signed: a.signed }
+        }
+        PrimOp::Dshl => {
+            let b = &vals[1];
+            let amt_w = b.bits.width();
+            let grow = if amt_w >= 17 { 1 << 16 } else { (1u32 << amt_w) - 1 };
+            let w = (a.bits.width() + grow).min(1 << 16);
+            Value { bits: a.bits.dshl(&b.bits, w), signed: a.signed }
+        }
+        PrimOp::Dshr => {
+            let b = &vals[1];
+            let bits = if a.signed { a.bits.dshr_signed(&b.bits) } else { a.bits.dshr(&b.bits) };
+            Value { bits, signed: a.signed }
+        }
+        PrimOp::Cat => Value::uint(a.bits.cat(&vals[1].bits)),
+        PrimOp::Bits => Value::uint(a.bits.bits(c(0), c(1))),
+        PrimOp::Head => {
+            let n = c(0).max(1);
+            let w = a.bits.width();
+            Value::uint(a.bits.bits(w - 1, w - n))
+        }
+        PrimOp::Tail => {
+            let n = c(0);
+            let w = a.bits.width();
+            if n >= w {
+                Value::uint(Bv::zero(1))
+            } else {
+                Value::uint(a.bits.bits(w - n - 1, 0))
+            }
+        }
+        PrimOp::AsUInt | PrimOp::AsClock => Value::uint(a.bits.clone()),
+        PrimOp::AsSInt => Value::sint(a.bits.clone()),
+        PrimOp::Cvt => {
+            if a.signed {
+                Value::sint(a.bits.clone())
+            } else {
+                Value::sint(a.bits.resize_zext(a.bits.width() + 1))
+            }
+        }
+    }
+}
+
+fn neg(v: &Bv) -> Bv {
+    Bv::zero(v.width()).sub(v).resize_zext(v.width())
+}
+
+fn cmp(vals: &[Value], f: impl Fn(std::cmp::Ordering) -> bool) -> Value {
+    use std::cmp::Ordering;
+    let (a, b) = (&vals[0], &vals[1]);
+    let signed = a.signed || b.signed;
+    let w = a.bits.width().max(b.bits.width());
+    // each operand extends per its own signedness; the comparison is then
+    // two's complement when either operand is signed
+    let (x, y) = (a.extend_to(w), b.extend_to(w));
+    let ord = if signed {
+        if x.slt(&y) {
+            Ordering::Less
+        } else if y.slt(&x) {
+            Ordering::Greater
+        } else {
+            Ordering::Equal
+        }
+    } else if x.ult(&y) {
+        Ordering::Less
+    } else if y.ult(&x) {
+        Ordering::Greater
+    } else {
+        Ordering::Equal
+    };
+    Value::bool_value(f(ord))
+}
+
+fn bitwise(vals: &[Value], f: impl Fn(&Bv, &Bv) -> Bv) -> Value {
+    let w = vals[0].bits.width().max(vals[1].bits.width());
+    Value::uint(f(&vals[0].extend_to(w), &vals[1].extend_to(w)))
+}
+
+/// Try to fold an expression into a literal: succeeds only when all leaves
+/// are literals.
+pub fn const_fold(expr: &Expr) -> Option<Value> {
+    eval(expr, &|_| None).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Expr;
+
+    fn e(expr: &Expr) -> Value {
+        const_fold(expr).unwrap()
+    }
+
+    #[test]
+    fn fold_add() {
+        let x = Expr::prim(PrimOp::Add, vec![Expr::u(200, 8), Expr::u(100, 8)], vec![]);
+        let v = e(&x);
+        assert_eq!(v.bits.to_u64(), 300);
+        assert_eq!(v.bits.width(), 9);
+    }
+
+    #[test]
+    fn signed_compare() {
+        let a = Expr::SIntLit(Bv::from_i64(-3, 4));
+        let b = Expr::SIntLit(Bv::from_i64(2, 4));
+        let lt = Expr::prim(PrimOp::Lt, vec![a.clone(), b.clone()], vec![]);
+        assert!(e(&lt).is_true());
+        let gt = Expr::prim(PrimOp::Gt, vec![a, b], vec![]);
+        assert!(!e(&gt).is_true());
+    }
+
+    #[test]
+    fn unsigned_compare_mixed_widths() {
+        let lt = Expr::prim(PrimOp::Lt, vec![Expr::u(3, 2), Expr::u(200, 8)], vec![]);
+        assert!(e(&lt).is_true());
+    }
+
+    #[test]
+    fn signed_div_rem() {
+        let a = Expr::SIntLit(Bv::from_i64(-7, 8));
+        let b = Expr::SIntLit(Bv::from_i64(2, 8));
+        let d = Expr::prim(PrimOp::Div, vec![a.clone(), b.clone()], vec![]);
+        assert_eq!(e(&d).bits.to_i64(), -3);
+        let r = Expr::prim(PrimOp::Rem, vec![a, b], vec![]);
+        assert_eq!(e(&r).bits.to_i64(), -1);
+    }
+
+    #[test]
+    fn mux_width_alignment() {
+        let m = Expr::mux(Expr::one(), Expr::u(3, 2), Expr::u(200, 8));
+        let v = e(&m);
+        assert_eq!(v.bits.width(), 8);
+        assert_eq!(v.bits.to_u64(), 3);
+    }
+
+    #[test]
+    fn validif_invalid_reads_zero() {
+        let v = Expr::ValidIf(Box::new(Expr::zero_bit()), Box::new(Expr::u(42, 8)));
+        assert_eq!(e(&v).bits.to_u64(), 0);
+        let v = Expr::ValidIf(Box::new(Expr::one()), Box::new(Expr::u(42, 8)));
+        assert_eq!(e(&v).bits.to_u64(), 42);
+    }
+
+    #[test]
+    fn head_tail() {
+        let x = Expr::u(0b1101_0011, 8);
+        assert_eq!(e(&Expr::prim(PrimOp::Head, vec![x.clone()], vec![4])).bits.to_u64(), 0b1101);
+        assert_eq!(e(&Expr::prim(PrimOp::Tail, vec![x], vec![4])).bits.to_u64(), 0b0011);
+    }
+
+    #[test]
+    fn neg_and_cvt() {
+        let x = Expr::u(5, 4);
+        let n = e(&Expr::prim(PrimOp::Neg, vec![x.clone()], vec![]));
+        assert!(n.signed);
+        assert_eq!(n.bits.to_i64(), -5);
+        let c = e(&Expr::prim(PrimOp::Cvt, vec![x], vec![]));
+        assert_eq!(c.bits.width(), 5);
+        assert_eq!(c.bits.to_i64(), 5);
+    }
+
+    #[test]
+    fn fold_fails_on_refs() {
+        assert!(const_fold(&Expr::r("x")).is_none());
+        let partial = Expr::prim(PrimOp::Add, vec![Expr::u(1, 4), Expr::r("x")], vec![]);
+        assert!(const_fold(&partial).is_none());
+    }
+
+    #[test]
+    fn eval_with_lookup() {
+        let lookup = |name: &str| -> Option<Value> {
+            (name == "x").then(|| Value::from_u64(7, 4))
+        };
+        let expr = Expr::prim(PrimOp::Add, vec![Expr::r("x"), Expr::u(1, 4)], vec![]);
+        assert_eq!(eval(&expr, &lookup).unwrap().bits.to_u64(), 8);
+        assert!(eval(&Expr::r("y"), &lookup).is_err());
+    }
+
+    #[test]
+    fn subfield_resolves_via_flat_name() {
+        let lookup = |name: &str| -> Option<Value> {
+            (name == "io_valid").then(|| Value::bool_value(true))
+        };
+        let expr = Expr::SubField(Box::new(Expr::r("io")), "valid".into());
+        assert!(eval(&expr, &lookup).unwrap().is_true());
+    }
+
+    #[test]
+    fn shift_semantics() {
+        let x = Expr::u(0b1010, 4);
+        assert_eq!(e(&Expr::prim(PrimOp::Shl, vec![x.clone()], vec![2])).bits.to_u64(), 0b101000);
+        assert_eq!(e(&Expr::prim(PrimOp::Shr, vec![x.clone()], vec![1])).bits.to_u64(), 0b101);
+        let amt = Expr::u(2, 2);
+        assert_eq!(e(&Expr::prim(PrimOp::Dshr, vec![x, amt], vec![])).bits.to_u64(), 0b10);
+    }
+}

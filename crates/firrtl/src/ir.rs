@@ -1,0 +1,928 @@
+//! The FIRRTL-subset intermediate representation.
+//!
+//! This models the slice of FIRRTL that Chisel designs exercise and that the
+//! paper's coverage passes operate on: ground and aggregate types, `when`
+//! blocks, registers with synchronous reset, combinational-read /
+//! synchronous-write memories, module instances — plus the paper's one new
+//! primitive, the [`Stmt::Cover`] statement, and the §6 extension
+//! [`Stmt::CoverValues`].
+
+use crate::bv::Bv;
+use std::fmt;
+use std::sync::Arc;
+
+/// A source locator (`@[file line:col]` in the textual format).
+///
+/// Line-coverage metadata is built from these, exactly as the Chisel
+/// front-end supplies them to the FIRRTL compiler.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Info {
+    /// Source file name, shared to keep the AST small.
+    pub file: Option<Arc<str>>,
+    /// 1-based line number; 0 when unknown.
+    pub line: u32,
+    /// 1-based column; 0 when unknown.
+    pub col: u32,
+}
+
+impl Info {
+    /// A locator pointing at `file:line`.
+    pub fn new(file: impl Into<Arc<str>>, line: u32, col: u32) -> Self {
+        Info { file: Some(file.into()), line, col }
+    }
+
+    /// The "no information" locator.
+    pub fn none() -> Self {
+        Info::default()
+    }
+
+    /// True if this locator carries a file and line.
+    pub fn is_known(&self) -> bool {
+        self.file.is_some() && self.line > 0
+    }
+}
+
+impl fmt::Display for Info {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.file {
+            Some(file) => write!(f, " @[{} {}:{}]", file, self.line, self.col),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Direction of a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Driven by the environment.
+    Input,
+    /// Driven by the module.
+    Output,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Self {
+        match self {
+            Direction::Input => Direction::Output,
+            Direction::Output => Direction::Input,
+        }
+    }
+}
+
+/// A field of a bundle type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// True for `flip` fields (reversed data-flow, e.g. `ready`).
+    pub flip: bool,
+    /// Field type.
+    pub ty: Type,
+}
+
+/// A FIRRTL type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Clock signal.
+    Clock,
+    /// Synchronous reset (1-bit).
+    Reset,
+    /// Unsigned integer; `None` width means "infer".
+    UInt(Option<u32>),
+    /// Signed integer; `None` width means "infer".
+    SInt(Option<u32>),
+    /// Record of named, possibly flipped fields.
+    Bundle(Vec<Field>),
+    /// Homogeneous vector.
+    Vector(Box<Type>, usize),
+}
+
+impl Type {
+    /// Shorthand for `UInt` of a known width.
+    pub fn uint(width: u32) -> Self {
+        Type::UInt(Some(width))
+    }
+
+    /// Shorthand for `SInt` of a known width.
+    pub fn sint(width: u32) -> Self {
+        Type::SInt(Some(width))
+    }
+
+    /// A single bit.
+    pub fn bool() -> Self {
+        Type::UInt(Some(1))
+    }
+
+    /// True for clock/reset/uint/sint (non-aggregate) types.
+    pub fn is_ground(&self) -> bool {
+        !matches!(self, Type::Bundle(_) | Type::Vector(..))
+    }
+
+    /// True if this is a signed integer type.
+    pub fn is_signed(&self) -> bool {
+        matches!(self, Type::SInt(_))
+    }
+
+    /// The width of a ground type, if known. Clock and reset are 1 bit wide.
+    pub fn width(&self) -> Option<u32> {
+        match self {
+            Type::Clock | Type::Reset => Some(1),
+            Type::UInt(w) | Type::SInt(w) => *w,
+            _ => None,
+        }
+    }
+
+    /// Replace the width of a ground int type.
+    pub fn with_width(&self, w: u32) -> Type {
+        match self {
+            Type::UInt(_) => Type::UInt(Some(w)),
+            Type::SInt(_) => Type::SInt(Some(w)),
+            other => other.clone(),
+        }
+    }
+
+    /// Total bit count of the flattened type, if all widths are known.
+    pub fn total_width(&self) -> Option<u32> {
+        match self {
+            Type::Bundle(fields) => {
+                let mut sum = 0;
+                for f in fields {
+                    sum += f.ty.total_width()?;
+                }
+                Some(sum)
+            }
+            Type::Vector(ty, n) => Some(ty.total_width()? * *n as u32),
+            other => other.width(),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Clock => write!(f, "Clock"),
+            Type::Reset => write!(f, "Reset"),
+            Type::UInt(Some(w)) => write!(f, "UInt<{w}>"),
+            Type::UInt(None) => write!(f, "UInt"),
+            Type::SInt(Some(w)) => write!(f, "SInt<{w}>"),
+            Type::SInt(None) => write!(f, "SInt"),
+            Type::Bundle(fields) => {
+                write!(f, "{{ ")?;
+                for (i, field) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if field.flip {
+                        write!(f, "flip ")?;
+                    }
+                    write!(f, "{} : {}", field.name, field.ty)?;
+                }
+                write!(f, " }}")
+            }
+            Type::Vector(ty, n) => write!(f, "{ty}[{n}]"),
+        }
+    }
+}
+
+/// FIRRTL primitive operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    /// Addition (`max(w) + 1` result).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (`wa + wb` result).
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Rem,
+    /// Unsigned/signed less-than (1-bit).
+    Lt,
+    /// Less-or-equal.
+    Leq,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Geq,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Neq,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise not.
+    Not,
+    /// Arithmetic negation (`w + 1` signed result).
+    Neg,
+    /// Reduction and (1-bit).
+    Andr,
+    /// Reduction or.
+    Orr,
+    /// Reduction xor.
+    Xorr,
+    /// Zero/sign extend to at least `n` bits (const arg).
+    Pad,
+    /// Static left shift (const arg).
+    Shl,
+    /// Static right shift (const arg).
+    Shr,
+    /// Dynamic left shift.
+    Dshl,
+    /// Dynamic right shift.
+    Dshr,
+    /// Concatenation.
+    Cat,
+    /// Bit slice `bits(e, hi, lo)` (two const args).
+    Bits,
+    /// `head(e, n)`: the `n` most significant bits.
+    Head,
+    /// `tail(e, n)`: drop the `n` most significant bits.
+    Tail,
+    /// Reinterpret as unsigned.
+    AsUInt,
+    /// Reinterpret as signed.
+    AsSInt,
+    /// Reinterpret as clock.
+    AsClock,
+    /// Convert UInt to SInt losslessly (width + 1 when unsigned).
+    Cvt,
+}
+
+impl PrimOp {
+    /// The textual FIRRTL name of the op.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimOp::Add => "add",
+            PrimOp::Sub => "sub",
+            PrimOp::Mul => "mul",
+            PrimOp::Div => "div",
+            PrimOp::Rem => "rem",
+            PrimOp::Lt => "lt",
+            PrimOp::Leq => "leq",
+            PrimOp::Gt => "gt",
+            PrimOp::Geq => "geq",
+            PrimOp::Eq => "eq",
+            PrimOp::Neq => "neq",
+            PrimOp::And => "and",
+            PrimOp::Or => "or",
+            PrimOp::Xor => "xor",
+            PrimOp::Not => "not",
+            PrimOp::Neg => "neg",
+            PrimOp::Andr => "andr",
+            PrimOp::Orr => "orr",
+            PrimOp::Xorr => "xorr",
+            PrimOp::Pad => "pad",
+            PrimOp::Shl => "shl",
+            PrimOp::Shr => "shr",
+            PrimOp::Dshl => "dshl",
+            PrimOp::Dshr => "dshr",
+            PrimOp::Cat => "cat",
+            PrimOp::Bits => "bits",
+            PrimOp::Head => "head",
+            PrimOp::Tail => "tail",
+            PrimOp::AsUInt => "asUInt",
+            PrimOp::AsSInt => "asSInt",
+            PrimOp::AsClock => "asClock",
+            PrimOp::Cvt => "cvt",
+        }
+    }
+
+    /// Parse a textual op name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "add" => PrimOp::Add,
+            "sub" => PrimOp::Sub,
+            "mul" => PrimOp::Mul,
+            "div" => PrimOp::Div,
+            "rem" => PrimOp::Rem,
+            "lt" => PrimOp::Lt,
+            "leq" => PrimOp::Leq,
+            "gt" => PrimOp::Gt,
+            "geq" => PrimOp::Geq,
+            "eq" => PrimOp::Eq,
+            "neq" => PrimOp::Neq,
+            "and" => PrimOp::And,
+            "or" => PrimOp::Or,
+            "xor" => PrimOp::Xor,
+            "not" => PrimOp::Not,
+            "neg" => PrimOp::Neg,
+            "andr" => PrimOp::Andr,
+            "orr" => PrimOp::Orr,
+            "xorr" => PrimOp::Xorr,
+            "pad" => PrimOp::Pad,
+            "shl" => PrimOp::Shl,
+            "shr" => PrimOp::Shr,
+            "dshl" => PrimOp::Dshl,
+            "dshr" => PrimOp::Dshr,
+            "cat" => PrimOp::Cat,
+            "bits" => PrimOp::Bits,
+            "head" => PrimOp::Head,
+            "tail" => PrimOp::Tail,
+            "asUInt" => PrimOp::AsUInt,
+            "asSInt" => PrimOp::AsSInt,
+            "asClock" => PrimOp::AsClock,
+            "cvt" => PrimOp::Cvt,
+            _ => return None,
+        })
+    }
+
+    /// Number of expression operands the op takes.
+    pub fn arity(self) -> usize {
+        match self {
+            PrimOp::Not
+            | PrimOp::Neg
+            | PrimOp::Andr
+            | PrimOp::Orr
+            | PrimOp::Xorr
+            | PrimOp::Pad
+            | PrimOp::Shl
+            | PrimOp::Shr
+            | PrimOp::Bits
+            | PrimOp::Head
+            | PrimOp::Tail
+            | PrimOp::AsUInt
+            | PrimOp::AsSInt
+            | PrimOp::AsClock
+            | PrimOp::Cvt => 1,
+            _ => 2,
+        }
+    }
+
+    /// Number of constant (integer literal) parameters.
+    pub fn const_arity(self) -> usize {
+        match self {
+            PrimOp::Pad | PrimOp::Shl | PrimOp::Shr | PrimOp::Head | PrimOp::Tail => 1,
+            PrimOp::Bits => 2,
+            _ => 0,
+        }
+    }
+}
+
+/// A FIRRTL expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Reference to a named component (port, wire, reg, node, instance, mem).
+    Ref(String),
+    /// Bundle field access.
+    SubField(Box<Expr>, String),
+    /// Vector element access with a constant index.
+    SubIndex(Box<Expr>, usize),
+    /// Unsigned literal.
+    UIntLit(Bv),
+    /// Signed literal (bit pattern stored unsigned).
+    SIntLit(Bv),
+    /// 2:1 multiplexer.
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Conditionally valid value (reads as zero when invalid — Chisel
+    /// semantics, no X-propagation).
+    ValidIf(Box<Expr>, Box<Expr>),
+    /// Primitive operation.
+    Prim {
+        /// The operation.
+        op: PrimOp,
+        /// Expression operands.
+        args: Vec<Expr>,
+        /// Constant parameters (e.g. shift amounts, bit indices).
+        consts: Vec<u64>,
+    },
+}
+
+impl Expr {
+    /// Reference helper.
+    pub fn r(name: impl Into<String>) -> Expr {
+        Expr::Ref(name.into())
+    }
+
+    /// Unsigned literal helper.
+    pub fn u(value: u64, width: u32) -> Expr {
+        Expr::UIntLit(Bv::from_u64(value, width))
+    }
+
+    /// 1-bit constant one.
+    pub fn one() -> Expr {
+        Expr::u(1, 1)
+    }
+
+    /// 1-bit constant zero.
+    pub fn zero_bit() -> Expr {
+        Expr::u(0, 1)
+    }
+
+    /// Build a primitive op expression.
+    pub fn prim(op: PrimOp, args: Vec<Expr>, consts: Vec<u64>) -> Expr {
+        debug_assert_eq!(args.len(), op.arity(), "{} arity", op.name());
+        debug_assert_eq!(consts.len(), op.const_arity(), "{} const arity", op.name());
+        Expr::Prim { op, args, consts }
+    }
+
+    /// `and` of two 1-bit expressions, with trivial simplification.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        match (&a, &b) {
+            (Expr::UIntLit(v), _) if v.to_u64() == 1 && v.width() == 1 => return b,
+            (_, Expr::UIntLit(v)) if v.to_u64() == 1 && v.width() == 1 => return a,
+            _ => {}
+        }
+        Expr::prim(PrimOp::And, vec![a, b], vec![])
+    }
+
+    /// `not` of a 1-bit expression.
+    pub fn not(a: Expr) -> Expr {
+        Expr::prim(PrimOp::Not, vec![a], vec![])
+    }
+
+    /// Equality comparison.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::prim(PrimOp::Eq, vec![a, b], vec![])
+    }
+
+    /// 2:1 mux helper.
+    pub fn mux(cond: Expr, tval: Expr, fval: Expr) -> Expr {
+        Expr::Mux(Box::new(cond), Box::new(tval), Box::new(fval))
+    }
+
+    /// True if the expression is a literal.
+    pub fn is_lit(&self) -> bool {
+        matches!(self, Expr::UIntLit(_) | Expr::SIntLit(_))
+    }
+
+    /// The literal value if this is a literal expression.
+    pub fn as_lit(&self) -> Option<&Bv> {
+        match self {
+            Expr::UIntLit(v) | Expr::SIntLit(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Visit every sub-expression (including `self`), pre-order.
+    pub fn for_each(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::SubField(e, _) => e.for_each(f),
+            Expr::SubIndex(e, _) => e.for_each(f),
+            Expr::Mux(c, t, e) => {
+                c.for_each(f);
+                t.for_each(f);
+                e.for_each(f);
+            }
+            Expr::ValidIf(c, v) => {
+                c.for_each(f);
+                v.for_each(f);
+            }
+            Expr::Prim { args, .. } => {
+                for a in args {
+                    a.for_each(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Rewrite the expression bottom-up.
+    pub fn map(self, f: &impl Fn(Expr) -> Expr) -> Expr {
+        let rebuilt = match self {
+            Expr::SubField(e, name) => Expr::SubField(Box::new(e.map(f)), name),
+            Expr::SubIndex(e, i) => Expr::SubIndex(Box::new(e.map(f)), i),
+            Expr::Mux(c, t, e) => {
+                Expr::Mux(Box::new(c.map(f)), Box::new(t.map(f)), Box::new(e.map(f)))
+            }
+            Expr::ValidIf(c, v) => Expr::ValidIf(Box::new(c.map(f)), Box::new(v.map(f))),
+            Expr::Prim { op, args, consts } => Expr::Prim {
+                op,
+                args: args.into_iter().map(|a| a.map(f)).collect(),
+                consts,
+            },
+            other => other,
+        };
+        f(rebuilt)
+    }
+
+    /// Collect the names of all referenced components.
+    pub fn refs(&self, out: &mut Vec<String>) {
+        self.for_each(&mut |e| {
+            if let Expr::Ref(name) = e {
+                out.push(name.clone());
+            }
+        });
+    }
+
+    /// Render the canonical flattened name of a reference chain
+    /// (`a.b[2].c` → `a_b_2_c`), as produced by the type-lowering pass.
+    pub fn flat_name(&self) -> Option<String> {
+        match self {
+            Expr::Ref(name) => Some(name.clone()),
+            Expr::SubField(e, field) => Some(format!("{}_{}", e.flat_name()?, field)),
+            Expr::SubIndex(e, i) => Some(format!("{}_{}", e.flat_name()?, i)),
+            _ => None,
+        }
+    }
+}
+
+/// Kind of signal selected for toggle coverage and reported by alias
+/// analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Module port.
+    Port,
+    /// Register.
+    Reg,
+    /// Wire or named node.
+    Wire,
+    /// Memory read/write port field.
+    Mem,
+}
+
+/// Ports of a memory reader (addr/en/data) or writer (addr/en/data/mask).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mem {
+    /// Memory name.
+    pub name: String,
+    /// Element type (ground after type lowering).
+    pub data_ty: Type,
+    /// Number of elements.
+    pub depth: usize,
+    /// Combinational read ports by name.
+    pub readers: Vec<String>,
+    /// Synchronous write ports by name.
+    pub writers: Vec<String>,
+    /// Source locator.
+    pub info: Info,
+}
+
+/// A FIRRTL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Wire declaration.
+    Wire {
+        /// Name.
+        name: String,
+        /// Type.
+        ty: Type,
+        /// Source locator.
+        info: Info,
+    },
+    /// Register declaration with optional synchronous reset.
+    Reg {
+        /// Name.
+        name: String,
+        /// Type.
+        ty: Type,
+        /// Clock expression.
+        clock: Expr,
+        /// Optional `(reset signal, init value)`.
+        reset: Option<(Expr, Expr)>,
+        /// Source locator.
+        info: Info,
+    },
+    /// Named combinational node.
+    Node {
+        /// Name.
+        name: String,
+        /// Bound expression.
+        value: Expr,
+        /// Source locator.
+        info: Info,
+    },
+    /// Connection `loc <= value`.
+    Connect {
+        /// Sink (reference chain).
+        loc: Expr,
+        /// Driven expression.
+        value: Expr,
+        /// Source locator.
+        info: Info,
+    },
+    /// `loc is invalid` — reads as zero in our Chisel-like semantics.
+    Invalid {
+        /// The invalidated reference.
+        loc: Expr,
+        /// Source locator.
+        info: Info,
+    },
+    /// Module instantiation.
+    Inst {
+        /// Instance name.
+        name: String,
+        /// Instantiated module name.
+        module: String,
+        /// Source locator.
+        info: Info,
+    },
+    /// Memory declaration.
+    Mem(Mem),
+    /// Conditional block.
+    When {
+        /// Condition (1-bit).
+        cond: Expr,
+        /// True branch.
+        then: Vec<Stmt>,
+        /// Else branch.
+        else_: Vec<Stmt>,
+        /// Source locator.
+        info: Info,
+    },
+    /// The paper's cover primitive: count cycles where `pred & enable` is
+    /// true at a rising clock edge.
+    Cover {
+        /// Unique name within the module.
+        name: String,
+        /// Clock to sample on.
+        clock: Expr,
+        /// Covered predicate.
+        pred: Expr,
+        /// Qualifying enable (folded with enclosing `when` predicates).
+        enable: Expr,
+        /// Source locator.
+        info: Info,
+    },
+    /// §6 extension: count occurrences of each value of `signal`.
+    CoverValues {
+        /// Unique name within the module.
+        name: String,
+        /// Clock to sample on.
+        clock: Expr,
+        /// The observed signal (counts indexed by its value).
+        signal: Expr,
+        /// Qualifying enable.
+        enable: Expr,
+        /// Source locator.
+        info: Info,
+    },
+    /// Empty statement (used by passes to delete in place).
+    Skip,
+}
+
+impl Stmt {
+    /// The locator attached to the statement, if any.
+    pub fn info(&self) -> &Info {
+        static NONE: std::sync::OnceLock<Info> = std::sync::OnceLock::new();
+        match self {
+            Stmt::Wire { info, .. }
+            | Stmt::Reg { info, .. }
+            | Stmt::Node { info, .. }
+            | Stmt::Connect { info, .. }
+            | Stmt::Invalid { info, .. }
+            | Stmt::Inst { info, .. }
+            | Stmt::When { info, .. }
+            | Stmt::Cover { info, .. }
+            | Stmt::CoverValues { info, .. } => info,
+            Stmt::Mem(m) => &m.info,
+            Stmt::Skip => NONE.get_or_init(Info::none),
+        }
+    }
+}
+
+/// A module port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction from the module's perspective.
+    pub dir: Direction,
+    /// Port type.
+    pub ty: Type,
+    /// Source locator.
+    pub info: Info,
+}
+
+/// A FIRRTL module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Ports.
+    pub ports: Vec<Port>,
+    /// Statement body.
+    pub body: Vec<Stmt>,
+    /// Source locator.
+    pub info: Info,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module { name: name.into(), ports: Vec::new(), body: Vec::new(), info: Info::none() }
+    }
+
+    /// Look up a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// The conventional clock port expression, if present.
+    pub fn clock(&self) -> Option<Expr> {
+        self.ports
+            .iter()
+            .find(|p| matches!(p.ty, Type::Clock))
+            .map(|p| Expr::r(p.name.clone()))
+    }
+
+    /// The conventional reset port expression, if present.
+    pub fn reset(&self) -> Option<Expr> {
+        self.ports
+            .iter()
+            .find(|p| matches!(p.ty, Type::Reset) || p.name == "reset")
+            .map(|p| Expr::r(p.name.clone()))
+    }
+
+    /// Iterate over all statements, recursing into `when` branches.
+    pub fn for_each_stmt(&self, f: &mut impl FnMut(&Stmt)) {
+        fn walk(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+            for s in stmts {
+                f(s);
+                if let Stmt::When { then, else_, .. } = s {
+                    walk(then, f);
+                    walk(else_, f);
+                }
+            }
+        }
+        walk(&self.body, f);
+    }
+}
+
+/// Enum definition used for FSM coverage (the ChiselEnum analog).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumDef {
+    /// Enum type name.
+    pub name: String,
+    /// `(variant name, encoding)` pairs.
+    pub variants: Vec<(String, u64)>,
+}
+
+/// Annotations carried alongside the circuit (the FIRRTL annotation system).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Annotation {
+    /// Declares an enum type (states of an FSM).
+    EnumDef(EnumDef),
+    /// Marks `module.reg` as holding values of enum `enum_name`.
+    EnumReg {
+        /// Module containing the register.
+        module: String,
+        /// Register name.
+        reg: String,
+        /// Name of a declared [`Annotation::EnumDef`].
+        enum_name: String,
+    },
+    /// Explicitly marks a port bundle as a decoupled (ready/valid) interface.
+    /// The ready/valid pass also detects unannotated conforming bundles.
+    Decoupled {
+        /// Module name.
+        module: String,
+        /// Port name.
+        port: String,
+    },
+    /// Free-form marker used by tests and tooling.
+    Custom {
+        /// Annotation key.
+        key: String,
+        /// Annotation payload.
+        value: String,
+    },
+}
+
+/// A complete circuit: a set of modules with a designated top.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    /// Name of the top module.
+    pub top: String,
+    /// All modules (top included).
+    pub modules: Vec<Module>,
+    /// Attached annotations.
+    pub annotations: Vec<Annotation>,
+}
+
+impl Circuit {
+    /// Create a circuit from a single module.
+    pub fn new(top: Module) -> Self {
+        Circuit { top: top.name.clone(), modules: vec![top], annotations: Vec::new() }
+    }
+
+    /// Look up a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// Mutable module lookup.
+    pub fn module_mut(&mut self, name: &str) -> Option<&mut Module> {
+        self.modules.iter_mut().find(|m| m.name == name)
+    }
+
+    /// The top module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit's `top` names no module (checked circuits
+    /// cannot be in that state).
+    pub fn top_module(&self) -> &Module {
+        self.module(&self.top).expect("top module exists")
+    }
+
+    /// Enum definition lookup.
+    pub fn enum_def(&self, name: &str) -> Option<&EnumDef> {
+        self.annotations.iter().find_map(|a| match a {
+            Annotation::EnumDef(def) if def.name == name => Some(def),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_widths() {
+        assert_eq!(Type::uint(8).width(), Some(8));
+        assert_eq!(Type::Clock.width(), Some(1));
+        assert_eq!(Type::UInt(None).width(), None);
+        let b = Type::Bundle(vec![
+            Field { name: "a".into(), flip: false, ty: Type::uint(3) },
+            Field { name: "b".into(), flip: true, ty: Type::uint(5) },
+        ]);
+        assert_eq!(b.total_width(), Some(8));
+        assert!(!b.is_ground());
+        let v = Type::Vector(Box::new(Type::uint(4)), 3);
+        assert_eq!(v.total_width(), Some(12));
+    }
+
+    #[test]
+    fn primop_roundtrip() {
+        for op in [
+            PrimOp::Add,
+            PrimOp::Bits,
+            PrimOp::Cat,
+            PrimOp::AsUInt,
+            PrimOp::Tail,
+            PrimOp::Cvt,
+        ] {
+            assert_eq!(PrimOp::from_name(op.name()), Some(op));
+        }
+        assert_eq!(PrimOp::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn expr_helpers() {
+        let e = Expr::and(Expr::one(), Expr::r("x"));
+        assert_eq!(e, Expr::r("x"));
+        let e = Expr::and(Expr::r("a"), Expr::r("b"));
+        let mut names = Vec::new();
+        e.refs(&mut names);
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn flat_names() {
+        let e = Expr::SubField(
+            Box::new(Expr::SubIndex(Box::new(Expr::r("io")), 2)),
+            "valid".into(),
+        );
+        assert_eq!(e.flat_name().as_deref(), Some("io_2_valid"));
+        assert_eq!(Expr::one().flat_name(), None);
+    }
+
+    #[test]
+    fn module_clock_detection() {
+        let mut m = Module::new("Top");
+        m.ports.push(Port {
+            name: "clock".into(),
+            dir: Direction::Input,
+            ty: Type::Clock,
+            info: Info::none(),
+        });
+        assert_eq!(m.clock(), Some(Expr::r("clock")));
+        assert_eq!(m.reset(), None);
+    }
+
+    #[test]
+    fn info_display() {
+        let i = Info::new("gcd.scala", 12, 7);
+        assert_eq!(format!("{i}"), " @[gcd.scala 12:7]");
+        assert!(i.is_known());
+        assert!(!Info::none().is_known());
+    }
+
+    #[test]
+    fn circuit_lookup() {
+        let c = Circuit::new(Module::new("Top"));
+        assert!(c.module("Top").is_some());
+        assert!(c.module("Nope").is_none());
+        assert_eq!(c.top_module().name, "Top");
+    }
+
+    #[test]
+    fn expr_map_rewrites() {
+        let e = Expr::and(Expr::r("a"), Expr::r("b"));
+        let renamed = e.map(&|e| match e {
+            Expr::Ref(n) => Expr::Ref(format!("{n}_x")),
+            other => other,
+        });
+        let mut names = Vec::new();
+        renamed.refs(&mut names);
+        assert_eq!(names, vec!["a_x".to_string(), "b_x".to_string()]);
+    }
+}

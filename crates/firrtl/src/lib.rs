@@ -1,0 +1,52 @@
+//! # rtlcov-firrtl
+//!
+//! A from-scratch implementation of the FIRRTL-subset intermediate
+//! representation that the *Simulator Independent Coverage for RTL Hardware
+//! Languages* (ASPLOS 2023) coverage system is built on.
+//!
+//! The crate provides:
+//!
+//! * [`bv`] — arbitrary-width bit vectors, the value domain of every tool;
+//! * [`ir`] — the AST (types, expressions, statements, modules, circuits,
+//!   annotations), including the paper's `cover` primitive;
+//! * [`parser`] / [`printer`] — the textual `.fir` format;
+//! * [`builder`] / [`dsl`] — a Chisel-like embedded DSL with automatic
+//!   source locators (the front-end substitute);
+//! * [`typecheck`] / [`eval`] — FIRRTL width rules and pure evaluation;
+//! * [`passes`] — lowering pipeline: well-formedness, width inference,
+//!   type lowering, when expansion, constant propagation, DCE, and the
+//!   global signal alias analysis used by toggle coverage;
+//! * [`verilog`] — structural Verilog emission with covers as immediate
+//!   assertions (the Verilator/SymbiYosys-facing format).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rtlcov_firrtl::{parser, passes};
+//!
+//! let circuit = parser::parse("
+//! circuit Inverter :
+//!   module Inverter :
+//!     input a : UInt<1>
+//!     output b : UInt<1>
+//!     b <= not(a)
+//! ").unwrap();
+//! let low = passes::lower(circuit).unwrap();
+//! assert_eq!(low.top, "Inverter");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod bv;
+pub mod dsl;
+pub mod eval;
+pub mod ir;
+pub mod parser;
+pub mod passes;
+pub mod printer;
+pub mod typecheck;
+pub mod verilog;
+
+pub use bv::Bv;
+pub use ir::{Annotation, Circuit, Expr, Info, Module, PrimOp, Stmt, Type};

@@ -1,0 +1,1142 @@
+//! Parser for the textual `.fir` format of our FIRRTL subset.
+//!
+//! The grammar is line-oriented with Python-style indentation for blocks,
+//! matching the upstream FIRRTL spec for the constructs we support. Two
+//! small deviations, both documented in DESIGN.md:
+//!
+//! * memories use a compact one-line form:
+//!   `mem m : UInt<8>[256], readers(r), writers(w)`
+//! * annotations are given as comment directives:
+//!   `; @enumdef S A=0,B=1,C=2`, `; @enumreg Mod.reg S`,
+//!   `; @decoupled Mod.port`
+//!
+//! Covers use the standard verification-statement form:
+//! `cover(clock, pred, enable) : name`.
+
+use crate::bv::Bv;
+use crate::ir::*;
+use std::fmt;
+use std::sync::Arc;
+
+/// Parse error with a 1-based source line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error occurred on (1-based, 0 when unknown).
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete circuit from `.fir` text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem found.
+///
+/// ```
+/// let src = "
+/// circuit Top :
+///   module Top :
+///     input clock : Clock
+///     input a : UInt<4>
+///     output b : UInt<4>
+///     b <= a
+/// ";
+/// let circuit = rtlcov_firrtl::parser::parse(src).unwrap();
+/// assert_eq!(circuit.top, "Top");
+/// ```
+pub fn parse(src: &str) -> Result<Circuit, ParseError> {
+    let lines = lex_lines(src)?;
+    let mut p = Parser { lines, pos: 0 };
+    p.parse_circuit()
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    NegInt(i64),
+    Str(String),
+    Punct(char),
+    Arrow,    // =>
+    ConnOp,   // <=
+}
+
+#[derive(Debug)]
+struct Line {
+    indent: usize,
+    toks: Vec<Tok>,
+    info: Info,
+    lineno: u32,
+    directive: Option<String>,
+}
+
+fn lex_lines(src: &str) -> Result<Vec<Line>, ParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i as u32 + 1;
+        let indent = raw.len() - raw.trim_start_matches(' ').len();
+        let text = raw.trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(';') {
+            let rest = rest.trim();
+            if let Some(d) = rest.strip_prefix('@') {
+                out.push(Line {
+                    indent,
+                    toks: Vec::new(),
+                    info: Info::none(),
+                    lineno,
+                    directive: Some(d.to_string()),
+                });
+            }
+            continue;
+        }
+        // Split off a trailing source locator.
+        let (body, info) = match text.rfind("@[") {
+            Some(at) if text.ends_with(']') => {
+                let loc = &text[at + 2..text.len() - 1];
+                (text[..at].trim_end(), parse_info(loc))
+            }
+            _ => (text, Info::none()),
+        };
+        let toks = lex_tokens(body, lineno)?;
+        if toks.is_empty() {
+            continue;
+        }
+        out.push(Line { indent, toks, info, lineno, directive: None });
+    }
+    Ok(out)
+}
+
+fn parse_info(loc: &str) -> Info {
+    // format: "file line:col", file may contain spaces only before last token
+    if let Some(space) = loc.rfind(' ') {
+        let file = &loc[..space];
+        let lc = &loc[space + 1..];
+        let mut parts = lc.splitn(2, ':');
+        let line = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+        let col = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+        Info { file: Some(Arc::from(file)), line, col }
+    } else {
+        Info::none()
+    }
+}
+
+fn lex_tokens(s: &str, lineno: u32) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = s.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '$')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(bytes[start..i].iter().collect()));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let v = text
+                    .parse()
+                    .map_err(|_| ParseError { line: lineno, msg: format!("bad integer `{text}`") })?;
+                toks.push(Tok::Int(v));
+            }
+            '-' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(ParseError { line: lineno, msg: "lone `-`".into() });
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| ParseError { line: lineno, msg: format!("bad integer `-{text}`") })?;
+                toks.push(Tok::NegInt(-v));
+            }
+            '"' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != '"' {
+                    i += 1;
+                }
+                if i == bytes.len() {
+                    return Err(ParseError { line: lineno, msg: "unterminated string".into() });
+                }
+                toks.push(Tok::Str(bytes[start..i].iter().collect()));
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    toks.push(Tok::ConnOp);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Punct('<'));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                    toks.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Punct('='));
+                    i += 1;
+                }
+            }
+            ':' | ',' | '(' | ')' | '{' | '}' | '[' | ']' | '>' | '.' => {
+                toks.push(Tok::Punct(c));
+                i += 1;
+            }
+            other => {
+                return Err(ParseError { line: lineno, msg: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+/// Cursor over the tokens of one line.
+struct LineCur<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    lineno: u32,
+}
+
+impl<'a> LineCur<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { line: self.lineno, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.i);
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next().cloned() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(self.err(format!("expected `{c}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(p)) if *p == c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next().cloned() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<u64, ParseError> {
+        match self.next().cloned() {
+            Some(Tok::Int(v)) => Ok(v),
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing tokens: {:?}", &self.toks[self.i..])))
+        }
+    }
+
+    // ---- types ----
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let mut ty = self.parse_base_type()?;
+        // vector postfix, possibly nested: T[4][2]
+        while self.eat_punct('[') {
+            let n = self.int()? as usize;
+            self.expect_punct(']')?;
+            ty = Type::Vector(Box::new(ty), n);
+        }
+        Ok(ty)
+    }
+
+    fn parse_base_type(&mut self) -> Result<Type, ParseError> {
+        if self.eat_punct('{') {
+            let mut fields = Vec::new();
+            loop {
+                if self.eat_punct('}') {
+                    break;
+                }
+                let mut flip = false;
+                let mut name = self.ident()?;
+                if name == "flip" {
+                    flip = true;
+                    name = self.ident()?;
+                }
+                self.expect_punct(':')?;
+                let ty = self.parse_type()?;
+                fields.push(Field { name, flip, ty });
+                if !self.eat_punct(',') {
+                    self.expect_punct('}')?;
+                    break;
+                }
+            }
+            return Ok(Type::Bundle(fields));
+        }
+        let name = self.ident()?;
+        match name.as_str() {
+            "Clock" => Ok(Type::Clock),
+            "Reset" | "AsyncReset" => Ok(Type::Reset),
+            "UInt" | "SInt" => {
+                let width = if self.eat_punct('<') {
+                    let w = self.int()? as u32;
+                    self.expect_punct('>')?;
+                    Some(w)
+                } else {
+                    None
+                };
+                Ok(if name == "UInt" { Type::UInt(width) } else { Type::SInt(width) })
+            }
+            other => Err(self.err(format!("unknown type `{other}`"))),
+        }
+    }
+
+    // ---- expressions ----
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat_punct('.') {
+                let field = match self.next().cloned() {
+                    Some(Tok::Ident(s)) => s,
+                    Some(Tok::Int(v)) => v.to_string(),
+                    other => return Err(self.err(format!("expected field name, found {other:?}"))),
+                };
+                e = Expr::SubField(Box::new(e), field);
+            } else if self.eat_punct('[') {
+                let idx = self.int()? as usize;
+                self.expect_punct(']')?;
+                e = Expr::SubIndex(Box::new(e), idx);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        let tok = self.next().cloned();
+        match tok {
+            Some(Tok::Ident(name)) => {
+                match name.as_str() {
+                    "UInt" | "SInt" => self.parse_literal(&name),
+                    "mux" => {
+                        self.expect_punct('(')?;
+                        let c = self.parse_expr()?;
+                        self.expect_punct(',')?;
+                        let t = self.parse_expr()?;
+                        self.expect_punct(',')?;
+                        let f = self.parse_expr()?;
+                        self.expect_punct(')')?;
+                        Ok(Expr::mux(c, t, f))
+                    }
+                    "validif" => {
+                        self.expect_punct('(')?;
+                        let c = self.parse_expr()?;
+                        self.expect_punct(',')?;
+                        let v = self.parse_expr()?;
+                        self.expect_punct(')')?;
+                        Ok(Expr::ValidIf(Box::new(c), Box::new(v)))
+                    }
+                    _ => {
+                        if let Some(op) = PrimOp::from_name(&name) {
+                            if matches!(self.peek(), Some(Tok::Punct('('))) {
+                                return self.parse_primop(op);
+                            }
+                        }
+                        Ok(Expr::Ref(name))
+                    }
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn parse_literal(&mut self, kind: &str) -> Result<Expr, ParseError> {
+        let width = if self.eat_punct('<') {
+            let w = self.int()? as u32;
+            self.expect_punct('>')?;
+            Some(w)
+        } else {
+            None
+        };
+        self.expect_punct('(')?;
+        let value = match self.next().cloned() {
+            Some(Tok::Int(v)) => {
+                let w = width.unwrap_or_else(|| 64 - v.leading_zeros().max(0)).max(1);
+                Bv::from_u64(v, w)
+            }
+            Some(Tok::NegInt(v)) => {
+                let w = width.unwrap_or(64).max(1);
+                Bv::from_i64(v, w)
+            }
+            Some(Tok::Str(s)) => {
+                let w = width.unwrap_or(64).max(1);
+                Bv::from_radix_str(&s, w)
+                    .ok_or_else(|| self.err(format!("bad literal body `{s}`")))?
+            }
+            other => return Err(self.err(format!("expected literal value, found {other:?}"))),
+        };
+        self.expect_punct(')')?;
+        Ok(if kind == "UInt" { Expr::UIntLit(value) } else { Expr::SIntLit(value) })
+    }
+
+    fn parse_primop(&mut self, op: PrimOp) -> Result<Expr, ParseError> {
+        self.expect_punct('(')?;
+        let mut args = Vec::new();
+        let mut consts = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Int(v)) if args.len() >= op.arity() => {
+                    consts.push(*v);
+                    self.i += 1;
+                }
+                Some(Tok::Punct(')')) => break,
+                _ => args.push(self.parse_expr()?),
+            }
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        self.expect_punct(')')?;
+        if args.len() != op.arity() || consts.len() != op.const_arity() {
+            return Err(self.err(format!(
+                "`{}` expects {} args and {} consts, found {} and {}",
+                op.name(),
+                op.arity(),
+                op.const_arity(),
+                args.len(),
+                consts.len()
+            )));
+        }
+        Ok(Expr::Prim { op, args, consts })
+    }
+}
+
+impl Parser {
+    fn peek_line(&self) -> Option<&Line> {
+        self.lines.get(self.pos)
+    }
+
+    fn parse_circuit(&mut self) -> Result<Circuit, ParseError> {
+        let mut annotations = Vec::new();
+        // leading directives
+        while let Some(line) = self.peek_line() {
+            if let Some(d) = &line.directive {
+                let d = d.clone();
+                let lineno = line.lineno;
+                self.pos += 1;
+                annotations.push(parse_directive(&d, lineno)?);
+            } else {
+                break;
+            }
+        }
+        let header = self
+            .lines
+            .get(self.pos)
+            .ok_or(ParseError { line: 0, msg: "empty input".into() })?;
+        let lineno = header.lineno;
+        let mut cur = LineCur { toks: &header.toks, i: 0, lineno };
+        let kw = cur.ident()?;
+        if kw != "circuit" {
+            return Err(cur.err("expected `circuit`"));
+        }
+        let top = cur.ident()?;
+        cur.expect_punct(':')?;
+        cur.expect_end()?;
+        let circuit_indent = header.indent;
+        self.pos += 1;
+
+        let mut modules = Vec::new();
+        while let Some(line) = self.peek_line() {
+            if line.indent <= circuit_indent && line.directive.is_none() {
+                break;
+            }
+            if let Some(d) = &line.directive {
+                let d = d.clone();
+                let lineno = line.lineno;
+                self.pos += 1;
+                annotations.push(parse_directive(&d, lineno)?);
+                continue;
+            }
+            modules.push(self.parse_module()?);
+        }
+        if !modules.iter().any(|m| m.name == top) {
+            return Err(ParseError { line: lineno, msg: format!("top module `{top}` not defined") });
+        }
+        Ok(Circuit { top, modules, annotations })
+    }
+
+    fn parse_module(&mut self) -> Result<Module, ParseError> {
+        let header = &self.lines[self.pos];
+        let lineno = header.lineno;
+        let indent = header.indent;
+        let info = header.info.clone();
+        let mut cur = LineCur { toks: &header.toks, i: 0, lineno };
+        let kw = cur.ident()?;
+        if kw != "module" {
+            return Err(cur.err(format!("expected `module`, found `{kw}`")));
+        }
+        let name = cur.ident()?;
+        cur.expect_punct(':')?;
+        cur.expect_end()?;
+        self.pos += 1;
+
+        let mut ports = Vec::new();
+        // ports: consecutive input/output lines at deeper indent
+        while let Some(line) = self.peek_line() {
+            if line.indent <= indent || line.directive.is_some() {
+                break;
+            }
+            let first = match line.toks.first() {
+                Some(Tok::Ident(s)) => s.clone(),
+                _ => break,
+            };
+            if first != "input" && first != "output" {
+                break;
+            }
+            let mut cur = LineCur { toks: &line.toks, i: 0, lineno: line.lineno };
+            let dir_kw = cur.ident()?;
+            let pname = cur.ident()?;
+            cur.expect_punct(':')?;
+            let ty = cur.parse_type()?;
+            cur.expect_end()?;
+            ports.push(Port {
+                name: pname,
+                dir: if dir_kw == "input" { Direction::Input } else { Direction::Output },
+                ty,
+                info: line.info.clone(),
+            });
+            self.pos += 1;
+        }
+
+        let body = self.parse_block(indent)?;
+        Ok(Module { name, ports, body, info })
+    }
+
+    /// Parse statements strictly deeper than `parent_indent`.
+    fn parse_block(&mut self, parent_indent: usize) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        let block_indent = match self.peek_line() {
+            Some(l) if l.indent > parent_indent => l.indent,
+            _ => return Ok(stmts),
+        };
+        while let Some(line) = self.peek_line() {
+            if line.directive.is_some() {
+                self.pos += 1;
+                continue;
+            }
+            if line.indent < block_indent {
+                break;
+            }
+            if line.indent > block_indent {
+                return Err(ParseError {
+                    line: line.lineno,
+                    msg: "unexpected indentation".into(),
+                });
+            }
+            // `module` at this level would be a structural error caught above
+            if matches!(line.toks.first(), Some(Tok::Ident(s)) if s == "module") {
+                break;
+            }
+            // an `else` at this level belongs to the enclosing `when`
+            if matches!(line.toks.first(), Some(Tok::Ident(s)) if s == "else") {
+                break;
+            }
+            let stmt = self.parse_stmt(block_indent)?;
+            stmts.push(stmt);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self, indent: usize) -> Result<Stmt, ParseError> {
+        let line_idx = self.pos;
+        let lineno = self.lines[line_idx].lineno;
+        let info = self.lines[line_idx].info.clone();
+        let toks = std::mem::take(&mut self.lines[line_idx].toks);
+        let mut cur = LineCur { toks: &toks, i: 0, lineno };
+        self.pos += 1;
+
+        let first = match cur.peek() {
+            Some(Tok::Ident(s)) => s.clone(),
+            _ => String::new(),
+        };
+        // A statement keyword followed by `.`/`[`/`<=` is actually a
+        // reference to a component that happens to share the keyword's name
+        // (e.g. a wire called `mem`): treat it as a connect/invalidate.
+        let first = match cur.toks.get(1) {
+            Some(Tok::Punct('.')) | Some(Tok::Punct('[')) | Some(Tok::ConnOp) => String::new(),
+            _ => first,
+        };
+        let stmt = match first.as_str() {
+            "wire" => {
+                cur.i += 1;
+                let name = cur.ident()?;
+                cur.expect_punct(':')?;
+                let ty = cur.parse_type()?;
+                cur.expect_end()?;
+                Stmt::Wire { name, ty, info }
+            }
+            "reg" => {
+                cur.i += 1;
+                let name = cur.ident()?;
+                cur.expect_punct(':')?;
+                let ty = cur.parse_type()?;
+                cur.expect_punct(',')?;
+                let clock = cur.parse_expr()?;
+                let reset = if matches!(cur.peek(), Some(Tok::Ident(s)) if s == "with") {
+                    cur.i += 1;
+                    cur.expect_punct(':')?;
+                    cur.expect_punct('(')?;
+                    let kw = cur.ident()?;
+                    if kw != "reset" {
+                        return Err(cur.err("expected `reset` in reg with-clause"));
+                    }
+                    match cur.next().cloned() {
+                        Some(Tok::Arrow) => {}
+                        other => return Err(cur.err(format!("expected `=>`, found {other:?}"))),
+                    }
+                    cur.expect_punct('(')?;
+                    let rst = cur.parse_expr()?;
+                    cur.expect_punct(',')?;
+                    let init = cur.parse_expr()?;
+                    cur.expect_punct(')')?;
+                    cur.expect_punct(')')?;
+                    Some((rst, init))
+                } else {
+                    None
+                };
+                cur.expect_end()?;
+                Stmt::Reg { name, ty, clock, reset, info }
+            }
+            "node" => {
+                cur.i += 1;
+                let name = cur.ident()?;
+                cur.expect_punct('=')?;
+                let value = cur.parse_expr()?;
+                cur.expect_end()?;
+                Stmt::Node { name, value, info }
+            }
+            "inst" => {
+                cur.i += 1;
+                let name = cur.ident()?;
+                let of = cur.ident()?;
+                if of != "of" {
+                    return Err(cur.err("expected `of`"));
+                }
+                let module = cur.ident()?;
+                cur.expect_end()?;
+                Stmt::Inst { name, module, info }
+            }
+            "mem" => {
+                cur.i += 1;
+                let name = cur.ident()?;
+                cur.expect_punct(':')?;
+                let data_ty = cur.parse_base_type()?;
+                cur.expect_punct('[')?;
+                let depth = cur.int()? as usize;
+                cur.expect_punct(']')?;
+                let mut readers = Vec::new();
+                let mut writers = Vec::new();
+                while cur.eat_punct(',') {
+                    let kind = cur.ident()?;
+                    cur.expect_punct('(')?;
+                    loop {
+                        let port = cur.ident()?;
+                        match kind.as_str() {
+                            "readers" => readers.push(port),
+                            "writers" => writers.push(port),
+                            other => return Err(cur.err(format!("unknown mem clause `{other}`"))),
+                        }
+                        if !cur.eat_punct(',') {
+                            break;
+                        }
+                    }
+                    cur.expect_punct(')')?;
+                }
+                cur.expect_end()?;
+                Stmt::Mem(Mem { name, data_ty, depth, readers, writers, info })
+            }
+            "when" => {
+                cur.i += 1;
+                let cond = cur.parse_expr()?;
+                cur.expect_punct(':')?;
+                cur.expect_end()?;
+                let then = self.parse_block(indent)?;
+                let else_ = self.parse_else(indent)?;
+                Stmt::When { cond, then, else_, info }
+            }
+            "cover" | "cover_values" => {
+                cur.i += 1;
+                cur.expect_punct('(')?;
+                let clock = cur.parse_expr()?;
+                cur.expect_punct(',')?;
+                let mid = cur.parse_expr()?;
+                cur.expect_punct(',')?;
+                let enable = cur.parse_expr()?;
+                cur.expect_punct(')')?;
+                cur.expect_punct(':')?;
+                let name = cur.ident()?;
+                cur.expect_end()?;
+                if first == "cover" {
+                    Stmt::Cover { name, clock, pred: mid, enable, info }
+                } else {
+                    Stmt::CoverValues { name, clock, signal: mid, enable, info }
+                }
+            }
+            "skip" => {
+                cur.i += 1;
+                cur.expect_end()?;
+                Stmt::Skip
+            }
+            _ => {
+                // connect or invalidate
+                let loc = cur.parse_expr()?;
+                match cur.next().cloned() {
+                    Some(Tok::ConnOp) => {
+                        let value = cur.parse_expr()?;
+                        cur.expect_end()?;
+                        Stmt::Connect { loc, value, info }
+                    }
+                    Some(Tok::Ident(kw)) if kw == "is" => {
+                        let inv = cur.ident()?;
+                        if inv != "invalid" {
+                            return Err(cur.err("expected `invalid`"));
+                        }
+                        cur.expect_end()?;
+                        Stmt::Invalid { loc, info }
+                    }
+                    other => {
+                        return Err(cur.err(format!("expected `<=` or `is invalid`, found {other:?}")))
+                    }
+                }
+            }
+        };
+        Ok(stmt)
+    }
+
+    fn parse_else(&mut self, indent: usize) -> Result<Vec<Stmt>, ParseError> {
+        let (is_else, lineno) = match self.peek_line() {
+            Some(l)
+                if l.indent == indent
+                    && matches!(l.toks.first(), Some(Tok::Ident(s)) if s == "else") =>
+            {
+                (true, l.lineno)
+            }
+            _ => return Ok(Vec::new()),
+        };
+        debug_assert!(is_else);
+        let line_idx = self.pos;
+        let info = self.lines[line_idx].info.clone();
+        let toks = std::mem::take(&mut self.lines[line_idx].toks);
+        let mut cur = LineCur { toks: &toks, i: 1, lineno };
+        self.pos += 1;
+        if matches!(cur.peek(), Some(Tok::Ident(s)) if s == "when") {
+            // `else when c :` desugars to else { when c : ... }
+            cur.i += 1;
+            let cond = cur.parse_expr()?;
+            cur.expect_punct(':')?;
+            cur.expect_end()?;
+            let then = self.parse_block(indent)?;
+            let else_ = self.parse_else(indent)?;
+            Ok(vec![Stmt::When { cond, then, else_, info }])
+        } else {
+            cur.expect_punct(':')?;
+            cur.expect_end()?;
+            self.parse_block(indent)
+        }
+    }
+}
+
+fn parse_directive(d: &str, lineno: u32) -> Result<Annotation, ParseError> {
+    let mut parts = d.split_whitespace();
+    let kind = parts.next().unwrap_or("");
+    let err = |msg: &str| ParseError { line: lineno, msg: msg.into() };
+    match kind {
+        "enumdef" => {
+            let name = parts.next().ok_or_else(|| err("enumdef needs a name"))?.to_string();
+            let rest: String = parts.collect::<Vec<_>>().join("");
+            let mut variants = Vec::new();
+            for pair in rest.split(',').filter(|s| !s.is_empty()) {
+                let mut kv = pair.splitn(2, '=');
+                let vname = kv.next().unwrap_or("").to_string();
+                let value = kv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("enumdef variant needs `name=value`"))?;
+                variants.push((vname, value));
+            }
+            if variants.is_empty() {
+                return Err(err("enumdef needs at least one variant"));
+            }
+            Ok(Annotation::EnumDef(EnumDef { name, variants }))
+        }
+        "enumreg" => {
+            let target = parts.next().ok_or_else(|| err("enumreg needs Module.reg"))?;
+            let enum_name = parts.next().ok_or_else(|| err("enumreg needs an enum name"))?;
+            let mut mr = target.splitn(2, '.');
+            let module = mr.next().unwrap_or("").to_string();
+            let reg = mr.next().ok_or_else(|| err("enumreg target must be Module.reg"))?.to_string();
+            Ok(Annotation::EnumReg { module, reg, enum_name: enum_name.to_string() })
+        }
+        "decoupled" => {
+            let target = parts.next().ok_or_else(|| err("decoupled needs Module.port"))?;
+            let mut mp = target.splitn(2, '.');
+            let module = mp.next().unwrap_or("").to_string();
+            let port =
+                mp.next().ok_or_else(|| err("decoupled target must be Module.port"))?.to_string();
+            Ok(Annotation::Decoupled { module, port })
+        }
+        other => Err(err(&format!("unknown directive `@{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GCD: &str = r#"
+circuit GCD :
+  module GCD :
+    input clock : Clock
+    input reset : UInt<1>
+    input io_a : UInt<16>
+    input io_b : UInt<16>
+    input io_load : UInt<1>
+    output io_out : UInt<16>
+    output io_done : UInt<1>
+    reg x : UInt<16>, clock @[gcd.scala 12:5]
+    reg y : UInt<16>, clock with : (reset => (reset, UInt<16>(0))) @[gcd.scala 13:5]
+    node gt = gt(x, y) @[gcd.scala 15:10]
+    when io_load : @[gcd.scala 16:3]
+      x <= io_a
+      y <= io_b
+    else :
+      when gt : @[gcd.scala 20:5]
+        x <= sub(x, y) @[gcd.scala 21:7]
+      else :
+        y <= sub(y, x) @[gcd.scala 23:7]
+    io_out <= x
+    io_done <= eq(y, UInt<16>(0))
+"#;
+
+    #[test]
+    fn parses_gcd() {
+        let c = parse(GCD).unwrap();
+        assert_eq!(c.top, "GCD");
+        let m = c.top_module();
+        assert_eq!(m.ports.len(), 7);
+        assert_eq!(m.body.len(), 6);
+        match &m.body[3] {
+            Stmt::When { cond, then, else_, .. } => {
+                assert_eq!(cond, &Expr::r("io_load"));
+                assert_eq!(then.len(), 2);
+                assert_eq!(else_.len(), 1);
+                assert!(matches!(&else_[0], Stmt::When { .. }));
+            }
+            other => panic!("expected when, found {other:?}"),
+        }
+        // reg with reset
+        match &m.body[1] {
+            Stmt::Reg { reset: Some((rst, init)), .. } => {
+                assert_eq!(rst, &Expr::r("reset"));
+                assert_eq!(init, &Expr::u(0, 16));
+            }
+            other => panic!("expected reg with reset, found {other:?}"),
+        }
+        assert_eq!(m.body[2].info().line, 15);
+        assert_eq!(m.body[2].info().file.as_deref(), Some("gcd.scala"));
+    }
+
+    #[test]
+    fn parses_cover() {
+        let src = "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<1>
+    cover(clock, a, UInt<1>(1)) : my_cover
+";
+        let c = parse(src).unwrap();
+        match &c.top_module().body[0] {
+            Stmt::Cover { name, pred, .. } => {
+                assert_eq!(name, "my_cover");
+                assert_eq!(pred, &Expr::r("a"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bundles_and_vectors() {
+        let src = "
+circuit T :
+  module T :
+    input io : { flip ready : UInt<1>, valid : UInt<1>, bits : UInt<8> }
+    input v : UInt<4>[3]
+    output o : UInt<8>
+    o <= io.bits
+    o <= v[2]
+";
+        let c = parse(src).unwrap();
+        let m = c.top_module();
+        match &m.ports[0].ty {
+            Type::Bundle(fields) => {
+                assert_eq!(fields.len(), 3);
+                assert!(fields[0].flip);
+                assert_eq!(fields[2].ty, Type::uint(8));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.ports[1].ty, Type::Vector(Box::new(Type::uint(4)), 3));
+        match &m.body[1] {
+            Stmt::Connect { value, .. } => {
+                assert_eq!(value, &Expr::SubIndex(Box::new(Expr::r("v")), 2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mem() {
+        let src = "
+circuit T :
+  module T :
+    input clock : Clock
+    mem m : UInt<8>[256], readers(r), writers(w)
+    m.r.addr <= UInt<8>(3)
+";
+        let c = parse(src).unwrap();
+        match &c.top_module().body[0] {
+            Stmt::Mem(mem) => {
+                assert_eq!(mem.depth, 256);
+                assert_eq!(mem.readers, vec!["r"]);
+                assert_eq!(mem.writers, vec!["w"]);
+                assert_eq!(mem.data_ty, Type::uint(8));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_directives() {
+        let src = "
+; @enumdef S A=0,B=1,C=2
+; @enumreg Ctrl.state S
+; @decoupled Ctrl.io_in
+circuit Ctrl :
+  module Ctrl :
+    input clock : Clock
+    skip
+";
+        let c = parse(src).unwrap();
+        assert_eq!(c.annotations.len(), 3);
+        match &c.annotations[0] {
+            Annotation::EnumDef(def) => {
+                assert_eq!(def.name, "S");
+                assert_eq!(def.variants.len(), 3);
+                assert_eq!(def.variants[1], ("B".to_string(), 1));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &c.annotations[1] {
+            Annotation::EnumReg { module, reg, enum_name } => {
+                assert_eq!(module, "Ctrl");
+                assert_eq!(reg, "state");
+                assert_eq!(enum_name, "S");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_else_when_chain() {
+        let src = "
+circuit T :
+  module T :
+    input a : UInt<1>
+    input b : UInt<1>
+    output o : UInt<2>
+    o <= UInt<2>(0)
+    when a :
+      o <= UInt<2>(1)
+    else when b :
+      o <= UInt<2>(2)
+    else :
+      o <= UInt<2>(3)
+";
+        let c = parse(src).unwrap();
+        match &c.top_module().body[1] {
+            Stmt::When { else_, .. } => match &else_[0] {
+                Stmt::When { then, else_, .. } => {
+                    assert_eq!(then.len(), 1);
+                    assert_eq!(else_.len(), 1);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_hex_literals() {
+        let src = "
+circuit T :
+  module T :
+    output o : UInt<8>
+    o <= UInt<8>(\"hff\")
+";
+        let c = parse(src).unwrap();
+        match &c.top_module().body[0] {
+            Stmt::Connect { value, .. } => assert_eq!(value, &Expr::u(0xff, 8)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_signed_literal() {
+        let src = "
+circuit T :
+  module T :
+    output o : SInt<4>
+    o <= SInt<4>(-3)
+";
+        let c = parse(src).unwrap();
+        match &c.top_module().body[0] {
+            Stmt::Connect { value, .. } => {
+                assert_eq!(value, &Expr::SIntLit(Bv::from_i64(-3, 4)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_unknown_module() {
+        let src = "
+circuit Missing :
+  module Other :
+    skip
+";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn error_on_bad_token() {
+        assert!(parse("circuit T ^^\n").is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "
+circuit T :
+  module T :
+    node x = bogus_stmt_kind <=
+";
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn multi_module() {
+        let src = "
+circuit Top :
+  module Child :
+    input clock : Clock
+    input in : UInt<4>
+    output out : UInt<4>
+    out <= in
+  module Top :
+    input clock : Clock
+    input in : UInt<4>
+    output out : UInt<4>
+    inst c of Child
+    c.clock <= clock
+    c.in <= in
+    out <= c.out
+";
+        let c = parse(src).unwrap();
+        assert_eq!(c.modules.len(), 2);
+        assert_eq!(c.top, "Top");
+        match &c.top_module().body[0] {
+            Stmt::Inst { name, module, .. } => {
+                assert_eq!(name, "c");
+                assert_eq!(module, "Child");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bits_primop_consts() {
+        let src = "
+circuit T :
+  module T :
+    input a : UInt<8>
+    output o : UInt<4>
+    o <= bits(a, 5, 2)
+";
+        let c = parse(src).unwrap();
+        match &c.top_module().body[0] {
+            Stmt::Connect { value, .. } => match value {
+                Expr::Prim { op: PrimOp::Bits, consts, .. } => assert_eq!(consts, &vec![5, 2]),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+}

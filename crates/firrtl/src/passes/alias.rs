@@ -1,0 +1,426 @@
+//! Global signal alias analysis (§4.2 of the paper).
+//!
+//! Analyzes the whole design hierarchy and reports groups of signals that
+//! are guaranteed to always carry the same value — signals connected by
+//! pure copies, including across module boundaries through instance ports.
+//! The toggle-coverage pass uses this to instrument only one signal per
+//! alias group; the canonical example is the global reset, which is
+//! instrumented once in the top module instead of once per module.
+//!
+//! The analysis is exact per *instance path* (the same module instantiated
+//! twice contributes two sets of signal nets). A module-level signal is a
+//! *representative* if it is the chosen representative of its group in at
+//! least one instance path; non-representatives are guaranteed to be
+//! observable through some other instrumented signal in every instantiation.
+
+use super::PassError;
+use crate::ir::*;
+use std::collections::{HashMap, HashSet};
+
+const PASS: &str = "alias-analysis";
+
+/// A signal identified by its instance path within the elaborated design.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalRef {
+    /// Dot-joined instance path; empty for the top module.
+    pub path: String,
+    /// Module the signal is declared in.
+    pub module: String,
+    /// Signal name within the module.
+    pub signal: String,
+}
+
+impl GlobalRef {
+    fn depth(&self) -> usize {
+        if self.path.is_empty() {
+            0
+        } else {
+            self.path.split('.').count()
+        }
+    }
+}
+
+/// Result of the global alias analysis.
+#[derive(Debug, Clone)]
+pub struct AliasGroups {
+    /// All alias groups with two or more members.
+    pub groups: Vec<Vec<GlobalRef>>,
+    representatives: HashSet<(String, String)>,
+    all_signals: HashSet<(String, String)>,
+    module_group: HashMap<(String, String), usize>,
+}
+
+impl AliasGroups {
+    /// True if `signal` in `module` should be instrumented: it is the
+    /// group representative in at least one instance path (or belongs to
+    /// no group at all).
+    pub fn is_representative(&self, module: &str, signal: &str) -> bool {
+        let key = (module.to_string(), signal.to_string());
+        if self.representatives.contains(&key) {
+            return true;
+        }
+        // signals that never appear in any instantiated path (dead module)
+        // or never alias anything default to instrumented
+        !self.all_signals.contains(&key)
+    }
+
+    /// Module-level group id of `(module, signal)`: two signals share an
+    /// id iff their nets coincide in at least one instantiation. Signals
+    /// in no multi-member group return `None`.
+    pub fn module_group(&self, module: &str, signal: &str) -> Option<usize> {
+        self.module_group.get(&(module.to_string(), signal.to_string())).copied()
+    }
+
+    /// Number of signals that alias analysis allows us to skip.
+    pub fn skipped_count(&self) -> usize {
+        self.all_signals
+            .iter()
+            .filter(|(m, s)| !self.is_representative(m, s))
+            .count()
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+    keys: Vec<GlobalRef>,
+    index: HashMap<GlobalRef, usize>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        UnionFind { parent: Vec::new(), keys: Vec::new(), index: HashMap::new() }
+    }
+
+    fn id(&mut self, key: GlobalRef) -> usize {
+        if let Some(&i) = self.index.get(&key) {
+            return i;
+        }
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.keys.push(key.clone());
+        self.index.insert(key, i);
+        i
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: GlobalRef, b: GlobalRef) {
+        let (ia, ib) = (self.id(a), self.id(b));
+        let (ra, rb) = (self.find(ia), self.find(ib));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Run the global alias analysis over a lowered circuit.
+///
+/// # Errors
+///
+/// Fails if an instance references an unknown module.
+pub fn alias_analysis(circuit: &Circuit) -> Result<AliasGroups, PassError> {
+    let mut uf = UnionFind::new();
+    let mut all_signals: HashSet<(String, String)> = HashSet::new();
+
+    // Walk the instance tree.
+    let mut stack: Vec<(String, String)> = vec![(String::new(), circuit.top.clone())];
+    let mut visited_paths = 0usize;
+    while let Some((path, mod_name)) = stack.pop() {
+        visited_paths += 1;
+        if visited_paths > 1_000_000 {
+            return Err(PassError::new(PASS, "instance tree too large"));
+        }
+        let module = circuit
+            .module(&mod_name)
+            .ok_or_else(|| PassError::new(PASS, format!("unknown module `{mod_name}`")))?;
+
+        // component kinds
+        let mut regs: HashSet<String> = HashSet::new();
+        let mut insts: HashMap<String, String> = HashMap::new();
+        for p in &module.ports {
+            all_signals.insert((mod_name.clone(), p.name.clone()));
+        }
+        module.for_each_stmt(&mut |s| match s {
+            Stmt::Reg { name, .. } => {
+                regs.insert(name.clone());
+                all_signals.insert((mod_name.clone(), name.clone()));
+            }
+            Stmt::Wire { name, .. } | Stmt::Node { name, .. } => {
+                all_signals.insert((mod_name.clone(), name.clone()));
+            }
+            Stmt::Inst { name, module: target, .. } => {
+                insts.insert(name.clone(), target.clone());
+            }
+            _ => {}
+        });
+
+        let gref = |signal: &str| GlobalRef {
+            path: path.clone(),
+            module: mod_name.clone(),
+            signal: signal.to_string(),
+        };
+        let child_ref = |inst: &str, port: &str| -> Option<GlobalRef> {
+            let target = insts.get(inst)?;
+            let child_path =
+                if path.is_empty() { inst.to_string() } else { format!("{path}.{inst}") };
+            Some(GlobalRef {
+                path: child_path,
+                module: (*target).to_string(),
+                signal: port.to_string(),
+            })
+        };
+        // resolve a net-like expression to a global ref (local signal or
+        // instance port); registers are valid sources but not sinks
+        let as_net = |e: &Expr| -> Option<GlobalRef> {
+            match e {
+                Expr::Ref(n) => Some(gref(n)),
+                Expr::SubField(inner, port) => match inner.as_ref() {
+                    Expr::Ref(inst) if insts.contains_key(inst.as_str()) => {
+                        child_ref(inst, port)
+                    }
+                    _ => None,
+                },
+                _ => None,
+            }
+        };
+
+        module.for_each_stmt(&mut |s| match s {
+            Stmt::Connect { loc, value, .. } => {
+                let sink_is_reg = matches!(loc, Expr::Ref(n) if regs.contains(n.as_str()));
+                if sink_is_reg {
+                    return;
+                }
+                if let (Some(sink), Some(src)) = (as_net(loc), as_net(value)) {
+                    uf.union(sink, src);
+                }
+            }
+            Stmt::Node { name, value, .. } => {
+                if let Some(src) = as_net(value) {
+                    uf.union(gref(name), src);
+                }
+            }
+            _ => {}
+        });
+
+        for (inst, target) in &insts {
+            let child_path =
+                if path.is_empty() { inst.to_string() } else { format!("{path}.{inst}") };
+            stack.push((child_path, (*target).to_string()));
+        }
+    }
+
+    // Gather groups and pick representatives per path-group.
+    let mut groups_by_root: HashMap<usize, Vec<GlobalRef>> = HashMap::new();
+    for i in 0..uf.keys.len() {
+        let root = uf.find(i);
+        groups_by_root.entry(root).or_default().push(uf.keys[i].clone());
+    }
+    let mut groups = Vec::new();
+    let mut representatives: HashSet<(String, String)> = HashSet::new();
+    let mut grouped: HashSet<(String, String)> = HashSet::new();
+    // module-level grouping: union path-groups that share a module signal
+    let mut module_uf: HashMap<(String, String), (String, String)> = HashMap::new();
+    fn find_mod(
+        uf: &mut HashMap<(String, String), (String, String)>,
+        k: (String, String),
+    ) -> (String, String) {
+        let p = uf.entry(k.clone()).or_insert_with(|| k.clone()).clone();
+        if p == k {
+            return k;
+        }
+        let root = find_mod(uf, p);
+        uf.insert(k, root.clone());
+        root
+    }
+    for (_, mut members) in groups_by_root {
+        if members.len() < 2 {
+            continue;
+        }
+        members.sort_by(|a, b| a.depth().cmp(&b.depth()).then_with(|| a.cmp(b)));
+        let rep = members[0].clone();
+        representatives.insert((rep.module.clone(), rep.signal.clone()));
+        let first_key = (members[0].module.clone(), members[0].signal.clone());
+        let root = find_mod(&mut module_uf, first_key);
+        for m in &members {
+            grouped.insert((m.module.clone(), m.signal.clone()));
+            let key = (m.module.clone(), m.signal.clone());
+            let r = find_mod(&mut module_uf, key);
+            if r != root {
+                module_uf.insert(r, root.clone());
+            }
+        }
+        groups.push(members);
+    }
+    // assign dense ids to module-level groups
+    let mut module_group: HashMap<(String, String), usize> = HashMap::new();
+    let mut id_of_root: HashMap<(String, String), usize> = HashMap::new();
+    let keys: Vec<(String, String)> = module_uf.keys().cloned().collect();
+    for k in keys {
+        let root = find_mod(&mut module_uf, k.clone());
+        let next_id = id_of_root.len();
+        let id = *id_of_root.entry(root).or_insert(next_id);
+        module_group.insert(k, id);
+    }
+    // Signals that appear in the design but are in no multi-member group in
+    // ANY path are representatives trivially; signals grouped in some path
+    // but never chosen rep are skipped.
+    let mut all_grouped_signals = HashSet::new();
+    for (m, s) in &grouped {
+        all_grouped_signals.insert((m.clone(), s.clone()));
+    }
+    for key in &all_signals {
+        if !all_grouped_signals.contains(key) {
+            representatives.insert(key.clone());
+        }
+    }
+    groups.sort();
+    Ok(AliasGroups { groups, representatives, all_signals, module_group })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::passes;
+
+    fn analyze(src: &str) -> AliasGroups {
+        let c = passes::lower(parse(src).unwrap()).unwrap();
+        alias_analysis(&c).unwrap()
+    }
+
+    #[test]
+    fn local_copy_aliases() {
+        let g = analyze(
+            "
+circuit T :
+  module T :
+    input a : UInt<4>
+    output o : UInt<4>
+    wire w : UInt<4>
+    w <= a
+    o <= w
+",
+        );
+        // a, w, o all alias; a (port, but all depth 0) — exactly one rep
+        assert_eq!(g.groups.len(), 1);
+        assert_eq!(g.groups[0].len(), 3);
+        let reps = ["a", "w", "o"]
+            .iter()
+            .filter(|s| g.is_representative("T", s))
+            .count();
+        assert_eq!(reps, 1);
+    }
+
+    #[test]
+    fn reset_instrumented_once_in_top() {
+        let g = analyze(
+            "
+circuit Top :
+  module Child :
+    input clock : Clock
+    input reset : UInt<1>
+    output o : UInt<1>
+    o <= reset
+  module Top :
+    input clock : Clock
+    input reset : UInt<1>
+    output o1 : UInt<1>
+    output o2 : UInt<1>
+    inst c1 of Child
+    inst c2 of Child
+    c1.clock <= clock
+    c2.clock <= clock
+    c1.reset <= reset
+    c2.reset <= reset
+    o1 <= c1.o
+    o2 <= c2.o
+",
+        );
+        // The whole reset cone is one group with a single top-level
+        // representative; Child.reset is always skipped.
+        assert!(!g.is_representative("Child", "reset"));
+        assert!(g.skipped_count() > 0);
+        let top_reps = ["reset", "o1", "o2"]
+            .iter()
+            .filter(|s| g.is_representative("Top", s))
+            .count();
+        assert_eq!(top_reps, 1);
+    }
+
+    #[test]
+    fn register_connect_is_not_alias() {
+        let g = analyze(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<4>
+    output o : UInt<4>
+    reg r : UInt<4>, clock
+    r <= a
+    o <= r
+",
+        );
+        // r gets a's value one cycle later: NOT the same signal.
+        // But o <= r IS a copy, so {r, o} alias.
+        assert!(g.is_representative("T", "a"));
+        let group_with_a = g
+            .groups
+            .iter()
+            .any(|grp| grp.iter().any(|m| m.signal == "a") && grp.iter().any(|m| m.signal == "r"));
+        assert!(!group_with_a);
+    }
+
+    #[test]
+    fn multi_instance_different_nets() {
+        let g = analyze(
+            "
+circuit Top :
+  module Buf :
+    input in : UInt<4>
+    output out : UInt<4>
+    out <= in
+  module Top :
+    input a : UInt<4>
+    input b : UInt<4>
+    output oa : UInt<4>
+    output ob : UInt<4>
+    inst b1 of Buf
+    inst b2 of Buf
+    b1.in <= a
+    b2.in <= b
+    oa <= b1.out
+    ob <= b2.out
+",
+        );
+        // Buf.in is never a representative: in every path it aliases a
+        // shallower top-level signal.
+        assert!(!g.is_representative("Buf", "in"));
+        assert!(g.is_representative("Top", "a"));
+        assert!(g.is_representative("Top", "b"));
+    }
+
+    #[test]
+    fn unaliased_signal_is_representative() {
+        let g = analyze(
+            "
+circuit T :
+  module T :
+    input a : UInt<4>
+    input b : UInt<4>
+    output o : UInt<5>
+    o <= add(a, b)
+",
+        );
+        assert!(g.is_representative("T", "a"));
+        assert!(g.is_representative("T", "b"));
+        assert!(g.is_representative("T", "o"));
+        assert_eq!(g.skipped_count(), 0);
+    }
+}

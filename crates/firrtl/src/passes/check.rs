@@ -1,0 +1,285 @@
+//! Well-formedness checks for freshly built or parsed circuits.
+
+use super::PassError;
+use crate::ir::*;
+use crate::typecheck;
+use std::collections::{HashMap, HashSet};
+
+const PASS: &str = "check";
+
+/// Validate a circuit: unique component names, bound references (via the
+/// type environment), existing instance targets, no instantiation cycles,
+/// and unique cover names per module.
+///
+/// Returns the circuit unchanged on success so it composes in a pipeline.
+///
+/// # Errors
+///
+/// A [`PassError`] describing the first violation found.
+pub fn check(circuit: Circuit) -> Result<Circuit, PassError> {
+    let module_names: HashSet<&str> = circuit.modules.iter().map(|m| m.name.as_str()).collect();
+    if module_names.len() != circuit.modules.len() {
+        return Err(PassError::new(PASS, "duplicate module names"));
+    }
+    if !module_names.contains(circuit.top.as_str()) {
+        return Err(PassError::new(PASS, format!("top module `{}` not found", circuit.top)));
+    }
+
+    // instantiation graph for cycle detection
+    let mut children: HashMap<String, Vec<String>> = HashMap::new();
+
+    for m in &circuit.modules {
+        let mut names: HashSet<String> = HashSet::new();
+        for p in &m.ports {
+            if !names.insert(p.name.clone()) {
+                return Err(PassError::new(
+                    PASS,
+                    format!("duplicate name `{}` in module `{}`", p.name, m.name),
+                ));
+            }
+        }
+        let mut covers: HashSet<String> = HashSet::new();
+        let mut check_stmt = |s: &Stmt| -> Result<(), PassError> {
+            let declared = match s {
+                Stmt::Wire { name, .. }
+                | Stmt::Reg { name, .. }
+                | Stmt::Node { name, .. }
+                | Stmt::Inst { name, .. } => Some(name.as_str()),
+                Stmt::Mem(mem) => Some(mem.name.as_str()),
+                _ => None,
+            };
+            if let Some(n) = declared {
+                if !names.insert(n.to_string()) {
+                    return Err(PassError::new(
+                        PASS,
+                        format!("duplicate name `{n}` in module `{}`", m.name),
+                    ));
+                }
+            }
+            match s {
+                Stmt::Inst { module, .. } => {
+                    if !module_names.contains(module.as_str()) {
+                        return Err(PassError::new(
+                            PASS,
+                            format!("instance of unknown module `{module}` in `{}`", m.name),
+                        ));
+                    }
+                }
+                Stmt::Cover { name, .. } | Stmt::CoverValues { name, .. } => {
+                    if !covers.insert(name.clone()) {
+                        return Err(PassError::new(
+                            PASS,
+                            format!("duplicate cover name `{name}` in module `{}`", m.name),
+                        ));
+                    }
+                }
+                Stmt::Mem(mem) => {
+                    if mem.depth == 0 {
+                        return Err(PassError::new(
+                            PASS,
+                            format!("memory `{}` has zero depth", mem.name),
+                        ));
+                    }
+                    if !mem.data_ty.is_ground() {
+                        return Err(PassError::new(
+                            PASS,
+                            format!("memory `{}` must have a ground element type", mem.name),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+            Ok(())
+        };
+        let mut err = None;
+        m.for_each_stmt(&mut |s| {
+            if err.is_none() {
+                if let Err(e) = check_stmt(s) {
+                    err = Some(e);
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        // references bind and nodes type-check
+        typecheck::module_env(m, &circuit)?;
+        // connect/cover expression references resolve
+        let env = typecheck::module_env(m, &circuit)?;
+        let mut err = None;
+        m.for_each_stmt(&mut |s| {
+            if err.is_some() {
+                return;
+            }
+            let exprs: Vec<&Expr> = match s {
+                Stmt::Connect { loc, value, .. } => vec![loc, value],
+                Stmt::Invalid { loc, .. } => vec![loc],
+                Stmt::When { cond, .. } => vec![cond],
+                Stmt::Cover { clock, pred, enable, .. } => vec![clock, pred, enable],
+                Stmt::CoverValues { clock, signal, enable, .. } => vec![clock, signal, enable],
+                Stmt::Reg { clock, reset, .. } => {
+                    let mut v = vec![clock];
+                    if let Some((r, i)) = reset {
+                        v.push(r);
+                        v.push(i);
+                    }
+                    v
+                }
+                _ => vec![],
+            };
+            for e in exprs {
+                // Widths may still be unknown pre-inference; only surface
+                // binding errors here.
+                if let Err(te) = typecheck::expr_type(e, &env) {
+                    if te.0.contains("unbound") || te.0.contains("no field") {
+                        err = Some(PassError::new(
+                            PASS,
+                            format!("in module `{}`: {}", m.name, te.0),
+                        ));
+                        return;
+                    }
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+
+        let mut insts: Vec<String> = Vec::new();
+        m.for_each_stmt(&mut |s| {
+            if let Stmt::Inst { module, .. } = s {
+                insts.push(module.clone());
+            }
+        });
+        children.insert(m.name.clone(), insts);
+    }
+
+    // cycle detection (DFS)
+    fn dfs<'a>(
+        node: &'a str,
+        children: &'a HashMap<String, Vec<String>>,
+        visiting: &mut HashSet<&'a str>,
+        done: &mut HashSet<&'a str>,
+    ) -> Result<(), PassError> {
+        if done.contains(node) {
+            return Ok(());
+        }
+        if !visiting.insert(node) {
+            return Err(PassError::new(PASS, format!("instantiation cycle through `{node}`")));
+        }
+        for c in children.get(node).into_iter().flatten() {
+            let c: &str = c;
+            dfs(c, children, visiting, done)?;
+        }
+        visiting.remove(node);
+        done.insert(node);
+        Ok(())
+    }
+    let mut visiting = HashSet::new();
+    let mut done = HashSet::new();
+    for m in &circuit.modules {
+        dfs(&m.name, &children, &mut visiting, &mut done)?;
+    }
+
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn accepts_valid() {
+        let c = parse(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<4>
+    output o : UInt<4>
+    node n = add(a, a)
+    o <= tail(n, 1)
+",
+        )
+        .unwrap();
+        assert!(check(c).is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let c = parse(
+            "
+circuit T :
+  module T :
+    input a : UInt<4>
+    wire a : UInt<4>
+    a <= UInt<4>(0)
+",
+        )
+        .unwrap();
+        assert!(check(c).is_err());
+    }
+
+    #[test]
+    fn rejects_unbound_ref() {
+        let c = parse(
+            "
+circuit T :
+  module T :
+    output o : UInt<4>
+    o <= nope
+",
+        )
+        .unwrap();
+        let e = check(c).unwrap_err();
+        assert!(e.msg.contains("unbound"), "{e}");
+    }
+
+    #[test]
+    fn rejects_instance_cycle() {
+        let c = parse(
+            "
+circuit A :
+  module A :
+    input clock : Clock
+    inst b of B
+  module B :
+    input clock : Clock
+    inst a of A
+",
+        )
+        .unwrap();
+        let e = check(c).unwrap_err();
+        assert!(e.msg.contains("cycle"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_cover_names() {
+        let c = parse(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<1>
+    cover(clock, a, UInt<1>(1)) : c0
+    cover(clock, a, UInt<1>(1)) : c0
+",
+        )
+        .unwrap();
+        assert!(check(c).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_instance_target() {
+        let c = parse(
+            "
+circuit T :
+  module T :
+    inst x of Nope
+",
+        )
+        .unwrap();
+        assert!(check(c).is_err());
+    }
+}

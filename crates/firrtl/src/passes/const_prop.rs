@@ -1,0 +1,289 @@
+//! Constant propagation and local algebraic simplification.
+//!
+//! Runs after `expand_whens` on low-form modules. The paper's toggle
+//! coverage pass runs *after* this optimization so that signals removed by
+//! the optimizer are not instrumented (§4.2).
+
+use super::PassError;
+use crate::eval::{const_fold, Value};
+use crate::ir::*;
+use crate::typecheck::{expr_type, module_env, TypeEnv};
+use std::collections::HashMap;
+
+const MAX_ROUNDS: usize = 16;
+
+/// Propagate literal node values and fold constant expressions in every
+/// module.
+///
+/// # Errors
+///
+/// Currently infallible, but returns `Result` to compose with the pipeline.
+pub fn const_prop(mut circuit: Circuit) -> Result<Circuit, PassError> {
+    let reference = circuit.clone();
+    for module in circuit.modules.iter_mut() {
+        let env = module_env(module, &reference).map_err(PassError::from)?;
+        for _ in 0..MAX_ROUNDS {
+            if !run_round(module, &env) {
+                break;
+            }
+        }
+    }
+    Ok(circuit)
+}
+
+fn run_round(module: &mut Module, env: &TypeEnv) -> bool {
+    // Collect nodes whose value is a literal.
+    let mut literal_nodes: HashMap<String, Expr> = HashMap::new();
+    for s in &module.body {
+        if let Stmt::Node { name, value, .. } = s {
+            if value.is_lit() {
+                literal_nodes.insert(name.clone(), value.clone());
+            }
+        }
+    }
+    let mut changed = false;
+    let rewrite = |e: Expr| -> Expr { simplify(e, &literal_nodes, env) };
+    for s in module.body.iter_mut() {
+        let before_hash = format!("{s:?}");
+        match s {
+            Stmt::Node { value, .. } => {
+                *value = rewrite(std::mem::replace(value, Expr::one()));
+            }
+            Stmt::Connect { value, .. } => {
+                *value = rewrite(std::mem::replace(value, Expr::one()));
+            }
+            Stmt::Cover { pred, enable, .. } => {
+                *pred = rewrite(std::mem::replace(pred, Expr::one()));
+                *enable = rewrite(std::mem::replace(enable, Expr::one()));
+            }
+            Stmt::CoverValues { signal, enable, .. } => {
+                *signal = rewrite(std::mem::replace(signal, Expr::one()));
+                *enable = rewrite(std::mem::replace(enable, Expr::one()));
+            }
+            Stmt::Reg { reset, .. } => {
+                if let Some((r, init)) = reset {
+                    *r = rewrite(std::mem::replace(r, Expr::one()));
+                    *init = rewrite(std::mem::replace(init, Expr::one()));
+                }
+            }
+            _ => {}
+        }
+        if format!("{s:?}") != before_hash {
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn simplify(e: Expr, literal_nodes: &HashMap<String, Expr>, env: &TypeEnv) -> Expr {
+    e.map(&|e| {
+        // literal node substitution
+        if let Expr::Ref(name) = &e {
+            if let Some(lit) = literal_nodes.get(name) {
+                return lit.clone();
+            }
+        }
+        // full constant folding
+        if !e.is_lit() && all_leaves_literal(&e) {
+            if let Some(v) = const_fold(&e) {
+                return value_to_lit(v);
+            }
+        }
+        // algebraic identities
+        match e {
+            Expr::Mux(c, t, f) => match c.as_lit() {
+                Some(v) if !v.is_zero() => collapse_mux_branch(*t, &f, env),
+                Some(_) => collapse_mux_branch(*f, &t, env),
+                None => {
+                    if t == f {
+                        *t
+                    } else {
+                        Expr::Mux(c, t, f)
+                    }
+                }
+            },
+            Expr::ValidIf(c, v) => match c.as_lit() {
+                Some(cv) if !cv.is_zero() => *v,
+                _ => Expr::ValidIf(c, v),
+            },
+            Expr::Prim { op: PrimOp::And, args, consts } => {
+                let (a, b) = (&args[0], &args[1]);
+                if (is_zero_lit(a) || is_zero_lit(b)) && is_one_bit(a, env) && is_one_bit(b, env) {
+                    Expr::zero_bit()
+                } else if is_one_lit_1bit(a) && is_one_bit(b, env) {
+                    b.clone()
+                } else if is_one_lit_1bit(b) && is_one_bit(a, env) {
+                    a.clone()
+                } else {
+                    Expr::Prim { op: PrimOp::And, args, consts }
+                }
+            }
+            Expr::Prim { op: PrimOp::Or, args, consts } => {
+                let (a, b) = (&args[0], &args[1]);
+                if is_zero_lit(a) && is_one_bit(b, env) && is_one_bit(a, env) {
+                    b.clone()
+                } else if is_zero_lit(b) && is_one_bit(a, env) && is_one_bit(b, env) {
+                    a.clone()
+                } else {
+                    Expr::Prim { op: PrimOp::Or, args, consts }
+                }
+            }
+            other => other,
+        }
+    })
+}
+
+fn all_leaves_literal(e: &Expr) -> bool {
+    let mut ok = true;
+    e.for_each(&mut |x| {
+        if matches!(x, Expr::Ref(_) | Expr::SubField(..) | Expr::SubIndex(..)) {
+            ok = false;
+        }
+    });
+    ok
+}
+
+fn value_to_lit(v: Value) -> Expr {
+    if v.signed {
+        Expr::SIntLit(v.bits)
+    } else {
+        Expr::UIntLit(v.bits)
+    }
+}
+
+fn is_zero_lit(e: &Expr) -> bool {
+    matches!(e.as_lit(), Some(v) if v.is_zero())
+}
+
+fn is_one_lit_1bit(e: &Expr) -> bool {
+    matches!(e.as_lit(), Some(v) if v.width() == 1 && !v.is_zero())
+}
+
+fn is_one_bit(e: &Expr, env: &TypeEnv) -> bool {
+    matches!(expr_type(e, env), Ok(t) if t.width() == Some(1))
+}
+
+/// Replace a constant-condition mux with the selected branch while
+/// preserving the mux's result width and signedness: the branch is padded
+/// (sign-aware) to the other branch's width and reinterpreted as UInt when
+/// the branches had mixed signs.
+fn collapse_mux_branch(branch: Expr, other: &Expr, env: &TypeEnv) -> Expr {
+    let (Ok(bt), Ok(ot)) = (expr_type(&branch, env), expr_type(other, env)) else {
+        return branch;
+    };
+    let (Some(bw), Some(ow)) = (bt.width(), ot.width()) else { return branch };
+    let mux_width = bw.max(ow);
+    let mux_signed = bt.is_signed() && ot.is_signed();
+    let mut out = branch;
+    if bw < mux_width {
+        out = Expr::prim(PrimOp::Pad, vec![out], vec![u64::from(mux_width)]);
+    }
+    if bt.is_signed() && !mux_signed {
+        out = Expr::prim(PrimOp::AsUInt, vec![out], vec![]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> Circuit {
+        const_prop(parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn folds_constant_nodes() {
+        let c = run(
+            "
+circuit T :
+  module T :
+    output o : UInt<9>
+    node a = add(UInt<8>(3), UInt<8>(4))
+    o <= a
+",
+        );
+        match &c.top_module().body[0] {
+            Stmt::Node { value, .. } => assert_eq!(value.as_lit().unwrap().to_u64(), 7),
+            other => panic!("{other:?}"),
+        }
+        // the ref to `a` is replaced by the literal too
+        match &c.top_module().body[1] {
+            Stmt::Connect { value, .. } => assert_eq!(value.as_lit().unwrap().to_u64(), 7),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mux_with_constant_cond_collapses() {
+        let c = run(
+            "
+circuit T :
+  module T :
+    input x : UInt<4>
+    input y : UInt<4>
+    output o : UInt<4>
+    o <= mux(UInt<1>(1), x, y)
+",
+        );
+        match &c.top_module().body[0] {
+            Stmt::Connect { value, .. } => assert_eq!(value, &Expr::r("x")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mux_same_branches_collapses() {
+        let c = run(
+            "
+circuit T :
+  module T :
+    input s : UInt<1>
+    input x : UInt<4>
+    output o : UInt<4>
+    o <= mux(s, x, x)
+",
+        );
+        match &c.top_module().body[0] {
+            Stmt::Connect { value, .. } => assert_eq!(value, &Expr::r("x")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_identity() {
+        let c = run(
+            "
+circuit T :
+  module T :
+    input p : UInt<1>
+    input clock : Clock
+    cover(clock, p, and(UInt<1>(1), p)) : c0
+",
+        );
+        match &c.top_module().body[0] {
+            Stmt::Cover { enable, .. } => assert_eq!(enable, &Expr::r("p")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_propagation() {
+        let c = run(
+            "
+circuit T :
+  module T :
+    output o : UInt<8>
+    node a = UInt<8>(5)
+    node b = add(a, a)
+    node d = tail(b, 1)
+    o <= d
+",
+        );
+        match &c.top_module().body[2] {
+            Stmt::Node { value, .. } => assert_eq!(value.as_lit().unwrap().to_u64(), 10),
+            other => panic!("{other:?}"),
+        }
+    }
+}

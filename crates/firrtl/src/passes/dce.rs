@@ -1,0 +1,273 @@
+//! Dead code elimination on low-form modules.
+//!
+//! Roots of liveness are: output ports, cover statements, register
+//! next/reset expressions of live registers, instance inputs, and memory
+//! port fields. Dead nodes, wires and registers (and their connects) are
+//! removed. Instances and memories are conservatively kept — an instance
+//! may carry covers inside.
+
+use super::PassError;
+use crate::ir::*;
+use std::collections::{HashMap, HashSet};
+
+/// Remove dead components from every module.
+///
+/// # Errors
+///
+/// Currently infallible, but returns `Result` to compose with the pipeline.
+pub fn dce(mut circuit: Circuit) -> Result<Circuit, PassError> {
+    for module in circuit.modules.iter_mut() {
+        dce_module(module);
+    }
+    Ok(circuit)
+}
+
+fn root_name(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Ref(n) => Some(n),
+        Expr::SubField(inner, _) => root_name(inner),
+        Expr::SubIndex(inner, _) => root_name(inner),
+        _ => None,
+    }
+}
+
+fn dce_module(module: &mut Module) {
+    // map: component -> names it reads (through its driver or definition)
+    let mut reads: HashMap<String, Vec<String>> = HashMap::new();
+    let mut live: HashSet<String> = HashSet::new();
+    let mut work: Vec<String> = Vec::new();
+
+    let outputs: HashSet<&str> = module
+        .ports
+        .iter()
+        .filter(|p| p.dir == Direction::Output)
+        .map(|p| p.name.as_str())
+        .collect();
+
+    let mark = |name: String, live: &mut HashSet<String>, work: &mut Vec<String>| {
+        if live.insert(name.clone()) {
+            work.push(name);
+        }
+    };
+
+    for s in &module.body {
+        match s {
+            Stmt::Node { name, value, .. } => {
+                let mut rs = Vec::new();
+                value.refs(&mut rs);
+                reads.entry(name.clone()).or_default().extend(rs);
+            }
+            Stmt::Connect { loc, value, .. } => {
+                let Some(root) = root_name(loc) else { continue };
+                let mut rs = Vec::new();
+                value.refs(&mut rs);
+                // instance/mem connects root to the instance name; outputs
+                // are roots of liveness directly
+                if outputs.contains(root) {
+                    for r in rs {
+                        mark(r, &mut live, &mut work);
+                    }
+                } else {
+                    reads.entry(root.to_string()).or_default().extend(rs);
+                }
+            }
+            Stmt::Reg { name, clock, reset, .. } => {
+                let mut rs = Vec::new();
+                clock.refs(&mut rs);
+                if let Some((r, i)) = reset {
+                    r.refs(&mut rs);
+                    i.refs(&mut rs);
+                }
+                reads.entry(name.clone()).or_default().extend(rs);
+            }
+            Stmt::Cover { clock, pred, enable, .. } => {
+                for e in [clock, pred, enable] {
+                    let mut rs = Vec::new();
+                    e.refs(&mut rs);
+                    for r in rs {
+                        mark(r, &mut live, &mut work);
+                    }
+                }
+            }
+            Stmt::CoverValues { clock, signal, enable, .. } => {
+                for e in [clock, signal, enable] {
+                    let mut rs = Vec::new();
+                    e.refs(&mut rs);
+                    for r in rs {
+                        mark(r, &mut live, &mut work);
+                    }
+                }
+            }
+            // instances and memories are always live
+            Stmt::Inst { name, .. } => {
+                mark(name.clone(), &mut live, &mut work);
+            }
+            Stmt::Mem(mem) => {
+                mark(mem.name.clone(), &mut live, &mut work);
+            }
+            _ => {}
+        }
+    }
+
+    while let Some(name) = work.pop() {
+        if let Some(rs) = reads.get(&name) {
+            for r in rs.clone() {
+                if live.insert(r.clone()) {
+                    work.push(r);
+                }
+            }
+        }
+    }
+
+    // Ports always stay; filter dead declarations and their connects.
+    let port_names: HashSet<&str> = module.ports.iter().map(|p| p.name.as_str()).collect();
+    let is_live = |name: &str| live.contains(name) || port_names.contains(name);
+    module.body.retain(|s| match s {
+        Stmt::Wire { name, .. } | Stmt::Reg { name, .. } | Stmt::Node { name, .. } => {
+            is_live(name)
+        }
+        Stmt::Connect { loc, .. } => root_name(loc).map_or(true, &is_live),
+        Stmt::Invalid { loc, .. } => root_name(loc).map_or(true, &is_live),
+        Stmt::Skip => false,
+        _ => true,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> Circuit {
+        dce(parse(src).unwrap()).unwrap()
+    }
+
+    fn names(c: &Circuit) -> Vec<String> {
+        let mut out = Vec::new();
+        c.top_module().for_each_stmt(&mut |s| match s {
+            Stmt::Wire { name, .. } | Stmt::Reg { name, .. } | Stmt::Node { name, .. } => {
+                out.push(name.clone())
+            }
+            _ => {}
+        });
+        out
+    }
+
+    #[test]
+    fn removes_dead_node() {
+        let c = run(
+            "
+circuit T :
+  module T :
+    input a : UInt<4>
+    output o : UInt<4>
+    node dead = add(a, a)
+    o <= a
+",
+        );
+        assert!(names(&c).is_empty());
+    }
+
+    #[test]
+    fn keeps_transitively_live_chain() {
+        let c = run(
+            "
+circuit T :
+  module T :
+    input a : UInt<4>
+    output o : UInt<5>
+    node n1 = add(a, a)
+    node n2 = tail(n1, 1)
+    node dead = not(a)
+    o <= pad(n2, 5)
+",
+        );
+        let ns = names(&c);
+        assert!(ns.contains(&"n1".to_string()));
+        assert!(ns.contains(&"n2".to_string()));
+        assert!(!ns.contains(&"dead".to_string()));
+    }
+
+    #[test]
+    fn covers_keep_their_cone_alive() {
+        let c = run(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<1>
+    node p = eq(a, UInt<1>(1))
+    cover(clock, p, UInt<1>(1)) : c0
+",
+        );
+        assert_eq!(names(&c), vec!["p".to_string()]);
+    }
+
+    #[test]
+    fn dead_register_and_connect_removed() {
+        let c = run(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<4>
+    output o : UInt<4>
+    reg r : UInt<4>, clock
+    r <= a
+    o <= a
+",
+        );
+        assert!(names(&c).is_empty());
+        // its connect went away too
+        let mut connects = 0;
+        c.top_module().for_each_stmt(&mut |s| {
+            if matches!(s, Stmt::Connect { .. }) {
+                connects += 1;
+            }
+        });
+        assert_eq!(connects, 1);
+    }
+
+    #[test]
+    fn live_register_feedback_loop_kept() {
+        let c = run(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    output o : UInt<4>
+    reg r : UInt<4>, clock
+    r <= tail(add(r, UInt<4>(1)), 1)
+    o <= r
+",
+        );
+        assert_eq!(names(&c), vec!["r".to_string()]);
+    }
+
+    #[test]
+    fn instances_and_mems_survive() {
+        let c = run(
+            "
+circuit Top :
+  module Child :
+    input clock : Clock
+    cover(clock, UInt<1>(1), UInt<1>(1)) : inner
+  module Top :
+    input clock : Clock
+    input addr : UInt<4>
+    inst c of Child
+    c.clock <= clock
+    mem m : UInt<8>[16], readers(r)
+    m.r.addr <= addr
+    m.r.en <= UInt<1>(1)
+",
+        );
+        let mut kinds = Vec::new();
+        c.top_module().for_each_stmt(&mut |s| match s {
+            Stmt::Inst { .. } => kinds.push("inst"),
+            Stmt::Mem(_) => kinds.push("mem"),
+            _ => {}
+        });
+        assert_eq!(kinds, vec!["inst", "mem"]);
+    }
+}

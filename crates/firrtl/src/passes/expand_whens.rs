@@ -1,0 +1,449 @@
+//! Expand `when` blocks into mux trees (lowering to structural RTL).
+//!
+//! This is the step Figure 3 of the paper illustrates: a branch becomes a
+//! conditional assignment, which is why line coverage must be instrumented
+//! *before* this pass runs. Cover statements declared inside a branch have
+//! the dominating branch predicate folded into their enable — exactly the
+//! mechanism the paper's line-coverage pass exploits.
+//!
+//! Semantics are Chisel-like (no X): sinks without a driving connect on
+//! some path read as zero; registers keep their previous value.
+
+use super::PassError;
+use crate::ir::*;
+use crate::typecheck::{expr_type, module_env, TypeEnv};
+use std::collections::HashMap;
+
+const PASS: &str = "expand-whens";
+
+/// Expand every `when` in every module.
+///
+/// # Errors
+///
+/// Fails if a connect sink cannot be typed (which lower-types should have
+/// prevented).
+pub fn expand_whens(mut circuit: Circuit) -> Result<Circuit, PassError> {
+    let reference = circuit.clone();
+    for module in circuit.modules.iter_mut() {
+        let env = module_env(module, &reference).map_err(PassError::from)?;
+        expand_module(module, &env)?;
+    }
+    Ok(circuit)
+}
+
+struct Ctx {
+    /// Declarations and hoisted statements, in order.
+    decls: Vec<Stmt>,
+    /// Final driving expression per sink (keyed by flat name).
+    drivers: HashMap<String, Driver>,
+    /// Sink order of first assignment, for deterministic output.
+    order: Vec<String>,
+    /// Names of registers (keep-value default).
+    regs: HashMap<String, ()>,
+    /// Fresh name counter for predicate nodes.
+    fresh: usize,
+}
+
+struct Driver {
+    /// The sink expression to reconstruct the connect.
+    loc: Expr,
+    /// Current driving expression.
+    value: Expr,
+}
+
+impl Ctx {
+    fn fresh_pred(&mut self, value: Expr, info: &Info) -> Expr {
+        // Reuse trivial predicates directly to avoid useless nodes.
+        if matches!(value, Expr::Ref(_) | Expr::UIntLit(_)) {
+            return value;
+        }
+        let name = format!("_WHEN_{}", self.fresh);
+        self.fresh += 1;
+        self.decls.push(Stmt::Node { name: name.clone(), value, info: info.clone() });
+        Expr::Ref(name)
+    }
+}
+
+fn expand_module(module: &mut Module, env: &TypeEnv) -> Result<(), PassError> {
+    let mut ctx = Ctx {
+        decls: Vec::new(),
+        drivers: HashMap::new(),
+        order: Vec::new(),
+        regs: HashMap::new(),
+        fresh: 0,
+    };
+    let body = std::mem::take(&mut module.body);
+    walk(body, &mut ctx, Expr::one(), env)?;
+    let mut out = std::mem::take(&mut ctx.decls);
+    for name in &ctx.order {
+        let driver = &ctx.drivers[name];
+        out.push(Stmt::Connect {
+            loc: driver.loc.clone(),
+            value: driver.value.clone(),
+            info: Info::none(),
+        });
+    }
+    module.body = out;
+    Ok(())
+}
+
+fn default_value(
+    sink: &str,
+    loc: &Expr,
+    ctx: &Ctx,
+    env: &TypeEnv,
+) -> Result<Expr, PassError> {
+    if ctx.regs.contains_key(sink) {
+        // Registers keep their previous value when not assigned.
+        return Ok(loc.clone());
+    }
+    let ty = expr_type(loc, env).map_err(PassError::from)?;
+    let w = ty
+        .width()
+        .ok_or_else(|| PassError::new(PASS, format!("sink `{sink}` has unknown width")))?;
+    Ok(match ty {
+        Type::SInt(_) => Expr::SIntLit(crate::bv::Bv::zero(w)),
+        _ => Expr::UIntLit(crate::bv::Bv::zero(w)),
+    })
+}
+
+fn walk(stmts: Vec<Stmt>, ctx: &mut Ctx, pred: Expr, env: &TypeEnv) -> Result<(), PassError> {
+    for s in stmts {
+        match s {
+            Stmt::Reg { name, ty, clock, reset, info } => {
+                ctx.regs.insert(name.clone(), ());
+                ctx.decls.push(Stmt::Reg { name, ty, clock, reset, info });
+            }
+            decl @ (Stmt::Wire { .. }
+            | Stmt::Node { .. }
+            | Stmt::Inst { .. }
+            | Stmt::Mem(_)) => {
+                ctx.decls.push(decl);
+            }
+            Stmt::Skip => {}
+            Stmt::Connect { loc, value, info } => {
+                connect(ctx, env, loc, value, &pred, &info, false)?;
+            }
+            Stmt::Invalid { loc, info } => {
+                let sink = loc
+                    .flat_name()
+                    .ok_or_else(|| PassError::new(PASS, "invalid of non-reference"))?;
+                let zero = default_for_invalid(&loc, env)?;
+                connect(ctx, env, loc, zero, &pred, &info, true)?;
+                let _ = sink;
+            }
+            Stmt::When { cond, then, else_, info } => {
+                let cond = ctx.fresh_pred(cond, &info);
+                let then_pred =
+                    ctx.fresh_pred(Expr::and(pred.clone(), cond.clone()), &info);
+                walk(then, ctx, then_pred, env)?;
+                if !else_.is_empty() {
+                    let not_cond = Expr::not(cond);
+                    let else_pred =
+                        ctx.fresh_pred(Expr::and(pred.clone(), not_cond), &info);
+                    walk(else_, ctx, else_pred, env)?;
+                }
+            }
+            Stmt::Cover { name, clock, pred: cover_pred, enable, info } => {
+                let enable = Expr::and(enable, pred.clone());
+                ctx.decls.push(Stmt::Cover { name, clock, pred: cover_pred, enable, info });
+            }
+            Stmt::CoverValues { name, clock, signal, enable, info } => {
+                let enable = Expr::and(enable, pred.clone());
+                ctx.decls.push(Stmt::CoverValues { name, clock, signal, enable, info });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn default_for_invalid(loc: &Expr, env: &TypeEnv) -> Result<Expr, PassError> {
+    let ty = expr_type(loc, env).map_err(PassError::from)?;
+    let w = ty
+        .width()
+        .ok_or_else(|| PassError::new(PASS, "invalidated sink with unknown width"))?;
+    Ok(match ty {
+        Type::SInt(_) => Expr::SIntLit(crate::bv::Bv::zero(w)),
+        _ => Expr::UIntLit(crate::bv::Bv::zero(w)),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn connect(
+    ctx: &mut Ctx,
+    env: &TypeEnv,
+    loc: Expr,
+    value: Expr,
+    pred: &Expr,
+    _info: &Info,
+    _from_invalid: bool,
+) -> Result<(), PassError> {
+    let sink = loc
+        .flat_name()
+        .ok_or_else(|| PassError::new(PASS, format!("connect to non-reference {loc:?}")))?;
+    let unconditional = matches!(pred, Expr::UIntLit(v) if !v.is_zero());
+    let prior = match ctx.drivers.get(&sink) {
+        Some(d) => d.value.clone(),
+        None => default_value(&sink, &loc, ctx, env)?,
+    };
+    let new_value = if unconditional {
+        value
+    } else {
+        Expr::mux(pred.clone(), value, prior)
+    };
+    if !ctx.drivers.contains_key(&sink) {
+        ctx.order.push(sink.clone());
+    }
+    ctx.drivers.insert(sink, Driver { loc, value: new_value });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::passes::lower_types::lower_types;
+
+    fn expand(src: &str) -> Circuit {
+        expand_whens(lower_types(parse(src).unwrap()).unwrap()).unwrap()
+    }
+
+    fn has_when(c: &Circuit) -> bool {
+        let mut found = false;
+        for m in &c.modules {
+            m.for_each_stmt(&mut |s| {
+                if matches!(s, Stmt::When { .. }) {
+                    found = true;
+                }
+            });
+        }
+        found
+    }
+
+    #[test]
+    fn removes_all_whens() {
+        let c = expand(
+            "
+circuit T :
+  module T :
+    input a : UInt<1>
+    input x : UInt<4>
+    output o : UInt<4>
+    o <= UInt<4>(0)
+    when a :
+      o <= x
+",
+        );
+        assert!(!has_when(&c));
+        // final connect is a mux on the branch predicate
+        let m = c.top_module();
+        let last = m.body.last().unwrap();
+        match last {
+            Stmt::Connect { loc, value, .. } => {
+                assert_eq!(loc, &Expr::r("o"));
+                assert!(matches!(value, Expr::Mux(..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn last_connect_wins_unconditionally() {
+        let c = expand(
+            "
+circuit T :
+  module T :
+    input x : UInt<4>
+    output o : UInt<4>
+    o <= UInt<4>(1)
+    o <= x
+",
+        );
+        match c.top_module().body.last().unwrap() {
+            Stmt::Connect { value, .. } => assert_eq!(value, &Expr::r("x")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_keeps_value_when_unassigned() {
+        let c = expand(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input en : UInt<1>
+    input x : UInt<4>
+    output o : UInt<4>
+    reg r : UInt<4>, clock
+    when en :
+      r <= x
+    o <= r
+",
+        );
+        let m = c.top_module();
+        let conn = m
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Connect { loc, value, .. } if loc == &Expr::r("r") => Some(value.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // mux(en, x, r): else-branch keeps the register value
+        match conn {
+            Expr::Mux(_, t, e) => {
+                assert_eq!(*t, Expr::r("x"));
+                assert_eq!(*e, Expr::r("r"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unassigned_wire_path_reads_zero() {
+        let c = expand(
+            "
+circuit T :
+  module T :
+    input en : UInt<1>
+    input x : UInt<4>
+    output o : UInt<4>
+    when en :
+      o <= x
+",
+        );
+        let m = c.top_module();
+        match m.body.last().unwrap() {
+            Stmt::Connect { value: Expr::Mux(_, _, e), .. } => {
+                assert_eq!(e.as_ref().as_lit().unwrap().to_u64(), 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cover_enable_picks_up_branch_predicate() {
+        let c = expand(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<1>
+    input b : UInt<1>
+    when a :
+      when b :
+        cover(clock, UInt<1>(1), UInt<1>(1)) : deep
+",
+        );
+        let m = c.top_module();
+        let cover = m
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Cover { enable, .. } => Some(enable.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // enable is a (node reference to a) conjunction of both predicates
+        match cover {
+            Expr::Ref(name) => {
+                let node = m
+                    .body
+                    .iter()
+                    .find_map(|s| match s {
+                        Stmt::Node { name: n, value, .. } if n == &name => Some(value.clone()),
+                        _ => None,
+                    })
+                    .unwrap();
+                let mut refs = Vec::new();
+                node.refs(&mut refs);
+                assert!(refs.iter().any(|r| r == "b" || r.starts_with("_WHEN_")));
+            }
+            other => panic!("expected node ref, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_branch_gets_negated_predicate() {
+        let c = expand(
+            "
+circuit T :
+  module T :
+    input a : UInt<1>
+    input x : UInt<4>
+    input y : UInt<4>
+    output o : UInt<4>
+    when a :
+      o <= x
+    else :
+      o <= y
+",
+        );
+        let m = c.top_module();
+        // outer mux: mux(else_pred, y, mux(then_pred, x, 0))
+        match m.body.last().unwrap() {
+            Stmt::Connect { value: Expr::Mux(_, t, _), .. } => {
+                assert_eq!(t.as_ref(), &Expr::r("y"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_reads_zero() {
+        let c = expand(
+            "
+circuit T :
+  module T :
+    output o : UInt<4>
+    o is invalid
+",
+        );
+        match c.top_module().body.last().unwrap() {
+            Stmt::Connect { value, .. } => {
+                assert_eq!(value.as_lit().unwrap().to_u64(), 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn instance_input_connects_expand() {
+        let c = expand(
+            "
+circuit Top :
+  module Child :
+    input clock : Clock
+    input in : UInt<4>
+    output out : UInt<4>
+    out <= in
+  module Top :
+    input clock : Clock
+    input sel : UInt<1>
+    input x : UInt<4>
+    output o : UInt<4>
+    inst c of Child
+    c.clock <= clock
+    c.in <= UInt<4>(0)
+    when sel :
+      c.in <= x
+    o <= c.out
+",
+        );
+        let m = c.top_module();
+        let driver = m
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Connect { loc, value, .. }
+                    if loc.flat_name().as_deref() == Some("c_in") =>
+                {
+                    Some(value.clone())
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert!(matches!(driver, Expr::Mux(..)));
+    }
+}

@@ -1,0 +1,255 @@
+//! Width inference for wires and registers declared without explicit widths.
+//!
+//! Ports must carry explicit widths (they are the module's contract); local
+//! wires and registers may omit them, in which case the width is the maximum
+//! over every expression connected to the component, computed to a fixed
+//! point (registers can feed themselves through incrementing updates, which
+//! converges because widths only grow and connects bound them).
+
+use super::PassError;
+use crate::ir::*;
+use crate::typecheck::{expr_type, module_env};
+
+const PASS: &str = "infer-widths";
+const MAX_ROUNDS: usize = 64;
+
+/// Infer missing widths in every module of the circuit.
+///
+/// # Errors
+///
+/// Fails when a port has an unknown width, when inference does not converge
+/// (self-referential growth without a bound), or when any width remains
+/// unknown because nothing connects to the component.
+pub fn infer_widths(mut circuit: Circuit) -> Result<Circuit, PassError> {
+    for idx in 0..circuit.modules.len() {
+        let module = &circuit.modules[idx];
+        for p in &module.ports {
+            if has_unknown(&p.ty) {
+                return Err(PassError::new(
+                    PASS,
+                    format!("port `{}` of module `{}` must have an explicit width", p.name, module.name),
+                ));
+            }
+        }
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if rounds > MAX_ROUNDS {
+                return Err(PassError::new(
+                    PASS,
+                    format!("width inference did not converge in module `{}`", circuit.modules[idx].name),
+                ));
+            }
+            let module = circuit.modules[idx].clone();
+            let env = module_env(&module, &circuit).map_err(PassError::from)?;
+            let mut changed = false;
+            let mut failed: Option<String> = None;
+            {
+                let module_mut = &mut circuit.modules[idx];
+                update_stmts(&mut module_mut.body, &mut |name, ty| {
+                    if !has_unknown(ty) {
+                        return None;
+                    }
+                    // find the widest connect to this component
+                    let mut best: Option<u32> = None;
+                    module.for_each_stmt(&mut |s| {
+                        if let Stmt::Connect { loc, value, .. } = s {
+                            if loc == &Expr::Ref(name.to_string()) {
+                                if let Ok(t) = expr_type(value, &env) {
+                                    if let Some(w) = t.width() {
+                                        best = Some(best.map_or(w, |b: u32| b.max(w)));
+                                    }
+                                }
+                            }
+                        }
+                        if let Stmt::Reg { name: rn, reset: Some((_, init)), .. } = s {
+                            if rn == name {
+                                if let Ok(t) = expr_type(init, &env) {
+                                    if let Some(w) = t.width() {
+                                        best = Some(best.map_or(w, |b: u32| b.max(w)));
+                                    }
+                                }
+                            }
+                        }
+                    });
+                    match best {
+                        Some(w) => {
+                            let new_ty = ty.with_width(w);
+                            if &new_ty != ty {
+                                changed = true;
+                                Some(new_ty)
+                            } else {
+                                None
+                            }
+                        }
+                        None => {
+                            failed = Some(name.to_string());
+                            None
+                        }
+                    }
+                });
+            }
+            if !changed {
+                if let Some(name) = failed {
+                    return Err(PassError::new(
+                        PASS,
+                        format!(
+                            "could not infer width of `{name}` in module `{}`",
+                            circuit.modules[idx].name
+                        ),
+                    ));
+                }
+                break;
+            }
+        }
+    }
+    Ok(circuit)
+}
+
+fn has_unknown(ty: &Type) -> bool {
+    match ty {
+        Type::UInt(None) | Type::SInt(None) => true,
+        Type::Bundle(fields) => fields.iter().any(|f| has_unknown(&f.ty)),
+        Type::Vector(elem, _) => has_unknown(elem),
+        _ => false,
+    }
+}
+
+fn update_stmts(stmts: &mut [Stmt], update: &mut impl FnMut(&str, &Type) -> Option<Type>) {
+    for s in stmts {
+        match s {
+            Stmt::Wire { name, ty, .. } | Stmt::Reg { name, ty, .. } => {
+                if let Some(new_ty) = update(name, ty) {
+                    *ty = new_ty;
+                }
+            }
+            Stmt::When { then, else_, .. } => {
+                update_stmts(then, update);
+                update_stmts(else_, update);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn infer(src: &str) -> Circuit {
+        infer_widths(parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn infers_wire_width_from_connect() {
+        let c = infer(
+            "
+circuit T :
+  module T :
+    input a : UInt<7>
+    output o : UInt<7>
+    wire w : UInt
+    w <= a
+    o <= w
+",
+        );
+        match &c.top_module().body[0] {
+            Stmt::Wire { ty, .. } => assert_eq!(ty, &Type::uint(7)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infers_reg_from_init() {
+        let c = infer(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    output o : UInt<9>
+    reg r : UInt, clock with : (reset => (reset, UInt<9>(12)))
+    o <= r
+",
+        );
+        match &c.top_module().body[0] {
+            Stmt::Reg { ty, .. } => assert_eq!(ty, &Type::uint(9)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_inference_converges() {
+        let c = infer(
+            "
+circuit T :
+  module T :
+    input a : UInt<4>
+    output o : UInt<8>
+    wire w1 : UInt
+    wire w2 : UInt
+    w1 <= a
+    w2 <= cat(w1, w1)
+    o <= w2
+",
+        );
+        let m = c.top_module();
+        match &m.body[1] {
+            Stmt::Wire { ty, .. } => assert_eq!(ty, &Type::uint(8)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_over_multiple_connects() {
+        let c = infer(
+            "
+circuit T :
+  module T :
+    input a : UInt<3>
+    input b : UInt<6>
+    input sel : UInt<1>
+    output o : UInt<6>
+    wire w : UInt
+    w <= a
+    when sel :
+      w <= b
+    o <= w
+",
+        );
+        match &c.top_module().body[0] {
+            Stmt::Wire { ty, .. } => assert_eq!(ty, &Type::uint(6)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_port_width() {
+        let c = parse(
+            "
+circuit T :
+  module T :
+    input a : UInt
+    output o : UInt<4>
+    o <= a
+",
+        )
+        .unwrap();
+        assert!(infer_widths(c).is_err());
+    }
+
+    #[test]
+    fn rejects_undrivable_width() {
+        let c = parse(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    wire w : UInt
+",
+        )
+        .unwrap();
+        assert!(infer_widths(c).is_err());
+    }
+}

@@ -1,0 +1,535 @@
+//! Lower aggregate (bundle/vector) types to ground signals.
+//!
+//! Every aggregate port, wire and register is expanded into one component
+//! per leaf with `_`-joined names (`io.ready` → `io_ready`), matching the
+//! Chisel/FIRRTL flattening convention the paper's report generators rely
+//! on. Bulk connects between aggregates expand field-wise, with the connect
+//! direction swapped for `flip` leaves.
+//!
+//! After this pass the only remaining non-ground references are one-level
+//! instance port accesses (`inst.port`) and two-level memory port accesses
+//! (`mem.r.addr`).
+
+use super::PassError;
+use crate::ir::*;
+use crate::typecheck::{expr_type, module_env, TypeEnv};
+use std::collections::HashMap;
+
+const PASS: &str = "lower-types";
+
+#[derive(Debug, Clone, PartialEq)]
+enum Accessor {
+    Field(String),
+    Index(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Leaf {
+    accessors: Vec<Accessor>,
+    ty: Type,
+    flip: bool,
+}
+
+fn leaves(ty: &Type) -> Vec<Leaf> {
+    fn walk(ty: &Type, path: &mut Vec<Accessor>, flip: bool, out: &mut Vec<Leaf>) {
+        match ty {
+            Type::Bundle(fields) => {
+                for f in fields {
+                    path.push(Accessor::Field(f.name.clone()));
+                    walk(&f.ty, path, flip ^ f.flip, out);
+                    path.pop();
+                }
+            }
+            Type::Vector(elem, n) => {
+                for i in 0..*n {
+                    path.push(Accessor::Index(i));
+                    walk(elem, path, flip, out);
+                    path.pop();
+                }
+            }
+            ground => out.push(Leaf { accessors: path.clone(), ty: ground.clone(), flip }),
+        }
+    }
+    let mut out = Vec::new();
+    walk(ty, &mut Vec::new(), false, &mut out);
+    out
+}
+
+fn suffix(accessors: &[Accessor]) -> String {
+    let mut s = String::new();
+    for a in accessors {
+        match a {
+            Accessor::Field(f) => {
+                s.push('_');
+                s.push_str(f);
+            }
+            Accessor::Index(i) => {
+                s.push('_');
+                s.push_str(&i.to_string());
+            }
+        }
+    }
+    s
+}
+
+fn extend(expr: Expr, accessors: &[Accessor]) -> Expr {
+    let mut e = expr;
+    for a in accessors {
+        e = match a {
+            Accessor::Field(f) => Expr::SubField(Box::new(e), f.clone()),
+            Accessor::Index(i) => Expr::SubIndex(Box::new(e), *i),
+        };
+    }
+    e
+}
+
+/// What kind of component a root reference names (decides rewriting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RootKind {
+    /// Port, wire, reg or node: chain collapses into a flat name.
+    Flat,
+    /// Instance: chain collapses into `inst.flat_port`.
+    Instance,
+    /// Memory: `mem.port.field` stays structural.
+    Memory,
+}
+
+struct Lowerer {
+    kinds: HashMap<String, RootKind>,
+}
+
+impl Lowerer {
+    /// Rewrite an expression whose type is ground.
+    fn rewrite(&self, expr: Expr) -> Result<Expr, PassError> {
+        Ok(match expr {
+            Expr::SubField(..) | Expr::SubIndex(..) => self.rewrite_chain(expr)?,
+            Expr::Mux(c, t, e) => Expr::Mux(
+                Box::new(self.rewrite(*c)?),
+                Box::new(self.rewrite(*t)?),
+                Box::new(self.rewrite(*e)?),
+            ),
+            Expr::ValidIf(c, v) => {
+                Expr::ValidIf(Box::new(self.rewrite(*c)?), Box::new(self.rewrite(*v)?))
+            }
+            Expr::Prim { op, args, consts } => Expr::Prim {
+                op,
+                args: args
+                    .into_iter()
+                    .map(|a| self.rewrite(a))
+                    .collect::<Result<Vec<_>, _>>()?,
+                consts,
+            },
+            other => other,
+        })
+    }
+
+    fn rewrite_chain(&self, expr: Expr) -> Result<Expr, PassError> {
+        // Deconstruct the accessor chain down to the root reference.
+        let mut accs: Vec<Accessor> = Vec::new();
+        let mut cur = expr;
+        let root = loop {
+            match cur {
+                Expr::SubField(inner, f) => {
+                    accs.push(Accessor::Field(f));
+                    cur = *inner;
+                }
+                Expr::SubIndex(inner, i) => {
+                    accs.push(Accessor::Index(i));
+                    cur = *inner;
+                }
+                Expr::Ref(name) => break name,
+                other => {
+                    return Err(PassError::new(
+                        PASS,
+                        format!("accessor chain rooted at non-reference: {other:?}"),
+                    ))
+                }
+            }
+        };
+        accs.reverse();
+        match self.kinds.get(&root).copied().unwrap_or(RootKind::Flat) {
+            RootKind::Flat => Ok(Expr::Ref(format!("{root}{}", suffix(&accs)))),
+            RootKind::Instance => {
+                // first accessor is the port; the rest flatten into it
+                Ok(Expr::SubField(Box::new(Expr::Ref(root)), suffix(&accs)[1..].to_string()))
+            }
+            RootKind::Memory => {
+                if accs.len() == 2 {
+                    Ok(extend(Expr::Ref(root), &accs))
+                } else {
+                    Err(PassError::new(
+                        PASS,
+                        format!("memory access must be `mem.port.field`, got {} accessors", accs.len()),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Run type lowering over the whole circuit.
+///
+/// # Errors
+///
+/// Fails on aggregate-typed nodes, non-reference aggregate connects, or
+/// malformed memory accesses.
+pub fn lower_types(mut circuit: Circuit) -> Result<Circuit, PassError> {
+    let reference = circuit.clone();
+    for module in circuit.modules.iter_mut() {
+        let env = module_env(module, &reference).map_err(PassError::from)?;
+        let mut kinds = HashMap::new();
+        module.for_each_stmt(&mut |s| match s {
+            Stmt::Inst { name, .. } => {
+                kinds.insert(name.clone(), RootKind::Instance);
+            }
+            Stmt::Mem(mem) => {
+                kinds.insert(mem.name.clone(), RootKind::Memory);
+            }
+            _ => {}
+        });
+        let lowerer = Lowerer { kinds };
+
+        // ports
+        let mut new_ports = Vec::new();
+        for p in &module.ports {
+            if p.ty.is_ground() {
+                new_ports.push(p.clone());
+                continue;
+            }
+            for leaf in leaves(&p.ty) {
+                new_ports.push(Port {
+                    name: format!("{}{}", p.name, suffix(&leaf.accessors)),
+                    dir: if leaf.flip { p.dir.flip() } else { p.dir },
+                    ty: leaf.ty,
+                    info: p.info.clone(),
+                });
+            }
+        }
+        module.ports = new_ports;
+
+        let body = std::mem::take(&mut module.body);
+        module.body = lower_stmts(body, &lowerer, &env)?;
+    }
+    Ok(circuit)
+}
+
+fn lower_stmts(stmts: Vec<Stmt>, lw: &Lowerer, env: &TypeEnv) -> Result<Vec<Stmt>, PassError> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            Stmt::Wire { name, ty, info } => {
+                if ty.is_ground() {
+                    out.push(Stmt::Wire { name, ty, info });
+                } else {
+                    for leaf in leaves(&ty) {
+                        out.push(Stmt::Wire {
+                            name: format!("{name}{}", suffix(&leaf.accessors)),
+                            ty: leaf.ty,
+                            info: info.clone(),
+                        });
+                    }
+                }
+            }
+            Stmt::Reg { name, ty, clock, reset, info } => {
+                let clock = lw.rewrite(clock)?;
+                if ty.is_ground() {
+                    let reset = reset
+                        .map(|(r, i)| Ok::<_, PassError>((lw.rewrite(r)?, lw.rewrite(i)?)))
+                        .transpose()?;
+                    out.push(Stmt::Reg { name, ty, clock, reset, info });
+                } else {
+                    for leaf in leaves(&ty) {
+                        let leaf_reset = match &reset {
+                            None => None,
+                            Some((r, init)) => {
+                                let init_leaf = match init {
+                                    Expr::UIntLit(v) if v.is_zero() => {
+                                        Expr::UIntLit(crate::bv::Bv::zero(
+                                            leaf.ty.width().unwrap_or(1),
+                                        ))
+                                    }
+                                    chain => lw.rewrite(extend(chain.clone(), &leaf.accessors))?,
+                                };
+                                Some((lw.rewrite(r.clone())?, init_leaf))
+                            }
+                        };
+                        out.push(Stmt::Reg {
+                            name: format!("{name}{}", suffix(&leaf.accessors)),
+                            ty: leaf.ty,
+                            clock: clock.clone(),
+                            reset: leaf_reset,
+                            info: info.clone(),
+                        });
+                    }
+                }
+            }
+            Stmt::Node { name, value, info } => {
+                let ty = expr_type(&value, env).map_err(PassError::from)?;
+                if !ty.is_ground() {
+                    // A node aliasing a whole aggregate: expand leaf-wise.
+                    for leaf in leaves(&ty) {
+                        let v = lw.rewrite(extend(value.clone(), &leaf.accessors))?;
+                        out.push(Stmt::Node {
+                            name: format!("{name}{}", suffix(&leaf.accessors)),
+                            value: v,
+                            info: info.clone(),
+                        });
+                    }
+                } else {
+                    out.push(Stmt::Node { name, value: lw.rewrite(value)?, info });
+                }
+            }
+            Stmt::Connect { loc, value, info } => {
+                let ty = expr_type(&loc, env).map_err(PassError::from)?;
+                if ty.is_ground() {
+                    out.push(Stmt::Connect {
+                        loc: lw.rewrite(loc)?,
+                        value: lw.rewrite(value)?,
+                        info,
+                    });
+                } else {
+                    for leaf in leaves(&ty) {
+                        let l = lw.rewrite(extend(loc.clone(), &leaf.accessors))?;
+                        let r = lw.rewrite(extend(value.clone(), &leaf.accessors))?;
+                        let (l, r) = if leaf.flip { (r, l) } else { (l, r) };
+                        out.push(Stmt::Connect { loc: l, value: r, info: info.clone() });
+                    }
+                }
+            }
+            Stmt::Invalid { loc, info } => {
+                let ty = expr_type(&loc, env).map_err(PassError::from)?;
+                if ty.is_ground() {
+                    out.push(Stmt::Invalid { loc: lw.rewrite(loc)?, info });
+                } else {
+                    for leaf in leaves(&ty) {
+                        let l = lw.rewrite(extend(loc.clone(), &leaf.accessors))?;
+                        out.push(Stmt::Invalid { loc: l, info: info.clone() });
+                    }
+                }
+            }
+            Stmt::When { cond, then, else_, info } => {
+                out.push(Stmt::When {
+                    cond: lw.rewrite(cond)?,
+                    then: lower_stmts(then, lw, env)?,
+                    else_: lower_stmts(else_, lw, env)?,
+                    info,
+                });
+            }
+            Stmt::Cover { name, clock, pred, enable, info } => {
+                out.push(Stmt::Cover {
+                    name,
+                    clock: lw.rewrite(clock)?,
+                    pred: lw.rewrite(pred)?,
+                    enable: lw.rewrite(enable)?,
+                    info,
+                });
+            }
+            Stmt::CoverValues { name, clock, signal, enable, info } => {
+                out.push(Stmt::CoverValues {
+                    name,
+                    clock: lw.rewrite(clock)?,
+                    signal: lw.rewrite(signal)?,
+                    enable: lw.rewrite(enable)?,
+                    info,
+                });
+            }
+            other @ (Stmt::Inst { .. } | Stmt::Mem(_) | Stmt::Skip) => out.push(other),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lower(src: &str) -> Circuit {
+        lower_types(parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn flattens_bundle_port_with_flip() {
+        let c = lower(
+            "
+circuit T :
+  module T :
+    input io : { flip ready : UInt<1>, valid : UInt<1>, bits : UInt<8> }
+    io.ready <= io.valid
+",
+        );
+        let m = c.top_module();
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.ports[0].name, "io_ready");
+        assert_eq!(m.ports[0].dir, Direction::Output);
+        assert_eq!(m.ports[1].name, "io_valid");
+        assert_eq!(m.ports[1].dir, Direction::Input);
+        match &m.body[0] {
+            Stmt::Connect { loc, value, .. } => {
+                assert_eq!(loc, &Expr::r("io_ready"));
+                assert_eq!(value, &Expr::r("io_valid"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn flattens_vector_wire() {
+        let c = lower(
+            "
+circuit T :
+  module T :
+    input a : UInt<4>
+    output o : UInt<4>
+    wire v : UInt<4>[2]
+    v[0] <= a
+    v[1] <= v[0]
+    o <= v[1]
+",
+        );
+        let m = c.top_module();
+        assert!(matches!(&m.body[0], Stmt::Wire { name, .. } if name == "v_0"));
+        assert!(matches!(&m.body[1], Stmt::Wire { name, .. } if name == "v_1"));
+        match &m.body[3] {
+            Stmt::Connect { loc, value, .. } => {
+                assert_eq!(loc, &Expr::r("v_1"));
+                assert_eq!(value, &Expr::r("v_0"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bulk_connect_expands_with_flip_swap() {
+        let c = lower(
+            "
+circuit T :
+  module T :
+    input in : { flip ready : UInt<1>, valid : UInt<1> }
+    output out : { flip ready : UInt<1>, valid : UInt<1> }
+    out <= in
+",
+        );
+        let m = c.top_module();
+        assert_eq!(m.body.len(), 2);
+        match &m.body[0] {
+            Stmt::Connect { loc, value, .. } => {
+                // flipped leaf: direction swapped
+                assert_eq!(loc, &Expr::r("in_ready"));
+                assert_eq!(value, &Expr::r("out_ready"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &m.body[1] {
+            Stmt::Connect { loc, value, .. } => {
+                assert_eq!(loc, &Expr::r("out_valid"));
+                assert_eq!(value, &Expr::r("in_valid"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn instance_ports_flatten_to_one_level() {
+        let c = lower(
+            "
+circuit Top :
+  module Child :
+    input io : { valid : UInt<1>, bits : UInt<8> }
+    output o : UInt<8>
+    o <= io.bits
+  module Top :
+    input v : UInt<1>
+    input b : UInt<8>
+    output o : UInt<8>
+    inst c of Child
+    c.io.valid <= v
+    c.io.bits <= b
+    o <= c.o
+",
+        );
+        let m = c.top_module();
+        match &m.body[1] {
+            Stmt::Connect { loc, .. } => {
+                assert_eq!(loc, &Expr::SubField(Box::new(Expr::r("c")), "io_valid".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        // child module ports also flattened
+        let child = c.module("Child").unwrap();
+        assert_eq!(child.ports[0].name, "io_valid");
+    }
+
+    #[test]
+    fn aggregate_reg_with_zero_init() {
+        let c = lower(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    output o : UInt<8>
+    reg r : { a : UInt<8>, b : UInt<4> }, clock with : (reset => (reset, UInt<1>(0)))
+    o <= r.a
+",
+        );
+        let m = c.top_module();
+        match &m.body[0] {
+            Stmt::Reg { name, ty, reset: Some((_, init)), .. } => {
+                assert_eq!(name, "r_a");
+                assert_eq!(ty, &Type::uint(8));
+                assert_eq!(init.as_lit().unwrap().width(), 8);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_access_is_preserved() {
+        let c = lower(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input addr : UInt<8>
+    output o : UInt<8>
+    mem m : UInt<8>[256], readers(r), writers(w)
+    m.r.addr <= addr
+    m.r.en <= UInt<1>(1)
+    o <= m.r.data
+",
+        );
+        let m = c.top_module();
+        match &m.body[1] {
+            Stmt::Connect { loc, .. } => {
+                let expect = Expr::SubField(
+                    Box::new(Expr::SubField(Box::new(Expr::r("m")), "r".into())),
+                    "addr".into(),
+                );
+                assert_eq!(loc, &expect);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_aliasing_bundle_expands() {
+        let c = lower(
+            "
+circuit T :
+  module T :
+    input io : { valid : UInt<1>, bits : UInt<8> }
+    output o : UInt<8>
+    node n = io
+    o <= n.bits
+",
+        );
+        let m = c.top_module();
+        assert!(matches!(&m.body[0], Stmt::Node { name, .. } if name == "n_valid"));
+        assert!(matches!(&m.body[1], Stmt::Node { name, .. } if name == "n_bits"));
+        match &m.body[2] {
+            Stmt::Connect { value, .. } => assert_eq!(value, &Expr::r("n_bits")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Compiler passes over the FIRRTL IR.
+//!
+//! The canonical lowering pipeline (see DESIGN.md §3) is:
+//!
+//! 1. [`check::check`] — well-formedness
+//! 2. [`infer_widths::infer_widths`] — resolve unknown widths
+//! 3. *(ready/valid coverage runs here, in `rtlcov-core`)*
+//! 4. [`lower_types::lower_types`] — flatten bundles and vectors
+//! 5. *(line coverage runs here)*
+//! 6. [`expand_whens::expand_whens`] — branches become mux trees
+//! 7. [`const_prop::const_prop`] + [`dce::dce`] — optimization
+//! 8. *(FSM and toggle coverage run here)*
+//!
+//! [`lower`] runs the whole pipeline at once for callers that do not need to
+//! interleave instrumentation.
+
+pub mod alias;
+pub mod check;
+pub mod const_prop;
+pub mod dce;
+pub mod expand_whens;
+pub mod infer_widths;
+pub mod lower_types;
+
+use crate::ir::Circuit;
+use std::fmt;
+
+/// Error raised by any lowering pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassError {
+    /// Name of the failing pass.
+    pub pass: &'static str,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl PassError {
+    /// Construct an error for `pass`.
+    pub fn new(pass: &'static str, msg: impl Into<String>) -> Self {
+        PassError { pass, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.pass, self.msg)
+    }
+}
+
+impl std::error::Error for PassError {}
+
+impl From<crate::typecheck::TypeError> for PassError {
+    fn from(e: crate::typecheck::TypeError) -> Self {
+        PassError::new("typecheck", e.0)
+    }
+}
+
+/// Run the full lowering pipeline: check → infer widths → lower types →
+/// expand whens → constant propagation → dead code elimination.
+///
+/// The result is "low FIRRTL": ground types only, no `when` blocks, single
+/// unconditional connect per sink — the form every backend consumes.
+///
+/// # Errors
+///
+/// Propagates the first [`PassError`] from any stage.
+pub fn lower(circuit: Circuit) -> Result<Circuit, PassError> {
+    let circuit = check::check(circuit)?;
+    let circuit = infer_widths::infer_widths(circuit)?;
+    let circuit = lower_types::lower_types(circuit)?;
+    let circuit = expand_whens::expand_whens(circuit)?;
+    let circuit = const_prop::const_prop(circuit)?;
+    dce::dce(circuit)
+}

@@ -1,0 +1,230 @@
+//! Serialization of the IR back to `.fir` text.
+//!
+//! `parse(print(c))` round-trips for every circuit the parser accepts, which
+//! the property tests in `tests/` rely on.
+
+use crate::ir::*;
+use std::fmt::Write;
+
+/// Render a whole circuit as `.fir` text, including annotation directives.
+pub fn print_circuit(c: &Circuit) -> String {
+    let mut out = String::new();
+    for a in &c.annotations {
+        match a {
+            Annotation::EnumDef(def) => {
+                let vars: Vec<String> =
+                    def.variants.iter().map(|(n, v)| format!("{n}={v}")).collect();
+                let _ = writeln!(out, "; @enumdef {} {}", def.name, vars.join(","));
+            }
+            Annotation::EnumReg { module, reg, enum_name } => {
+                let _ = writeln!(out, "; @enumreg {module}.{reg} {enum_name}");
+            }
+            Annotation::Decoupled { module, port } => {
+                let _ = writeln!(out, "; @decoupled {module}.{port}");
+            }
+            Annotation::Custom { .. } => {}
+        }
+    }
+    let _ = writeln!(out, "circuit {} :", c.top);
+    for m in &c.modules {
+        print_module(m, &mut out);
+    }
+    out
+}
+
+fn print_module(m: &Module, out: &mut String) {
+    let _ = writeln!(out, "  module {} :{}", m.name, m.info);
+    for p in &m.ports {
+        let dir = match p.dir {
+            Direction::Input => "input",
+            Direction::Output => "output",
+        };
+        let _ = writeln!(out, "    {dir} {} : {}{}", p.name, print_type(&p.ty), p.info);
+    }
+    if m.body.is_empty() {
+        let _ = writeln!(out, "    skip");
+    }
+    for s in &m.body {
+        print_stmt(s, 4, out);
+    }
+}
+
+/// Render a type.
+pub fn print_type(ty: &Type) -> String {
+    match ty {
+        Type::Clock => "Clock".into(),
+        Type::Reset => "Reset".into(),
+        Type::UInt(Some(w)) => format!("UInt<{w}>"),
+        Type::UInt(None) => "UInt".into(),
+        Type::SInt(Some(w)) => format!("SInt<{w}>"),
+        Type::SInt(None) => "SInt".into(),
+        Type::Bundle(fields) => {
+            let fs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{}{} : {}",
+                        if f.flip { "flip " } else { "" },
+                        f.name,
+                        print_type(&f.ty)
+                    )
+                })
+                .collect();
+            format!("{{ {} }}", fs.join(", "))
+        }
+        Type::Vector(elem, n) => format!("{}[{n}]", print_type(elem)),
+    }
+}
+
+/// Render an expression.
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Ref(n) => n.clone(),
+        Expr::SubField(e, f) => format!("{}.{f}", print_expr(e)),
+        Expr::SubIndex(e, i) => format!("{}[{i}]", print_expr(e)),
+        Expr::UIntLit(v) => format!("UInt<{}>(\"h{:x}\")", v.width(), v),
+        Expr::SIntLit(v) => format!("SInt<{}>(\"h{:x}\")", v.width(), v),
+        Expr::Mux(c, t, f) => {
+            format!("mux({}, {}, {})", print_expr(c), print_expr(t), print_expr(f))
+        }
+        Expr::ValidIf(c, v) => format!("validif({}, {})", print_expr(c), print_expr(v)),
+        Expr::Prim { op, args, consts } => {
+            let mut parts: Vec<String> = args.iter().map(print_expr).collect();
+            parts.extend(consts.iter().map(|c| c.to_string()));
+            format!("{}({})", op.name(), parts.join(", "))
+        }
+    }
+}
+
+fn print_stmt(s: &Stmt, indent: usize, out: &mut String) {
+    let pad = " ".repeat(indent);
+    match s {
+        Stmt::Wire { name, ty, info } => {
+            let _ = writeln!(out, "{pad}wire {name} : {}{info}", print_type(ty));
+        }
+        Stmt::Reg { name, ty, clock, reset, info } => {
+            let base = format!("{pad}reg {name} : {}, {}", print_type(ty), print_expr(clock));
+            match reset {
+                Some((rst, init)) => {
+                    let _ = writeln!(
+                        out,
+                        "{base} with : (reset => ({}, {})){info}",
+                        print_expr(rst),
+                        print_expr(init)
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{base}{info}");
+                }
+            }
+        }
+        Stmt::Node { name, value, info } => {
+            let _ = writeln!(out, "{pad}node {name} = {}{info}", print_expr(value));
+        }
+        Stmt::Connect { loc, value, info } => {
+            let _ = writeln!(out, "{pad}{} <= {}{info}", print_expr(loc), print_expr(value));
+        }
+        Stmt::Invalid { loc, info } => {
+            let _ = writeln!(out, "{pad}{} is invalid{info}", print_expr(loc));
+        }
+        Stmt::Inst { name, module, info } => {
+            let _ = writeln!(out, "{pad}inst {name} of {module}{info}");
+        }
+        Stmt::Mem(mem) => {
+            let mut line = format!(
+                "{pad}mem {} : {}[{}]",
+                mem.name,
+                print_type(&mem.data_ty),
+                mem.depth
+            );
+            if !mem.readers.is_empty() {
+                let _ = write!(line, ", readers({})", mem.readers.join(", "));
+            }
+            if !mem.writers.is_empty() {
+                let _ = write!(line, ", writers({})", mem.writers.join(", "));
+            }
+            let _ = writeln!(out, "{line}{}", mem.info);
+        }
+        Stmt::When { cond, then, else_, info } => {
+            let _ = writeln!(out, "{pad}when {} :{info}", print_expr(cond));
+            if then.is_empty() {
+                let _ = writeln!(out, "{pad}  skip");
+            }
+            for s in then {
+                print_stmt(s, indent + 2, out);
+            }
+            if !else_.is_empty() {
+                let _ = writeln!(out, "{pad}else :");
+                for s in else_ {
+                    print_stmt(s, indent + 2, out);
+                }
+            }
+        }
+        Stmt::Cover { name, clock, pred, enable, info } => {
+            let _ = writeln!(
+                out,
+                "{pad}cover({}, {}, {}) : {name}{info}",
+                print_expr(clock),
+                print_expr(pred),
+                print_expr(enable)
+            );
+        }
+        Stmt::CoverValues { name, clock, signal, enable, info } => {
+            let _ = writeln!(
+                out,
+                "{pad}cover_values({}, {}, {}) : {name}{info}",
+                print_expr(clock),
+                print_expr(signal),
+                print_expr(enable)
+            );
+        }
+        Stmt::Skip => {
+            let _ = writeln!(out, "{pad}skip");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = r#"
+; @enumdef S A=0,B=1
+; @enumreg T.state S
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    input io : { flip ready : UInt<1>, valid : UInt<1> }
+    output o : UInt<8>
+    reg state : UInt<2>, clock with : (reset => (reset, UInt<2>(0)))
+    node t = and(io.valid, io.ready)
+    when t :
+      o <= UInt<8>(1)
+    else :
+      o <= UInt<8>(2)
+    cover(clock, t, UInt<1>(1)) : fire
+"#;
+
+    #[test]
+    fn roundtrip() {
+        let c1 = parse(SRC).unwrap();
+        let text = print_circuit(&c1);
+        let c2 = parse(&text).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn roundtrip_twice_is_stable() {
+        let c1 = parse(SRC).unwrap();
+        let t1 = print_circuit(&c1);
+        let t2 = print_circuit(&parse(&t1).unwrap());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn prints_literals_as_hex() {
+        assert_eq!(print_expr(&Expr::u(255, 8)), "UInt<8>(\"hff\")");
+    }
+}

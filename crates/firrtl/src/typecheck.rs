@@ -1,0 +1,388 @@
+//! Expression typing rules for the FIRRTL subset.
+//!
+//! Given an environment mapping component names to their declared types,
+//! [`expr_type`] computes the type (and thus width) of any expression
+//! following the FIRRTL specification's width rules. The lowering passes and
+//! all simulators rely on these rules, so they live here in one place.
+
+use crate::ir::{Expr, PrimOp, Type};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum width produced by `dshl` before we clamp (keeps memory bounded
+/// for adversarial shift-amount widths).
+const MAX_DSHL_WIDTH: u32 = 1 << 16;
+
+/// Error produced while typing an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError(pub String);
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Component-name → declared-type environment for one module.
+pub type TypeEnv = HashMap<String, Type>;
+
+fn ground_width(ty: &Type, what: &str) -> Result<u32, TypeError> {
+    ty.width().ok_or_else(|| TypeError(format!("{what} has unknown or aggregate width: {ty}")))
+}
+
+/// Compute the type of `expr` in `env`.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] when a reference is unbound, a field/index does
+/// not exist, or operand types are invalid for an operation.
+pub fn expr_type(expr: &Expr, env: &TypeEnv) -> Result<Type, TypeError> {
+    match expr {
+        Expr::Ref(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| TypeError(format!("unbound reference `{name}`"))),
+        Expr::SubField(e, field) => {
+            let ty = expr_type(e, env)?;
+            match &ty {
+                Type::Bundle(fields) => fields
+                    .iter()
+                    .find(|f| &f.name == field)
+                    .map(|f| f.ty.clone())
+                    .ok_or_else(|| TypeError(format!("no field `{field}` in {ty:?}"))),
+                other => Err(TypeError(format!("subfield `{field}` of non-bundle {other}"))),
+            }
+        }
+        Expr::SubIndex(e, i) => {
+            let ty = expr_type(e, env)?;
+            match ty {
+                Type::Vector(elem, n) => {
+                    if *i < n {
+                        Ok(*elem)
+                    } else {
+                        Err(TypeError(format!("index {i} out of bounds for vector of {n}")))
+                    }
+                }
+                other => Err(TypeError(format!("subindex of non-vector {other}"))),
+            }
+        }
+        Expr::UIntLit(v) => Ok(Type::uint(v.width())),
+        Expr::SIntLit(v) => Ok(Type::sint(v.width())),
+        Expr::Mux(c, t, e) => {
+            let ct = expr_type(c, env)?;
+            ground_width(&ct, "mux condition")?;
+            let tt = expr_type(t, env)?;
+            let et = expr_type(e, env)?;
+            let w = ground_width(&tt, "mux true value")?.max(ground_width(&et, "mux false value")?);
+            if tt.is_signed() && et.is_signed() {
+                Ok(Type::sint(w))
+            } else {
+                Ok(Type::uint(w))
+            }
+        }
+        Expr::ValidIf(c, v) => {
+            expr_type(c, env)?;
+            expr_type(v, env)
+        }
+        Expr::Prim { op, args, consts } => prim_type(*op, args, consts, env),
+    }
+}
+
+fn prim_type(op: PrimOp, args: &[Expr], consts: &[u64], env: &TypeEnv) -> Result<Type, TypeError> {
+    let tys: Vec<Type> = args.iter().map(|a| expr_type(a, env)).collect::<Result<_, _>>()?;
+    let w = |i: usize| -> Result<u32, TypeError> { ground_width(&tys[i], op.name()) };
+    let signed = |i: usize| tys[i].is_signed();
+    let c = |i: usize| consts[i] as u32;
+    Ok(match op {
+        PrimOp::Add | PrimOp::Sub => {
+            let wr = w(0)?.max(w(1)?) + 1;
+            if signed(0) || signed(1) {
+                Type::sint(wr)
+            } else {
+                Type::uint(wr)
+            }
+        }
+        PrimOp::Mul => {
+            let wr = w(0)? + w(1)?;
+            if signed(0) || signed(1) {
+                Type::sint(wr)
+            } else {
+                Type::uint(wr)
+            }
+        }
+        PrimOp::Div => {
+            if signed(0) {
+                Type::sint(w(0)? + 1)
+            } else {
+                Type::uint(w(0)?)
+            }
+        }
+        PrimOp::Rem => {
+            let wr = w(0)?.min(w(1)?).max(1);
+            if signed(0) {
+                Type::sint(wr)
+            } else {
+                Type::uint(wr)
+            }
+        }
+        PrimOp::Lt | PrimOp::Leq | PrimOp::Gt | PrimOp::Geq | PrimOp::Eq | PrimOp::Neq => {
+            Type::bool()
+        }
+        PrimOp::And | PrimOp::Or | PrimOp::Xor => Type::uint(w(0)?.max(w(1)?)),
+        PrimOp::Not => Type::uint(w(0)?),
+        PrimOp::Neg => Type::sint(w(0)? + 1),
+        PrimOp::Andr | PrimOp::Orr | PrimOp::Xorr => Type::bool(),
+        PrimOp::Pad => {
+            let wr = w(0)?.max(c(0));
+            tys[0].with_width(wr)
+        }
+        PrimOp::Shl => tys[0].with_width(w(0)? + c(0)),
+        PrimOp::Shr => tys[0].with_width(w(0)?.saturating_sub(c(0)).max(1)),
+        PrimOp::Dshl => {
+            let amt_w = w(1)?;
+            let grow = if amt_w >= 17 { MAX_DSHL_WIDTH } else { (1u32 << amt_w) - 1 };
+            tys[0].with_width((w(0)? + grow).min(MAX_DSHL_WIDTH))
+        }
+        PrimOp::Dshr => tys[0].with_width(w(0)?),
+        PrimOp::Cat => Type::uint(w(0)? + w(1)?),
+        PrimOp::Bits => {
+            let (hi, lo) = (c(0), c(1));
+            if hi < lo {
+                return Err(TypeError(format!("bits({hi}, {lo}) with hi < lo")));
+            }
+            if hi >= w(0)? {
+                return Err(TypeError(format!(
+                    "bits({hi}, {lo}) out of range for width {}",
+                    w(0)?
+                )));
+            }
+            Type::uint(hi - lo + 1)
+        }
+        PrimOp::Head => {
+            if c(0) > w(0)? {
+                return Err(TypeError(format!("head({}) exceeds width {}", c(0), w(0)?)));
+            }
+            Type::uint(c(0).max(1))
+        }
+        PrimOp::Tail => Type::uint(w(0)?.saturating_sub(c(0)).max(1)),
+        PrimOp::AsUInt => Type::uint(w(0)?),
+        PrimOp::AsSInt => Type::sint(w(0)?),
+        PrimOp::AsClock => Type::Clock,
+        PrimOp::Cvt => {
+            if signed(0) {
+                Type::sint(w(0)?)
+            } else {
+                Type::sint(w(0)? + 1)
+            }
+        }
+    })
+}
+
+/// Build the type environment for a module body: ports plus every locally
+/// declared wire, register, node, memory and instance.
+///
+/// Instance components are typed as a bundle of the instantiated module's
+/// ports (outputs non-flipped, inputs flipped). Memory components are typed
+/// as a bundle of their port bundles.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if a node's expression fails to type, or an
+/// instance references an unknown module.
+pub fn module_env(
+    module: &crate::ir::Module,
+    circuit: &crate::ir::Circuit,
+) -> Result<TypeEnv, TypeError> {
+    use crate::ir::{Field, Stmt};
+    let mut env = TypeEnv::new();
+    for p in &module.ports {
+        env.insert(p.name.clone(), p.ty.clone());
+    }
+    // Declarations can reference earlier nodes, so walk in order; `when`
+    // bodies are walked too since FIRRTL scoping is module-wide for our
+    // purposes (the parser guarantees unique names).
+    fn walk(
+        stmts: &[Stmt],
+        env: &mut TypeEnv,
+        circuit: &crate::ir::Circuit,
+    ) -> Result<(), TypeError> {
+        for s in stmts {
+            match s {
+                Stmt::Wire { name, ty, .. } | Stmt::Reg { name, ty, .. } => {
+                    env.insert(name.clone(), ty.clone());
+                }
+                Stmt::Node { name, value, .. } => {
+                    let ty = expr_type(value, env)?;
+                    env.insert(name.clone(), ty);
+                }
+                Stmt::Inst { name, module, .. } => {
+                    let target = circuit
+                        .module(module)
+                        .ok_or_else(|| TypeError(format!("unknown module `{module}`")))?;
+                    let fields = target
+                        .ports
+                        .iter()
+                        .map(|p| Field {
+                            name: p.name.clone(),
+                            flip: p.dir == crate::ir::Direction::Input,
+                            ty: p.ty.clone(),
+                        })
+                        .collect();
+                    env.insert(name.clone(), Type::Bundle(fields));
+                }
+                Stmt::Mem(mem) => {
+                    let addr_w = addr_width(mem.depth);
+                    let mut fields = Vec::new();
+                    for r in &mem.readers {
+                        fields.push(Field {
+                            name: r.clone(),
+                            flip: false,
+                            ty: Type::Bundle(vec![
+                                Field { name: "addr".into(), flip: true, ty: Type::uint(addr_w) },
+                                Field { name: "en".into(), flip: true, ty: Type::bool() },
+                                Field { name: "data".into(), flip: false, ty: mem.data_ty.clone() },
+                            ]),
+                        });
+                    }
+                    for wr in &mem.writers {
+                        fields.push(Field {
+                            name: wr.clone(),
+                            flip: false,
+                            ty: Type::Bundle(vec![
+                                Field { name: "addr".into(), flip: true, ty: Type::uint(addr_w) },
+                                Field { name: "en".into(), flip: true, ty: Type::bool() },
+                                Field { name: "data".into(), flip: true, ty: mem.data_ty.clone() },
+                                Field { name: "mask".into(), flip: true, ty: Type::bool() },
+                            ]),
+                        });
+                    }
+                    env.insert(mem.name.clone(), Type::Bundle(fields));
+                }
+                Stmt::When { then, else_, .. } => {
+                    walk(then, env, circuit)?;
+                    walk(else_, env, circuit)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+    walk(&module.body, &mut env, circuit)?;
+    Ok(env)
+}
+
+/// Address width needed to index `depth` elements (min 1).
+pub fn addr_width(depth: usize) -> u32 {
+    (usize::BITS - depth.saturating_sub(1).leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::*;
+
+    fn env() -> TypeEnv {
+        let mut e = TypeEnv::new();
+        e.insert("a".into(), Type::uint(8));
+        e.insert("b".into(), Type::uint(4));
+        e.insert("s".into(), Type::sint(8));
+        e.insert(
+            "io".into(),
+            Type::Bundle(vec![
+                Field { name: "valid".into(), flip: false, ty: Type::bool() },
+                Field { name: "bits".into(), flip: false, ty: Type::uint(16) },
+            ]),
+        );
+        e.insert("v".into(), Type::Vector(Box::new(Type::uint(4)), 3));
+        e
+    }
+
+    fn t(e: &Expr) -> Type {
+        expr_type(e, &env()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_widths() {
+        assert_eq!(t(&Expr::prim(PrimOp::Add, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::uint(9));
+        assert_eq!(t(&Expr::prim(PrimOp::Mul, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::uint(12));
+        assert_eq!(t(&Expr::prim(PrimOp::Div, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::uint(8));
+        assert_eq!(t(&Expr::prim(PrimOp::Rem, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::uint(4));
+        assert_eq!(
+            t(&Expr::prim(PrimOp::Add, vec![Expr::r("s"), Expr::r("s")], vec![])),
+            Type::sint(9)
+        );
+    }
+
+    #[test]
+    fn comparison_is_bool() {
+        assert_eq!(t(&Expr::prim(PrimOp::Lt, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::bool());
+        assert_eq!(t(&Expr::eq(Expr::r("a"), Expr::r("b"))), Type::bool());
+    }
+
+    #[test]
+    fn slicing() {
+        assert_eq!(t(&Expr::prim(PrimOp::Bits, vec![Expr::r("a")], vec![5, 2])), Type::uint(4));
+        assert_eq!(t(&Expr::prim(PrimOp::Tail, vec![Expr::r("a")], vec![3])), Type::uint(5));
+        assert_eq!(t(&Expr::prim(PrimOp::Head, vec![Expr::r("a")], vec![3])), Type::uint(3));
+        assert_eq!(t(&Expr::prim(PrimOp::Cat, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::uint(12));
+    }
+
+    #[test]
+    fn bits_out_of_range_is_error() {
+        let e = Expr::prim(PrimOp::Bits, vec![Expr::r("b")], vec![9, 0]);
+        assert!(expr_type(&e, &env()).is_err());
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(t(&Expr::prim(PrimOp::Shl, vec![Expr::r("a")], vec![4])), Type::uint(12));
+        assert_eq!(t(&Expr::prim(PrimOp::Shr, vec![Expr::r("a")], vec![20])), Type::uint(1));
+        assert_eq!(
+            t(&Expr::prim(PrimOp::Dshl, vec![Expr::r("a"), Expr::r("b")], vec![])),
+            Type::uint(8 + 15)
+        );
+        assert_eq!(t(&Expr::prim(PrimOp::Dshr, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::uint(8));
+    }
+
+    #[test]
+    fn aggregates() {
+        let valid = Expr::SubField(Box::new(Expr::r("io")), "valid".into());
+        assert_eq!(t(&valid), Type::bool());
+        let elt = Expr::SubIndex(Box::new(Expr::r("v")), 2);
+        assert_eq!(t(&elt), Type::uint(4));
+        let oob = Expr::SubIndex(Box::new(Expr::r("v")), 3);
+        assert!(expr_type(&oob, &env()).is_err());
+    }
+
+    #[test]
+    fn mux_and_validif() {
+        let m = Expr::mux(Expr::r("b"), Expr::r("a"), Expr::u(0, 3));
+        assert_eq!(t(&m), Type::uint(8));
+        let v = Expr::ValidIf(Box::new(Expr::one()), Box::new(Expr::r("a")));
+        assert_eq!(t(&v), Type::uint(8));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(t(&Expr::prim(PrimOp::AsSInt, vec![Expr::r("a")], vec![])), Type::sint(8));
+        assert_eq!(t(&Expr::prim(PrimOp::AsUInt, vec![Expr::r("s")], vec![])), Type::uint(8));
+        assert_eq!(t(&Expr::prim(PrimOp::Cvt, vec![Expr::r("a")], vec![])), Type::sint(9));
+        assert_eq!(t(&Expr::prim(PrimOp::Cvt, vec![Expr::r("s")], vec![])), Type::sint(8));
+    }
+
+    #[test]
+    fn unbound_ref_is_error() {
+        assert!(expr_type(&Expr::r("nope"), &env()).is_err());
+    }
+
+    #[test]
+    fn addr_widths() {
+        assert_eq!(addr_width(1), 1);
+        assert_eq!(addr_width(2), 1);
+        assert_eq!(addr_width(3), 2);
+        assert_eq!(addr_width(1024), 10);
+        assert_eq!(addr_width(1025), 11);
+    }
+}

@@ -1,0 +1,517 @@
+//! Bounded model checking for cover trace generation (§3.4/§5.5).
+//!
+//! The circuit's transition relation is unrolled `k` steps; for each cover
+//! statement the solver searches for a sequence of inputs (and, optionally,
+//! initial memory contents) that makes the covered predicate true at some
+//! step. SymbiYosys plays this role in the paper: "given a design
+//! annotated with cover points, it will try to find sequences of inputs
+//! that will lead to each of the cover points".
+
+use crate::encode::{encode_expr, EncodeError, Encoder, Word};
+use crate::sat::{Lit, SatResult};
+use rtlcov_sim::compile::topo_order;
+use rtlcov_sim::elaborate::{Def, FlatCircuit};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Options for a BMC run.
+#[derive(Debug, Clone, Copy)]
+pub struct BmcOptions {
+    /// Number of unrolled steps (the paper's §5.5 uses 40).
+    pub max_steps: usize,
+    /// Conflict budget per cover query (0 = unlimited).
+    pub conflict_budget: u64,
+    /// Treat initial memory contents as free variables (lets the solver
+    /// choose the program for CPU designs). Memories deeper than 64 words
+    /// are rejected in this mode.
+    pub symbolic_mem_init: bool,
+}
+
+impl Default for BmcOptions {
+    fn default() -> Self {
+        BmcOptions { max_steps: 40, conflict_budget: 2_000_000, symbolic_mem_init: true }
+    }
+}
+
+/// Outcome for one cover point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverOutcome {
+    /// Reached at the given step; the trace drives it.
+    Reached {
+        /// First step (0-based) at which the cover fires in the trace.
+        step: usize,
+        /// The witness trace.
+        trace: Trace,
+    },
+    /// Proven unreachable within the bound.
+    UnreachableWithin(usize),
+    /// Solver budget exhausted.
+    Unknown,
+}
+
+/// Result for one cover point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverResult {
+    /// Hierarchical cover name.
+    pub name: String,
+    /// Outcome.
+    pub outcome: CoverOutcome,
+}
+
+/// A witness trace: per-step input values plus initial memory contents.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// `inputs[step][input_index]` aligned with [`Trace::input_names`].
+    pub inputs: Vec<Vec<u64>>,
+    /// Input names.
+    pub input_names: Vec<String>,
+    /// Initial memory contents (`mem name → words`).
+    pub mem_init: HashMap<String, Vec<u64>>,
+}
+
+impl Trace {
+    /// Replay the trace on a simulator (loading memories first) and return
+    /// the final cover counts — used to validate formal traces against the
+    /// software backends.
+    pub fn replay(&self, sim: &mut dyn rtlcov_sim::Simulator) -> rtlcov_core::CoverageMap {
+        for (mem, words) in &self.mem_init {
+            for (addr, value) in words.iter().enumerate() {
+                sim.write_mem(mem, addr as u64, *value).expect("trace memories fit");
+            }
+        }
+        for step in &self.inputs {
+            for (name, value) in self.input_names.iter().zip(step) {
+                sim.poke(name, *value);
+            }
+            sim.step();
+        }
+        sim.cover_counts()
+    }
+}
+
+/// Error from the BMC engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BmcError(pub String);
+
+impl fmt::Display for BmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bmc error: {}", self.0)
+    }
+}
+
+impl std::error::Error for BmcError {}
+
+impl From<EncodeError> for BmcError {
+    fn from(e: EncodeError) -> Self {
+        BmcError(e.0)
+    }
+}
+
+type Env = HashMap<String, (Word, bool)>;
+
+/// The unrolled model.
+struct Unrolling {
+    enc: Encoder,
+    /// Per-step, per-input words (for trace extraction).
+    input_words: Vec<Vec<(String, Word)>>,
+    /// Initial memory words (for trace extraction).
+    mem_init_words: HashMap<String, Vec<Word>>,
+    /// Per-cover indicator literal: true iff the cover fires at any step.
+    cover_any: Vec<(String, Lit)>,
+    /// Per-cover, per-step hit literals (to find the first firing step).
+    cover_hits: Vec<Vec<Lit>>,
+}
+
+/// Check every cover in the flat circuit within `options.max_steps` cycles.
+///
+/// The `reset` input (if present) is pinned high for one step and low
+/// afterwards, and registers start at zero — matching the software
+/// simulators' reset convention.
+///
+/// # Errors
+///
+/// Fails if the circuit uses operations the encoder does not support or
+/// memories too large for the chosen initialization mode.
+pub fn check_covers(
+    flat: &FlatCircuit,
+    options: BmcOptions,
+) -> Result<Vec<CoverResult>, BmcError> {
+    let mut unrolled = unroll(flat, options)?;
+    unrolled.enc.solver.set_conflict_budget(if options.conflict_budget == 0 {
+        u64::MAX
+    } else {
+        options.conflict_budget
+    });
+
+    let mut results = Vec::new();
+    for ci in 0..unrolled.cover_any.len() {
+        let (name, any) = unrolled.cover_any[ci].clone();
+        match unrolled.enc.solver.solve_with_assumptions(&[any]) {
+            SatResult::Sat => {
+                // first firing step from the model
+                let step = unrolled.cover_hits[ci]
+                    .iter()
+                    .position(|&h| unrolled.enc.solver.lit_is_true(h))
+                    .unwrap_or(0);
+                let trace = extract_trace(&unrolled, flat);
+                results.push(CoverResult {
+                    name,
+                    outcome: CoverOutcome::Reached { step, trace },
+                });
+            }
+            SatResult::Unsat => results.push(CoverResult {
+                name,
+                outcome: CoverOutcome::UnreachableWithin(options.max_steps),
+            }),
+            SatResult::Unknown => {
+                results.push(CoverResult { name, outcome: CoverOutcome::Unknown })
+            }
+        }
+    }
+    Ok(results)
+}
+
+fn extract_trace(u: &Unrolling, _flat: &FlatCircuit) -> Trace {
+    let input_names: Vec<String> =
+        u.input_words.first().map(|v| v.iter().map(|(n, _)| n.clone()).collect()).unwrap_or_default();
+    let inputs = u
+        .input_words
+        .iter()
+        .map(|step| step.iter().map(|(_, w)| u.enc.word_value(w)).collect())
+        .collect();
+    let mem_init = u
+        .mem_init_words
+        .iter()
+        .map(|(name, words)| {
+            (name.clone(), words.iter().map(|w| u.enc.word_value(w)).collect())
+        })
+        .collect();
+    Trace { inputs, input_names, mem_init }
+}
+
+const MAX_SYMBOLIC_MEM: usize = 64;
+
+fn unroll(flat: &FlatCircuit, options: BmcOptions) -> Result<Unrolling, BmcError> {
+    let mut enc = Encoder::new();
+    let order = topo_order(flat).map_err(|e| BmcError(e.0))?;
+
+    // initial state: registers at zero (reset is replayed explicitly)
+    let mut reg_state: HashMap<String, Word> = HashMap::new();
+    for r in &flat.regs {
+        reg_state.insert(r.name.clone(), enc.const_word(0, r.width));
+    }
+    // initial memory contents
+    let mut mem_state: HashMap<String, Vec<Word>> = HashMap::new();
+    let mut mem_init_words: HashMap<String, Vec<Word>> = HashMap::new();
+    for m in &flat.mems {
+        let init: Vec<Word> = if options.symbolic_mem_init {
+            if m.depth > MAX_SYMBOLIC_MEM {
+                return Err(BmcError(format!(
+                    "memory `{}` has {} words; symbolic init supports ≤ {MAX_SYMBOLIC_MEM} \
+                     (build the design with smaller memories for formal runs)",
+                    m.name, m.depth
+                )));
+            }
+            (0..m.depth).map(|_| enc.fresh_word(m.width)).collect()
+        } else {
+            (0..m.depth).map(|_| enc.const_word(0, m.width)).collect()
+        };
+        if options.symbolic_mem_init {
+            mem_init_words.insert(m.name.clone(), init.clone());
+        }
+        mem_state.insert(m.name.clone(), init);
+    }
+
+    let mut input_words: Vec<Vec<(String, Word)>> = Vec::new();
+    let mut cover_hits: Vec<Vec<Lit>> = vec![Vec::new(); flat.covers.len()];
+
+    for step in 0..options.max_steps {
+        // inputs: reset pinned (high at step 0, low after); rest free
+        let mut env: Env = HashMap::new();
+        let mut step_inputs = Vec::new();
+        for name in &flat.inputs {
+            let sig = &flat.signals[name];
+            let word = if name == "reset" {
+                if step == 0 {
+                    enc.const_word(1, sig.width)
+                } else {
+                    enc.const_word(0, sig.width)
+                }
+            } else {
+                enc.fresh_word(sig.width)
+            };
+            step_inputs.push((name.clone(), word.clone()));
+            env.insert(name.clone(), (word, sig.signed));
+        }
+        input_words.push(step_inputs);
+        // clock-typed signals (never read as data) default to zero
+        for (name, sig) in &flat.signals {
+            if !env.contains_key(name) && matches!(sig.def, Def::Input) {
+                env.insert(name.clone(), (enc.const_word(0, sig.width), sig.signed));
+            }
+        }
+        // registers carry the current state
+        for r in &flat.regs {
+            env.insert(r.name.clone(), (reg_state[&r.name].clone(), r.signed));
+        }
+        // pre-insert zeros for undriven signals so refs always resolve
+        for (name, sig) in &flat.signals {
+            if matches!(sig.def, Def::Zero) {
+                env.insert(name.clone(), (enc.const_word(0, sig.width), sig.signed));
+            }
+        }
+
+        // combinational logic in topological order
+        for name in &order {
+            let sig = &flat.signals[name];
+            match &sig.def {
+                Def::Expr(e) => {
+                    let (w, sgn) = encode_expr(&mut enc, e, &env)?;
+                    let sized = enc.extend_pub(&w, sig.width, sgn);
+                    env.insert(name.clone(), (sized, sig.signed));
+                }
+                Def::MemRead { mem, addr, en } => {
+                    let (addr_w, _) = env[addr].clone();
+                    let (en_w, _) = env[en].clone();
+                    let en_bit = enc.or_many(&en_w);
+                    let storage = mem_state[mem].clone();
+                    let mut value = enc.const_word(0, sig.width);
+                    for (a, word) in storage.iter().enumerate() {
+                        let addr_const = enc.const_word(a as u64, addr_w.len() as u32);
+                        let is_a = enc.eq_word(&addr_w, &addr_const);
+                        let sel = enc.and(is_a, en_bit);
+                        value = enc.mux_word(sel, word, &value, false);
+                    }
+                    env.insert(name.clone(), (value, false));
+                }
+                _ => {}
+            }
+        }
+
+        // covers
+        for (ci, cover) in flat.covers.iter().enumerate() {
+            let (p, _) = encode_expr(&mut enc, &cover.pred, &env)?;
+            let (e, _) = encode_expr(&mut enc, &cover.enable, &env)?;
+            let pb = enc.or_many(&p);
+            let eb = enc.or_many(&e);
+            let hit = enc.and(pb, eb);
+            cover_hits[ci].push(hit);
+        }
+
+        // memory writes (pre-edge values)
+        for m in &flat.mems {
+            let mut storage = mem_state[&m.name].clone();
+            for w in &m.writers {
+                let (addr_w, _) = env[&w.addr].clone();
+                let (en_w, _) = env[&w.en].clone();
+                let (mask_w, _) = env[&w.mask].clone();
+                let (data_w, _) = env[&w.data].clone();
+                let en_bit = enc.or_many(&en_w);
+                let mask_bit = enc.or_many(&mask_w);
+                let we = enc.and(en_bit, mask_bit);
+                let data_sized = enc.zext(&data_w, m.width);
+                for (a, slot) in storage.iter_mut().enumerate() {
+                    let addr_const = enc.const_word(a as u64, addr_w.len() as u32);
+                    let is_a = enc.eq_word(&addr_w, &addr_const);
+                    let sel = enc.and(we, is_a);
+                    *slot = enc.mux_word(sel, &data_sized, slot, false);
+                }
+            }
+            mem_state.insert(m.name.clone(), storage);
+        }
+
+        // register updates (pre-edge values, reset folded in)
+        let mut next_state = HashMap::new();
+        for r in &flat.regs {
+            let (next, sgn) = encode_expr(&mut enc, &r.next, &env)?;
+            let mut value = enc.extend_pub(&next, r.width, sgn);
+            if let Some((rst, init)) = &r.reset {
+                let (rw, _) = encode_expr(&mut enc, rst, &env)?;
+                let rbit = enc.or_many(&rw);
+                let (iw, isg) = encode_expr(&mut enc, init, &env)?;
+                let init_sized = enc.extend_pub(&iw, r.width, isg);
+                value = enc.mux_word(rbit, &init_sized, &value, false);
+            }
+            next_state.insert(r.name.clone(), value);
+        }
+        reg_state = next_state;
+    }
+
+    // per-cover "fires at any step" indicators
+    let mut cover_any = Vec::new();
+    for (ci, cover) in flat.covers.iter().enumerate() {
+        let hits = cover_hits[ci].clone();
+        let any = enc.or_many(&hits);
+        cover_any.push((cover.name.clone(), any));
+    }
+
+    Ok(Unrolling { enc, input_words, mem_init_words, cover_any, cover_hits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcov_firrtl::parser::parse;
+    use rtlcov_firrtl::passes;
+    use rtlcov_sim::elaborate::elaborate;
+
+    fn flat(src: &str) -> FlatCircuit {
+        elaborate(&passes::lower(parse(src).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn finds_combinational_cover() {
+        let f = flat(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<8>
+    cover(clock, eq(a, UInt<8>(42)), UInt<1>(1)) : magic
+",
+        );
+        let results = check_covers(&f, BmcOptions { max_steps: 1, ..Default::default() }).unwrap();
+        match &results[0].outcome {
+            CoverOutcome::Reached { step, trace } => {
+                assert_eq!(*step, 0);
+                let idx =
+                    trace.input_names.iter().position(|n| n == "a").unwrap();
+                assert_eq!(trace.inputs[0][idx], 42);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequential_depth_matters() {
+        // counter must reach 3: needs 4 post-reset steps
+        let src = "
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    reg r : UInt<4>, clock with : (reset => (reset, UInt<4>(0)))
+    when en :
+      r <= tail(add(r, UInt<4>(1)), 1)
+    cover(clock, eq(r, UInt<4>(3)), UInt<1>(1)) : r3
+";
+        let f = flat(src);
+        let shallow =
+            check_covers(&f, BmcOptions { max_steps: 3, ..Default::default() }).unwrap();
+        assert_eq!(shallow[0].outcome, CoverOutcome::UnreachableWithin(3));
+        let deep =
+            check_covers(&f, BmcOptions { max_steps: 6, ..Default::default() }).unwrap();
+        match &deep[0].outcome {
+            // 4 post-reset increments are required; the solver may idle
+            // extra steps (en is free), so 4 is a lower bound
+            CoverOutcome::Reached { step, .. } => assert!(*step >= 4, "step {step}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn structurally_unreachable_cover() {
+        let f = flat(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<4>
+    node both = and(eq(a, UInt<4>(1)), eq(a, UInt<4>(2)))
+    cover(clock, both, UInt<1>(1)) : impossible
+",
+        );
+        let results =
+            check_covers(&f, BmcOptions { max_steps: 5, ..Default::default() }).unwrap();
+        assert_eq!(results[0].outcome, CoverOutcome::UnreachableWithin(5));
+    }
+
+    #[test]
+    fn trace_replays_on_simulator() {
+        let src = "
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    input a : UInt<4>
+    input b : UInt<4>
+    reg seen : UInt<1>, clock with : (reset => (reset, UInt<1>(0)))
+    when eq(add(a, b), UInt<5>(9)) :
+      seen <= UInt<1>(1)
+    cover(clock, seen, UInt<1>(1)) : latched
+";
+        let f = flat(src);
+        let results =
+            check_covers(&f, BmcOptions { max_steps: 4, ..Default::default() }).unwrap();
+        let CoverOutcome::Reached { trace, .. } = &results[0].outcome else {
+            panic!("expected reached: {:?}", results[0].outcome);
+        };
+        let low = passes::lower(parse(src).unwrap()).unwrap();
+        let mut sim = rtlcov_sim::compiled::CompiledSim::new(&low).unwrap();
+        let counts = trace.replay(&mut sim);
+        assert!(counts.count("latched").unwrap() > 0, "{counts}");
+    }
+
+    #[test]
+    fn memory_covers_with_symbolic_init() {
+        // the cover needs the memory to contain 7 at address 2
+        let src = "
+circuit T :
+  module T :
+    input clock : Clock
+    mem m : UInt<4>[4], readers(r)
+    m.r.addr <= UInt<2>(2)
+    m.r.en <= UInt<1>(1)
+    cover(clock, eq(m.r.data, UInt<4>(7)), UInt<1>(1)) : lucky
+";
+        let f = flat(src);
+        let results =
+            check_covers(&f, BmcOptions { max_steps: 2, ..Default::default() }).unwrap();
+        let CoverOutcome::Reached { trace, .. } = &results[0].outcome else {
+            panic!("{:?}", results[0].outcome);
+        };
+        assert_eq!(trace.mem_init["m"][2], 7);
+        // with zero-initialized memories the same cover is unreachable
+        let zeroed = check_covers(
+            &f,
+            BmcOptions { max_steps: 2, symbolic_mem_init: false, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(zeroed[0].outcome, CoverOutcome::UnreachableWithin(2));
+    }
+
+    #[test]
+    fn mem_write_then_read_reachable() {
+        let src = "
+circuit T :
+  module T :
+    input clock : Clock
+    input waddr : UInt<2>
+    input wdata : UInt<4>
+    input wen : UInt<1>
+    mem m : UInt<4>[4], readers(r), writers(w)
+    m.r.addr <= UInt<2>(1)
+    m.r.en <= UInt<1>(1)
+    m.w.addr <= waddr
+    m.w.en <= wen
+    m.w.data <= wdata
+    m.w.mask <= UInt<1>(1)
+    cover(clock, eq(m.r.data, UInt<4>(9)), UInt<1>(1)) : nine
+";
+        let f = flat(src);
+        // zero-init: solver must WRITE 9 to address 1 first, needing 2 steps
+        let r1 = check_covers(
+            &f,
+            BmcOptions { max_steps: 1, symbolic_mem_init: false, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(r1[0].outcome, CoverOutcome::UnreachableWithin(1));
+        let r2 = check_covers(
+            &f,
+            BmcOptions { max_steps: 3, symbolic_mem_init: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!(matches!(r2[0].outcome, CoverOutcome::Reached { .. }), "{:?}", r2[0].outcome);
+    }
+}

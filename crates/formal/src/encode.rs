@@ -1,0 +1,741 @@
+//! Bit-blasting the flat netlist into CNF (Tseitin encoding).
+//!
+//! Words are little-endian vectors of literals. The encoding mirrors the
+//! FIRRTL width semantics implemented by `rtlcov_firrtl::eval` exactly, so
+//! a SAT model replayed on a software simulator reproduces the same
+//! behavior — the property the BMC trace tests rely on.
+
+use crate::sat::{Lit, Solver};
+use rtlcov_firrtl::ir::{Expr, PrimOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A bit vector of literals, LSB first.
+pub type Word = Vec<Lit>;
+
+/// Error produced during encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError(pub String);
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "encode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// CNF builder with gate helpers on top of the SAT solver.
+pub struct Encoder {
+    /// The underlying solver.
+    pub solver: Solver,
+    true_lit: Lit,
+}
+
+impl fmt::Debug for Encoder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Encoder").field("solver", &self.solver).finish()
+    }
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Encoder {
+    /// A fresh encoder with a constant-true literal.
+    pub fn new() -> Self {
+        let mut solver = Solver::new();
+        let t = Lit::pos(solver.new_var());
+        solver.add_clause(vec![t]);
+        Encoder { solver, true_lit: t }
+    }
+
+    /// The constant-true literal.
+    pub fn tru(&self) -> Lit {
+        self.true_lit
+    }
+
+    /// The constant-false literal.
+    pub fn fls(&self) -> Lit {
+        !self.true_lit
+    }
+
+    /// A fresh free literal.
+    pub fn fresh(&mut self) -> Lit {
+        Lit::pos(self.solver.new_var())
+    }
+
+    /// A fresh free word of `w` bits.
+    pub fn fresh_word(&mut self, w: u32) -> Word {
+        (0..w.max(1)).map(|_| self.fresh()).collect()
+    }
+
+    /// A constant word.
+    pub fn const_word(&self, value: u64, w: u32) -> Word {
+        (0..w.max(1) as usize)
+            .map(|i| {
+                if i < 64 && (value >> i) & 1 == 1 {
+                    self.tru()
+                } else {
+                    self.fls()
+                }
+            })
+            .collect()
+    }
+
+    /// `c = a & b`.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == self.true_lit {
+            return b;
+        }
+        if b == self.true_lit {
+            return a;
+        }
+        if a == self.fls() || b == self.fls() {
+            return self.fls();
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return self.fls();
+        }
+        let c = self.fresh();
+        self.solver.add_clause(vec![!c, a]);
+        self.solver.add_clause(vec![!c, b]);
+        self.solver.add_clause(vec![c, !a, !b]);
+        c
+    }
+
+    /// `c = a | b`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// `c = a ^ b`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == self.true_lit {
+            return !b;
+        }
+        if a == self.fls() {
+            return b;
+        }
+        if b == self.true_lit {
+            return !a;
+        }
+        if b == self.fls() {
+            return a;
+        }
+        if a == b {
+            return self.fls();
+        }
+        if a == !b {
+            return self.tru();
+        }
+        let c = self.fresh();
+        self.solver.add_clause(vec![!c, a, b]);
+        self.solver.add_clause(vec![!c, !a, !b]);
+        self.solver.add_clause(vec![c, !a, b]);
+        self.solver.add_clause(vec![c, a, !b]);
+        c
+    }
+
+    /// `c = s ? a : b`.
+    pub fn mux(&mut self, s: Lit, a: Lit, b: Lit) -> Lit {
+        if s == self.true_lit {
+            return a;
+        }
+        if s == self.fls() {
+            return b;
+        }
+        if a == b {
+            return a;
+        }
+        let c = self.fresh();
+        self.solver.add_clause(vec![!s, !c, a]);
+        self.solver.add_clause(vec![!s, c, !a]);
+        self.solver.add_clause(vec![s, !c, b]);
+        self.solver.add_clause(vec![s, c, !b]);
+        c
+    }
+
+    /// OR of many literals.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = self.fls();
+        for &l in lits {
+            acc = self.or(acc, l);
+        }
+        acc
+    }
+
+    /// AND of many literals.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = self.tru();
+        for &l in lits {
+            acc = self.and(acc, l);
+        }
+        acc
+    }
+
+    // -------------------------------------------------------- word ops --
+
+    /// Zero-extend or truncate.
+    pub fn zext(&self, a: &Word, w: u32) -> Word {
+        let mut out = a.clone();
+        out.truncate(w.max(1) as usize);
+        while out.len() < w.max(1) as usize {
+            out.push(self.fls());
+        }
+        out
+    }
+
+    /// Sign-extend or truncate.
+    pub fn sext(&self, a: &Word, w: u32) -> Word {
+        let sign = *a.last().expect("words are non-empty");
+        let mut out = a.clone();
+        out.truncate(w.max(1) as usize);
+        while out.len() < w.max(1) as usize {
+            out.push(sign);
+        }
+        out
+    }
+
+    fn extend(&self, a: &Word, w: u32, signed: bool) -> Word {
+        if signed {
+            self.sext(a, w)
+        } else {
+            self.zext(a, w)
+        }
+    }
+
+    /// Zero- or sign-extend/truncate to a target width.
+    pub fn extend_pub(&self, a: &Word, w: u32, signed: bool) -> Word {
+        self.extend(a, w, signed)
+    }
+
+    /// Ripple-carry sum with carry-in; result has the width of `a`/`b`.
+    fn adder(&mut self, a: &Word, b: &Word, carry_in: Lit) -> Word {
+        debug_assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len());
+        let mut carry = carry_in;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let xy = self.xor(x, y);
+            out.push(self.xor(xy, carry));
+            let c1 = self.and(x, y);
+            let c2 = self.and(xy, carry);
+            carry = self.or(c1, c2);
+        }
+        out
+    }
+
+    /// FIRRTL `add`: width `max + 1`.
+    pub fn add(&mut self, a: &Word, b: &Word, signed: bool) -> Word {
+        let w = a.len().max(b.len()) as u32 + 1;
+        let ax = self.extend(a, w, signed);
+        let bx = self.extend(b, w, signed);
+        let f = self.fls();
+        self.adder(&ax, &bx, f)
+    }
+
+    /// FIRRTL `sub`: `a + ~b + 1` at width `max + 1`.
+    pub fn sub(&mut self, a: &Word, b: &Word, signed: bool) -> Word {
+        let w = a.len().max(b.len()) as u32 + 1;
+        let ax = self.extend(a, w, signed);
+        let bx: Word = self.extend(b, w, signed).iter().map(|&l| !l).collect();
+        let t = self.tru();
+        self.adder(&ax, &bx, t)
+    }
+
+    /// Shift-and-add multiplier: width `wa + wb`.
+    pub fn mul(&mut self, a: &Word, b: &Word, signed: bool) -> Word {
+        let w = (a.len() + b.len()) as u32;
+        let ax = self.extend(a, w, signed);
+        let bx = self.extend(b, w, signed);
+        let mut acc = self.const_word(0, w);
+        for i in 0..w as usize {
+            let bit = bx[i];
+            let mut partial: Word = vec![self.fls(); i];
+            for k in 0..(w as usize - i) {
+                partial.push(self.and(ax[k], bit));
+            }
+            let f = self.fls();
+            acc = self.adder(&acc, &partial, f);
+        }
+        acc
+    }
+
+    /// Unsigned less-than via subtract-borrow.
+    pub fn ult(&mut self, a: &Word, b: &Word) -> Lit {
+        let w = a.len().max(b.len()) as u32;
+        let ax = self.zext(a, w);
+        let bx = self.zext(b, w);
+        // carry out of a + ~b + 1 is 1 iff a >= b
+        let nb: Word = bx.iter().map(|&l| !l).collect();
+        let mut carry = self.tru();
+        for (&x, &y) in ax.iter().zip(nb.iter()) {
+            let xy = self.xor(x, y);
+            let c1 = self.and(x, y);
+            let c2 = self.and(xy, carry);
+            carry = self.or(c1, c2);
+        }
+        !carry
+    }
+
+    /// Signed less-than (flip sign bits, compare unsigned).
+    pub fn slt(&mut self, a: &Word, b: &Word) -> Lit {
+        let w = a.len().max(b.len()) as u32;
+        let mut ax = self.sext(a, w);
+        let mut bx = self.sext(b, w);
+        let top = w as usize - 1;
+        ax[top] = !ax[top];
+        bx[top] = !bx[top];
+        self.ult(&ax, &bx)
+    }
+
+    /// Equality at equal widths.
+    pub fn eq_word(&mut self, a: &Word, b: &Word) -> Lit {
+        let w = a.len().max(b.len()) as u32;
+        let ax = self.zext(a, w);
+        let bx = self.zext(b, w);
+        let mut acc = self.tru();
+        for (&x, &y) in ax.iter().zip(bx.iter()) {
+            let ne = self.xor(x, y);
+            acc = self.and(acc, !ne);
+        }
+        acc
+    }
+
+    /// Per-bit mux of words.
+    pub fn mux_word(&mut self, s: Lit, a: &Word, b: &Word, signed: bool) -> Word {
+        let w = a.len().max(b.len()) as u32;
+        let ax = self.extend(a, w, signed);
+        let bx = self.extend(b, w, signed);
+        ax.iter().zip(bx.iter()).map(|(&x, &y)| self.mux(s, x, y)).collect()
+    }
+
+    /// Dynamic left shift by `amount`, result width `w`.
+    pub fn dshl(&mut self, a: &Word, amount: &Word, w: u32) -> Word {
+        let mut cur = self.zext(a, w);
+        for (i, &abit) in amount.iter().enumerate() {
+            let shift = 1usize << i.min(20);
+            let shifted: Word = (0..w as usize)
+                .map(|k| if k >= shift { cur[k - shift] } else { self.fls() })
+                .collect();
+            cur = cur
+                .iter()
+                .zip(shifted.iter())
+                .map(|(&keep, &sh)| self.mux(abit, sh, keep))
+                .collect();
+        }
+        cur
+    }
+
+    /// Dynamic right shift, logical or arithmetic; result width = input.
+    pub fn dshr(&mut self, a: &Word, amount: &Word, arithmetic: bool) -> Word {
+        let w = a.len();
+        let fill = if arithmetic { *a.last().expect("non-empty") } else { self.fls() };
+        let mut cur = a.clone();
+        for (i, &abit) in amount.iter().enumerate() {
+            let shift = 1usize << i.min(20);
+            let shifted: Word =
+                (0..w).map(|k| if k + shift < w { cur[k + shift] } else { fill }).collect();
+            cur = cur
+                .iter()
+                .zip(shifted.iter())
+                .map(|(&keep, &sh)| self.mux(abit, sh, keep))
+                .collect();
+        }
+        cur
+    }
+
+    /// Model value of a word after `Sat` (low 64 bits).
+    pub fn word_value(&self, w: &Word) -> u64 {
+        let mut v = 0u64;
+        for (i, &l) in w.iter().enumerate().take(64) {
+            if self.solver.lit_is_true(l) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+}
+
+/// Encode an expression over an environment of named words.
+///
+/// Returns `(word, signed)` following the FIRRTL width rules.
+///
+/// # Errors
+///
+/// Fails on unbound names and on `div`/`rem` (unsupported in the formal
+/// backend; none of the formal targets use them).
+pub fn encode_expr(
+    enc: &mut Encoder,
+    e: &Expr,
+    env: &HashMap<String, (Word, bool)>,
+) -> Result<(Word, bool), EncodeError> {
+    match e {
+        Expr::Ref(n) => {
+            env.get(n).cloned().ok_or_else(|| EncodeError(format!("unbound signal `{n}`")))
+        }
+        Expr::UIntLit(v) => Ok((enc.const_word(v.to_u64(), v.width().max(1)), false)),
+        Expr::SIntLit(v) => Ok((enc.const_word(v.to_u64(), v.width().max(1)), true)),
+        Expr::Mux(c, t, f) => {
+            let (cw, _) = encode_expr(enc, c, env)?;
+            let cbit = enc.or_many(&cw);
+            let (tw, tsg) = encode_expr(enc, t, env)?;
+            let (fw, fsg) = encode_expr(enc, f, env)?;
+            let signed = tsg && fsg;
+            // each branch extends per its own signedness (matching eval
+            // and the compiled backend on mixed-sign muxes)
+            let w = tw.len().max(fw.len()) as u32;
+            let tx = enc.extend_pub(&tw, w, tsg);
+            let fx = enc.extend_pub(&fw, w, fsg);
+            let out: Word =
+                tx.iter().zip(fx.iter()).map(|(&x, &y)| enc.mux(cbit, x, y)).collect();
+            Ok((out, signed))
+        }
+        Expr::ValidIf(c, v) => {
+            let (cw, _) = encode_expr(enc, c, env)?;
+            let cbit = enc.or_many(&cw);
+            let (vw, vsg) = encode_expr(enc, v, env)?;
+            let zero = enc.const_word(0, vw.len() as u32);
+            Ok((enc.mux_word(cbit, &vw, &zero, vsg), vsg))
+        }
+        Expr::Prim { op, args, consts } => encode_prim(enc, *op, args, consts, env),
+        other => Err(EncodeError(format!("unexpected expression {other:?}"))),
+    }
+}
+
+fn encode_prim(
+    enc: &mut Encoder,
+    op: PrimOp,
+    args: &[Expr],
+    consts: &[u64],
+    env: &HashMap<String, (Word, bool)>,
+) -> Result<(Word, bool), EncodeError> {
+    use PrimOp as P;
+    let c = |i: usize| consts[i] as u32;
+    match op {
+        P::Add | P::Sub => {
+            let (a, asg) = encode_expr(enc, &args[0], env)?;
+            let (b, bsg) = encode_expr(enc, &args[1], env)?;
+            let signed = asg || bsg;
+            // extend each operand per its own signedness to the full result
+            // width, then add/sub modulo 2^w (agrees with eval and the
+            // compiled backend, including on mixed-sign operands)
+            let w = a.len().max(b.len()) as u32 + 1;
+            let ax = enc.extend_pub(&a, w, asg);
+            let bx = enc.extend_pub(&b, w, bsg);
+            let full =
+                if op == P::Add { enc.add(&ax, &bx, false) } else { enc.sub(&ax, &bx, false) };
+            Ok((full[..w as usize].to_vec(), signed))
+        }
+        P::Mul => {
+            let (a, asg) = encode_expr(enc, &args[0], env)?;
+            let (b, bsg) = encode_expr(enc, &args[1], env)?;
+            let signed = asg || bsg;
+            let w = (a.len() + b.len()) as u32;
+            let ax = enc.extend_pub(&a, w, asg);
+            let bx = enc.extend_pub(&b, w, bsg);
+            let prod = enc.mul(&ax, &bx, false);
+            Ok((prod[..w as usize].to_vec(), signed))
+        }
+        P::Div | P::Rem => {
+            Err(EncodeError(format!("`{}` is not supported by the formal backend", op.name())))
+        }
+        P::Lt | P::Leq | P::Gt | P::Geq => {
+            let (a, asg) = encode_expr(enc, &args[0], env)?;
+            let (b, bsg) = encode_expr(enc, &args[1], env)?;
+            let signed = asg || bsg;
+            let w = a.len().max(b.len()) as u32;
+            let ax = enc.extend_pub(&a, w, asg);
+            let bx = enc.extend_pub(&b, w, bsg);
+            let bit = match (op, signed) {
+                (P::Lt, false) => enc.ult(&ax, &bx),
+                (P::Lt, true) => enc.slt(&ax, &bx),
+                (P::Gt, false) => enc.ult(&bx, &ax),
+                (P::Gt, true) => enc.slt(&bx, &ax),
+                (P::Leq, false) => !enc.ult(&bx, &ax),
+                (P::Leq, true) => !enc.slt(&bx, &ax),
+                (P::Geq, false) => !enc.ult(&ax, &bx),
+                _ => !enc.slt(&ax, &bx),
+            };
+            Ok((vec![bit], false))
+        }
+        P::Eq | P::Neq => {
+            let (a, asg) = encode_expr(enc, &args[0], env)?;
+            let (b, bsg) = encode_expr(enc, &args[1], env)?;
+            let w = a.len().max(b.len()) as u32;
+            let ax = enc.extend_pub(&a, w, asg);
+            let bx = enc.extend_pub(&b, w, bsg);
+            let eq = enc.eq_word(&ax, &bx);
+            Ok((vec![if op == P::Eq { eq } else { !eq }], false))
+        }
+        P::And | P::Or | P::Xor => {
+            let (a, asg) = encode_expr(enc, &args[0], env)?;
+            let (b, bsg) = encode_expr(enc, &args[1], env)?;
+            let w = a.len().max(b.len()) as u32;
+            let ax = enc.extend(&a, w, asg);
+            let bx = enc.extend(&b, w, bsg);
+            let out: Word = ax
+                .iter()
+                .zip(bx.iter())
+                .map(|(&x, &y)| match op {
+                    P::And => enc.and(x, y),
+                    P::Or => enc.or(x, y),
+                    _ => enc.xor(x, y),
+                })
+                .collect();
+            Ok((out, false))
+        }
+        P::Not => {
+            let (a, _) = encode_expr(enc, &args[0], env)?;
+            Ok((a.iter().map(|&l| !l).collect(), false))
+        }
+        P::Neg => {
+            let (a, asg) = encode_expr(enc, &args[0], env)?;
+            let zero = enc.const_word(0, a.len() as u32);
+            Ok((enc.sub(&zero, &a, asg), true))
+        }
+        P::Andr => {
+            let (a, _) = encode_expr(enc, &args[0], env)?;
+            Ok((vec![enc.and_many(&a)], false))
+        }
+        P::Orr => {
+            let (a, _) = encode_expr(enc, &args[0], env)?;
+            Ok((vec![enc.or_many(&a)], false))
+        }
+        P::Xorr => {
+            let (a, _) = encode_expr(enc, &args[0], env)?;
+            let mut acc = enc.fls();
+            for &l in &a {
+                acc = enc.xor(acc, l);
+            }
+            Ok((vec![acc], false))
+        }
+        P::Pad => {
+            let (a, asg) = encode_expr(enc, &args[0], env)?;
+            let w = (a.len() as u32).max(c(0));
+            Ok((enc.extend(&a, w, asg), asg))
+        }
+        P::Shl => {
+            let (a, asg) = encode_expr(enc, &args[0], env)?;
+            let n = c(0) as usize;
+            let mut out = vec![enc.fls(); n];
+            out.extend_from_slice(&a);
+            Ok((out, asg))
+        }
+        P::Shr => {
+            let (a, asg) = encode_expr(enc, &args[0], env)?;
+            let n = c(0) as usize;
+            if n >= a.len() {
+                // all bits shifted out: zero (unsigned) or the sign (signed)
+                let bit = if asg { *a.last().expect("non-empty") } else { enc.fls() };
+                Ok((vec![bit], asg))
+            } else {
+                Ok((a[n..].to_vec(), asg))
+            }
+        }
+        P::Dshl => {
+            let (a, asg) = encode_expr(enc, &args[0], env)?;
+            let (b, _) = encode_expr(enc, &args[1], env)?;
+            let grow = if b.len() >= 7 { 64 } else { (1usize << b.len()) - 1 };
+            let w = (a.len() + grow) as u32;
+            if w > 128 {
+                return Err(EncodeError("dshl result too wide for encoding".into()));
+            }
+            Ok((enc.dshl(&a, &b, w), asg))
+        }
+        P::Dshr => {
+            let (a, asg) = encode_expr(enc, &args[0], env)?;
+            let (b, _) = encode_expr(enc, &args[1], env)?;
+            Ok((enc.dshr(&a, &b, asg), asg))
+        }
+        P::Cat => {
+            let (a, _) = encode_expr(enc, &args[0], env)?;
+            let (b, _) = encode_expr(enc, &args[1], env)?;
+            let mut out = b;
+            out.extend_from_slice(&a);
+            Ok((out, false))
+        }
+        P::Bits => {
+            let (a, _) = encode_expr(enc, &args[0], env)?;
+            let (hi, lo) = (c(0) as usize, c(1) as usize);
+            if hi >= a.len() || hi < lo {
+                return Err(EncodeError(format!("bits({hi},{lo}) out of range")));
+            }
+            Ok((a[lo..=hi].to_vec(), false))
+        }
+        P::Head => {
+            let (a, _) = encode_expr(enc, &args[0], env)?;
+            let n = (c(0) as usize).max(1);
+            Ok((a[a.len() - n..].to_vec(), false))
+        }
+        P::Tail => {
+            let (a, _) = encode_expr(enc, &args[0], env)?;
+            let n = c(0) as usize;
+            if n >= a.len() {
+                Ok((vec![enc.fls()], false))
+            } else {
+                Ok((a[..a.len() - n].to_vec(), false))
+            }
+        }
+        P::AsUInt | P::AsClock => {
+            let (a, _) = encode_expr(enc, &args[0], env)?;
+            Ok((a, false))
+        }
+        P::AsSInt => {
+            let (a, _) = encode_expr(enc, &args[0], env)?;
+            Ok((a, true))
+        }
+        P::Cvt => {
+            let (a, asg) = encode_expr(enc, &args[0], env)?;
+            if asg {
+                Ok((a, true))
+            } else {
+                let w = a.len() as u32 + 1;
+                Ok((enc.zext(&a, w), true))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatResult;
+    use rtlcov_firrtl::eval::const_fold;
+    use rtlcov_firrtl::ir::Expr;
+
+    /// Evaluate a closed expression both by the interpreter and by SAT and
+    /// check they agree.
+    fn check_closed(e: &Expr) {
+        let expect = const_fold(e).expect("closed expression");
+        let mut enc = Encoder::new();
+        let env = HashMap::new();
+        let (word, _) = encode_expr(&mut enc, e, &env).unwrap();
+        assert_eq!(enc.solver.solve(), SatResult::Sat);
+        assert_eq!(
+            enc.word_value(&word),
+            expect.bits.to_u64(),
+            "value mismatch for {e:?}"
+        );
+        assert_eq!(word.len() as u32, expect.bits.width().max(1), "width of {e:?}");
+    }
+
+    #[test]
+    fn closed_arithmetic_matches_interpreter() {
+        use rtlcov_firrtl::ir::PrimOp as P;
+        let pairs: Vec<(u64, u64)> = vec![(0, 0), (1, 1), (13, 7), (255, 1), (128, 127)];
+        for (a, b) in pairs {
+            for op in [P::Add, P::Sub, P::Mul, P::And, P::Or, P::Xor, P::Cat] {
+                check_closed(&Expr::prim(op, vec![Expr::u(a, 8), Expr::u(b, 8)], vec![]));
+            }
+            for op in [P::Lt, P::Leq, P::Gt, P::Geq, P::Eq, P::Neq] {
+                check_closed(&Expr::prim(op, vec![Expr::u(a, 8), Expr::u(b, 8)], vec![]));
+            }
+        }
+    }
+
+    #[test]
+    fn closed_signed_ops_match() {
+        use rtlcov_firrtl::bv::Bv;
+        use rtlcov_firrtl::ir::PrimOp as P;
+        let vals = [-5i64, -1, 0, 3];
+        for &x in &vals {
+            for &y in &vals {
+                let a = Expr::SIntLit(Bv::from_i64(x, 6));
+                let b = Expr::SIntLit(Bv::from_i64(y, 6));
+                for op in [P::Add, P::Sub, P::Mul, P::Lt, P::Geq, P::Eq] {
+                    check_closed(&Expr::prim(op, vec![a.clone(), b.clone()], vec![]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_unary_and_slices_match() {
+        use rtlcov_firrtl::ir::PrimOp as P;
+        let x = Expr::u(0b1011_0101, 8);
+        check_closed(&Expr::prim(P::Not, vec![x.clone()], vec![]));
+        check_closed(&Expr::prim(P::Andr, vec![x.clone()], vec![]));
+        check_closed(&Expr::prim(P::Orr, vec![x.clone()], vec![]));
+        check_closed(&Expr::prim(P::Xorr, vec![x.clone()], vec![]));
+        check_closed(&Expr::prim(P::Bits, vec![x.clone()], vec![6, 2]));
+        check_closed(&Expr::prim(P::Head, vec![x.clone()], vec![3]));
+        check_closed(&Expr::prim(P::Tail, vec![x.clone()], vec![3]));
+        check_closed(&Expr::prim(P::Pad, vec![x.clone()], vec![12]));
+        check_closed(&Expr::prim(P::Shl, vec![x.clone()], vec![3]));
+        check_closed(&Expr::prim(P::Shr, vec![x.clone()], vec![3]));
+        check_closed(&Expr::prim(P::Shr, vec![x.clone()], vec![20]));
+        check_closed(&Expr::prim(P::Neg, vec![x], vec![]));
+    }
+
+    #[test]
+    fn dynamic_shifts_match() {
+        use rtlcov_firrtl::ir::PrimOp as P;
+        for amt in 0..4u64 {
+            let x = Expr::u(0b1101, 4);
+            let a = Expr::u(amt, 2);
+            check_closed(&Expr::prim(P::Dshl, vec![x.clone(), a.clone()], vec![]));
+            check_closed(&Expr::prim(P::Dshr, vec![x, a], vec![]));
+        }
+    }
+
+    #[test]
+    fn mux_and_validif_match() {
+        for c in [0u64, 1] {
+            check_closed(&Expr::mux(Expr::u(c, 1), Expr::u(9, 4), Expr::u(3, 4)));
+            check_closed(&Expr::ValidIf(Box::new(Expr::u(c, 1)), Box::new(Expr::u(7, 4))));
+        }
+    }
+
+    #[test]
+    fn free_variable_solving() {
+        // find x such that x + 3 == 10 (4-bit x)
+        use rtlcov_firrtl::ir::PrimOp as P;
+        let mut enc = Encoder::new();
+        let x = enc.fresh_word(4);
+        let mut env = HashMap::new();
+        env.insert("x".to_string(), (x.clone(), false));
+        let e = Expr::prim(
+            P::Eq,
+            vec![
+                Expr::prim(P::Add, vec![Expr::r("x"), Expr::u(3, 4)], vec![]),
+                Expr::u(10, 5),
+            ],
+            vec![],
+        );
+        let (cond, _) = encode_expr(&mut enc, &e, &env).unwrap();
+        let assertion = cond[0];
+        enc.solver.add_clause(vec![assertion]);
+        assert_eq!(enc.solver.solve(), SatResult::Sat);
+        assert_eq!(enc.word_value(&x), 7);
+    }
+
+    #[test]
+    fn unsat_constraint() {
+        use rtlcov_firrtl::ir::PrimOp as P;
+        let mut enc = Encoder::new();
+        let x = enc.fresh_word(3);
+        let mut env = HashMap::new();
+        env.insert("x".to_string(), (x, false));
+        // x > 7 is impossible for 3 bits
+        let e = Expr::prim(P::Gt, vec![Expr::r("x"), Expr::u(7, 3)], vec![]);
+        let (cond, _) = encode_expr(&mut enc, &e, &env).unwrap();
+        enc.solver.add_clause(vec![cond[0]]);
+        assert_eq!(enc.solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn div_is_rejected() {
+        use rtlcov_firrtl::ir::PrimOp as P;
+        let mut enc = Encoder::new();
+        let env = HashMap::new();
+        let e = Expr::prim(P::Div, vec![Expr::u(6, 4), Expr::u(2, 4)], vec![]);
+        assert!(encode_expr(&mut enc, &e, &env).is_err());
+    }
+}

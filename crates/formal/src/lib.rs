@@ -1,0 +1,12 @@
+//! # rtlcov-formal
+//!
+//! The formal-verification backend (SymbiYosys analog, §3.4/§5.5): a
+//! from-scratch CDCL [`sat::Solver`], a bit-blaster from the flat netlist
+//! to CNF, and a bounded model checker that finds input traces reaching
+//! cover statements or proves them unreachable within a bound.
+
+#![warn(missing_docs)]
+
+pub mod bmc;
+pub mod encode;
+pub mod sat;

@@ -1,0 +1,216 @@
+//! The emulated FPGA host and its driver (§3.3 / §5.2).
+//!
+//! [`FpgaHost`] plays the role of the FPGA + FPGA-hosted simulation
+//! module: it executes the scan-chain-transformed circuit cycle-accurately
+//! and exposes the scan controls. [`FpgaHost::scan_out_counts`] is the C++
+//! driver analog: it pauses the simulation (freezing all counts), clocks
+//! the chain out, rebuilds the `CoverageMap` from the chain metadata, and
+//! restores the counters so the simulation can continue — the same
+//! run/pause/scan protocol the paper describes.
+
+use crate::scan_chain::ScanChainInfo;
+use rtlcov_core::CoverageMap;
+use rtlcov_firrtl::ir::Circuit;
+use rtlcov_sim::compiled::CompiledSim;
+use rtlcov_sim::{SimError, Simulator};
+use std::time::Instant;
+
+/// The emulated FPGA-accelerated simulator.
+#[derive(Debug, Clone)]
+pub struct FpgaHost {
+    sim: CompiledSim,
+    info: ScanChainInfo,
+    target_cycles: u64,
+    /// host cycles spent scanning (FPGA cycles, not target cycles)
+    scan_cycles: u64,
+}
+
+impl FpgaHost {
+    /// Build a host from a scan-chain-transformed circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn new(circuit: &Circuit, info: ScanChainInfo) -> Result<Self, SimError> {
+        let mut sim = CompiledSim::new(circuit)?;
+        sim.poke("scan_en", 0);
+        sim.poke("scan_in", 0);
+        Ok(FpgaHost { sim, info, target_cycles: 0, scan_cycles: 0 })
+    }
+
+    /// Drive a target input.
+    pub fn poke(&mut self, signal: &str, value: u64) {
+        self.sim.poke(signal, value);
+    }
+
+    /// Read a target signal.
+    pub fn peek(&mut self, signal: &str) -> u64 {
+        self.sim.peek(signal)
+    }
+
+    /// Backdoor memory write (program loading).
+    ///
+    /// # Errors
+    ///
+    /// Unknown memory or out-of-range address.
+    pub fn write_mem(&mut self, mem: &str, addr: u64, value: u64) -> Result<(), SimError> {
+        self.sim.write_mem(mem, addr, value)
+    }
+
+    /// Run `n` target cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.sim.step();
+        }
+        self.target_cycles += n;
+    }
+
+    /// Assert reset for `n` cycles.
+    pub fn reset(&mut self, n: usize) {
+        self.sim.reset(n);
+        self.target_cycles += n as u64;
+    }
+
+    /// Target cycles executed so far.
+    pub fn target_cycles(&self) -> u64 {
+        self.target_cycles
+    }
+
+    /// FPGA cycles spent in scan mode so far.
+    pub fn scan_cycles(&self) -> u64 {
+        self.scan_cycles
+    }
+
+    /// Pause the simulation, scan all counters out, rebuild the coverage
+    /// map, and shift the counters back in so execution can continue.
+    ///
+    /// Returns the map and the wall-clock time of the scan (the §5.2
+    /// "scanning out the cover counts took N ms" measurement).
+    pub fn scan_out_counts(&mut self) -> (CoverageMap, std::time::Duration) {
+        let start = Instant::now();
+        let w = self.info.counter_width as usize;
+        let total_bits = self.info.chain_bits();
+        self.sim.poke("scan_en", 1);
+        let mut bits = Vec::with_capacity(total_bits);
+        for _ in 0..total_bits {
+            bits.push(self.sim.peek("scan_out") as u8);
+            // restore by feeding the stream back into scan_in: after
+            // `total_bits` shifts every counter holds its old value again
+            let out = *bits.last().expect("just pushed");
+            self.sim.poke("scan_in", u64::from(out));
+            self.sim.step();
+        }
+        self.sim.poke("scan_en", 0);
+        self.sim.poke("scan_in", 0);
+        self.scan_cycles += total_bits as u64;
+
+        let mut map = CoverageMap::new();
+        for (i, name) in self.info.order.iter().enumerate() {
+            let mut value = 0u64;
+            for bit in 0..w {
+                if bits[i * w + bit] == 1 {
+                    value |= 1 << bit;
+                }
+            }
+            map.record(name, value);
+            map.declare(name);
+        }
+        (map, start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan_chain::insert_scan_chain;
+    use rtlcov_firrtl::parser::parse;
+    use rtlcov_firrtl::passes;
+
+    fn host(width: u32) -> FpgaHost {
+        let src = "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<1>
+    input b : UInt<1>
+    cover(clock, a, UInt<1>(1)) : ca
+    cover(clock, b, UInt<1>(1)) : cb
+";
+        let mut c = passes::lower(parse(src).unwrap()).unwrap();
+        let info = insert_scan_chain(&mut c, width).unwrap();
+        FpgaHost::new(&c, info).unwrap()
+    }
+
+    #[test]
+    fn scan_reconstructs_counts() {
+        let mut h = host(16);
+        h.poke("a", 1);
+        h.poke("b", 0);
+        h.run(7);
+        h.poke("b", 1);
+        h.run(2);
+        let (map, _) = h.scan_out_counts();
+        assert_eq!(map.count("ca"), Some(9));
+        assert_eq!(map.count("cb"), Some(2));
+        assert_eq!(h.scan_cycles(), 32);
+    }
+
+    #[test]
+    fn scan_is_nondestructive() {
+        let mut h = host(8);
+        h.poke("a", 1);
+        h.poke("b", 1);
+        h.run(5);
+        let (m1, _) = h.scan_out_counts();
+        // continue running after the scan: counts resume from 5
+        h.run(3);
+        let (m2, _) = h.scan_out_counts();
+        assert_eq!(m1.count("ca"), Some(5));
+        assert_eq!(m2.count("ca"), Some(8));
+    }
+
+    #[test]
+    fn matches_software_simulation() {
+        // the paper's key property: identical CoverageMap from FPGA and
+        // software backends
+        let src = "
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    reg r : UInt<4>, clock with : (reset => (reset, UInt<4>(0)))
+    when en :
+      r <= tail(add(r, UInt<4>(1)), 1)
+    cover(clock, eq(r, UInt<4>(3)), UInt<1>(1)) : r3
+    cover(clock, en, UInt<1>(1)) : en_hit
+";
+        let low = passes::lower(parse(src).unwrap()).unwrap();
+        // software run
+        let mut sw = CompiledSim::new(&low).unwrap();
+        sw.reset(1);
+        sw.poke("en", 1);
+        sw.step_n(10);
+        let sw_counts = sw.cover_counts();
+        // FPGA run with the same stimulus
+        let mut fpga_circuit = low.clone();
+        let info = insert_scan_chain(&mut fpga_circuit, 16).unwrap();
+        let mut h = FpgaHost::new(&fpga_circuit, info).unwrap();
+        h.reset(1);
+        h.poke("en", 1);
+        h.run(10);
+        let (fpga_counts, _) = h.scan_out_counts();
+        assert_eq!(sw_counts, fpga_counts);
+    }
+
+    #[test]
+    fn narrow_counters_saturate_but_detect_coverage() {
+        let mut h = host(2);
+        h.poke("a", 1);
+        h.poke("b", 0);
+        h.run(100);
+        let (map, _) = h.scan_out_counts();
+        assert_eq!(map.count("ca"), Some(3)); // saturated
+        assert_eq!(map.count("cb"), Some(0)); // still visible as uncovered
+    }
+}

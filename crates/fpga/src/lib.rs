@@ -1,0 +1,17 @@
+//! # rtlcov-fpga
+//!
+//! The FireSim analog (§3.3/§5.2/§5.3): a compiler pass that replaces
+//! `cover` statements with saturating counters on a scan chain
+//! ([`scan_chain`]), an emulated FPGA host with a run/pause/scan driver
+//! ([`host`]), and an analytical resource + timing model for the Figure
+//! 9/10 sweeps ([`resources`]).
+
+#![warn(missing_docs)]
+
+pub mod host;
+pub mod resources;
+pub mod scan_chain;
+
+pub use host::FpgaHost;
+pub use resources::{estimate, place_and_route, Device, PlaceResult, Resources};
+pub use scan_chain::{insert_scan_chain, ScanChainInfo};

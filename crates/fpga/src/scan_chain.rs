@@ -1,0 +1,366 @@
+//! The FireSim-analog coverage scan-chain insertion pass (§3.3, Figure 4).
+//!
+//! Cover statements cannot be mapped onto an FPGA directly, so — like the
+//! pass the paper added to FireSim's Golden Gate compiler — this pass
+//! replaces every `cover` with a **saturating counter** of a user-chosen
+//! width and threads all counters onto a **scan chain**: in scan mode the
+//! counters form one long shift register clocked out through `scan_out`.
+//! The pass emits the list of cover names in chain order; the driver uses
+//! it to map scanned bits back to cover names — yielding exactly the same
+//! `CoverageMap` as the software simulators.
+
+use rtlcov_firrtl::dsl::ExprExt;
+use rtlcov_firrtl::ir::*;
+use rtlcov_firrtl::passes::PassError;
+
+const PASS: &str = "scan-chain";
+
+/// Metadata produced by the pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanChainInfo {
+    /// Counter width in bits (1–48 in the paper's sweeps).
+    pub counter_width: u32,
+    /// Hierarchical cover names in scan order (first element is the first
+    /// counter clocked out, LSB first).
+    pub order: Vec<String>,
+}
+
+impl ScanChainInfo {
+    /// Total scan-chain length in bits.
+    pub fn chain_bits(&self) -> usize {
+        self.order.len() * self.counter_width as usize
+    }
+}
+
+/// Replace covers with saturating counters on a scan chain.
+///
+/// Adds three ports to every module containing covers (directly or in
+/// children): `scan_en : UInt<1>` (input), `scan_in : UInt<1>` (input),
+/// `scan_out : UInt<1>` (output). While `scan_en` is high, counting is
+/// frozen and the chain shifts one bit per cycle.
+///
+/// # Errors
+///
+/// Fails if `counter_width` is zero or above 64, or if a cover-bearing
+/// module has no clock.
+pub fn insert_scan_chain(
+    circuit: &mut Circuit,
+    counter_width: u32,
+) -> Result<ScanChainInfo, PassError> {
+    if counter_width == 0 || counter_width > 64 {
+        return Err(PassError::new(PASS, "counter width must be in 1..=64"));
+    }
+    let w = counter_width;
+    // which modules (transitively) contain covers?
+    let has_covers = modules_with_covers(circuit);
+
+    // rewrite modules bottom-up (instance targets before instantiators):
+    // DFS postorder from the top module
+    let module_names: Vec<String> = {
+        let mut postorder = Vec::new();
+        let mut visited = std::collections::HashSet::new();
+        fn dfs(
+            circuit: &Circuit,
+            name: &str,
+            visited: &mut std::collections::HashSet<String>,
+            out: &mut Vec<String>,
+        ) {
+            if !visited.insert(name.to_string()) {
+                return;
+            }
+            if let Some(m) = circuit.module(name) {
+                let mut children = Vec::new();
+                m.for_each_stmt(&mut |s| {
+                    if let Stmt::Inst { module, .. } = s {
+                        children.push(module.clone());
+                    }
+                });
+                for c in children {
+                    dfs(circuit, &c, visited, out);
+                }
+            }
+            out.push(name.to_string());
+        }
+        dfs(circuit, &circuit.top.clone(), &mut visited, &mut postorder);
+        postorder
+    };
+    let mut order_per_module: std::collections::HashMap<String, Vec<String>> =
+        std::collections::HashMap::new();
+
+    for name in &module_names {
+        if !has_covers.contains(name) {
+            continue;
+        }
+        let child_orders = order_per_module.clone();
+        let module = circuit.module_mut(name).expect("module exists");
+        let clock = module
+            .clock()
+            .ok_or_else(|| PassError::new(PASS, format!("module `{name}` has covers but no clock")))?;
+
+        module.ports.push(Port {
+            name: "scan_en".into(),
+            dir: Direction::Input,
+            ty: Type::bool(),
+            info: Info::none(),
+        });
+        module.ports.push(Port {
+            name: "scan_in".into(),
+            dir: Direction::Input,
+            ty: Type::bool(),
+            info: Info::none(),
+        });
+        module.ports.push(Port {
+            name: "scan_out".into(),
+            dir: Direction::Output,
+            ty: Type::bool(),
+            info: Info::none(),
+        });
+
+        let mut order: Vec<String> = Vec::new();
+        let mut link: Expr = Expr::r("scan_in");
+        let mut new_body: Vec<Stmt> = Vec::new();
+        let mut counter_idx = 0usize;
+        let body = std::mem::take(&mut module.body);
+        // instance order for chaining children
+        for stmt in body {
+            match stmt {
+                Stmt::Cover { name: cname, pred, enable, .. } => {
+                    let cnt = format!("_scan_cnt_{counter_idx}");
+                    counter_idx += 1;
+                    new_body.push(Stmt::Reg {
+                        name: cnt.clone(),
+                        ty: Type::uint(w),
+                        clock: clock.clone(),
+                        reset: None,
+                        info: Info::none(),
+                    });
+                    let cnt_e = Expr::r(&cnt);
+                    let fire = Expr::and(pred, enable);
+                    // saturate: increment only below the max value
+                    let max = Expr::UIntLit(rtlcov_firrtl::bv::Bv::ones(w));
+                    let saturated = cnt_e.eq_(&max);
+                    let inc = cnt_e.addw(&Expr::u(1, w));
+                    let count_next = Expr::mux(
+                        Expr::and(fire, Expr::not(saturated)),
+                        inc,
+                        cnt_e.clone(),
+                    );
+                    // shift: LSB goes out; link bit enters at the MSB
+                    let shifted = if w == 1 {
+                        link.clone()
+                    } else {
+                        link.clone().cat(&cnt_e.bits(w - 1, 1))
+                    };
+                    let next = Expr::mux(Expr::r("scan_en"), shifted, count_next);
+                    new_body.push(Stmt::Connect {
+                        loc: Expr::r(&cnt),
+                        value: next,
+                        info: Info::none(),
+                    });
+                    link = cnt_e.bit(0);
+                    order.push(cname);
+                }
+                Stmt::Inst { name: iname, module: target, info } => {
+                    let child_has = has_covers.contains(&target);
+                    new_body.push(Stmt::Inst {
+                        name: iname.clone(),
+                        module: target.clone(),
+                        info,
+                    });
+                    if child_has {
+                        // thread the chain through the child
+                        new_body.push(Stmt::Connect {
+                            loc: Expr::r(&iname).field("scan_en"),
+                            value: Expr::r("scan_en"),
+                            info: Info::none(),
+                        });
+                        new_body.push(Stmt::Connect {
+                            loc: Expr::r(&iname).field("scan_in"),
+                            value: link.clone(),
+                            info: Info::none(),
+                        });
+                        link = Expr::r(&iname).field("scan_out");
+                        for c in child_orders.get(&target).into_iter().flatten() {
+                            order.push(format!("{iname}.{c}"));
+                        }
+                    }
+                }
+                other => new_body.push(other),
+            }
+        }
+        new_body.push(Stmt::Connect {
+            loc: Expr::r("scan_out"),
+            value: link,
+            info: Info::none(),
+        });
+        module.body = new_body;
+        order_per_module.insert(name.clone(), order);
+    }
+
+    // the counter nearest `scan_out` is clocked out first, i.e. the
+    // stream order is the reverse of the thread order
+    let mut top_order = order_per_module.remove(&circuit.top).unwrap_or_default();
+    top_order.reverse();
+    Ok(ScanChainInfo { counter_width, order: top_order })
+}
+
+fn modules_with_covers(circuit: &Circuit) -> std::collections::HashSet<String> {
+    use std::collections::HashSet;
+    let mut direct: HashSet<String> = HashSet::new();
+    let mut children: std::collections::HashMap<String, Vec<String>> = Default::default();
+    for m in &circuit.modules {
+        let mut covers = false;
+        let mut insts = Vec::new();
+        m.for_each_stmt(&mut |s| match s {
+            Stmt::Cover { .. } => covers = true,
+            Stmt::Inst { module, .. } => insts.push(module.clone()),
+            _ => {}
+        });
+        if covers {
+            direct.insert(m.name.clone());
+        }
+        children.insert(m.name.clone(), insts);
+    }
+    // transitively: a module has covers if any child does
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for m in &circuit.modules {
+            if direct.contains(&m.name) {
+                continue;
+            }
+            if children[&m.name].iter().any(|c| direct.contains(c)) {
+                direct.insert(m.name.clone());
+                changed = true;
+            }
+        }
+    }
+    direct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcov_firrtl::parser::parse;
+    use rtlcov_firrtl::passes;
+    use rtlcov_sim::compiled::CompiledSim;
+    use rtlcov_sim::Simulator;
+
+    fn build(src: &str, width: u32) -> (CompiledSim, ScanChainInfo) {
+        let mut c = passes::lower(parse(src).unwrap()).unwrap();
+        let info = insert_scan_chain(&mut c, width).unwrap();
+        // scan-chain output must still be a valid circuit
+        let c = passes::check::check(c).unwrap();
+        (CompiledSim::new(&c).unwrap(), info)
+    }
+
+    const ONE_COVER: &str = "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<1>
+    cover(clock, a, UInt<1>(1)) : hit
+";
+
+    #[test]
+    fn counter_counts_and_scans_out() {
+        let (mut sim, info) = build(ONE_COVER, 8);
+        assert_eq!(info.order, vec!["hit"]);
+        sim.poke("scan_en", 0);
+        sim.poke("scan_in", 0);
+        sim.poke("a", 1);
+        sim.step_n(5);
+        sim.poke("a", 0);
+        sim.step_n(3);
+        // scan out 8 bits, LSB first
+        sim.poke("scan_en", 1);
+        let mut value = 0u64;
+        for bit in 0..8 {
+            value |= sim.peek("scan_out") << bit;
+            sim.step();
+        }
+        assert_eq!(value, 5);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let (mut sim, _) = build(ONE_COVER, 2);
+        sim.poke("scan_en", 0);
+        sim.poke("a", 1);
+        sim.step_n(10); // would reach 10, saturates at 3
+        sim.poke("scan_en", 1);
+        let mut value = 0u64;
+        for bit in 0..2 {
+            value |= sim.peek("scan_out") << bit;
+            sim.step();
+        }
+        assert_eq!(value, 3);
+    }
+
+    #[test]
+    fn counting_frozen_during_scan() {
+        let (mut sim, _) = build(ONE_COVER, 8);
+        sim.poke("a", 1);
+        sim.poke("scan_en", 0);
+        sim.step_n(3);
+        sim.poke("scan_en", 1); // a still 1, but counting frozen
+        let mut value = 0u64;
+        for bit in 0..8 {
+            value |= sim.peek("scan_out") << bit;
+            sim.step();
+        }
+        assert_eq!(value, 3);
+    }
+
+    #[test]
+    fn chain_order_spans_hierarchy() {
+        let src = "
+circuit Top :
+  module Child :
+    input clock : Clock
+    input a : UInt<1>
+    cover(clock, a, UInt<1>(1)) : inner
+  module Top :
+    input clock : Clock
+    input a : UInt<1>
+    inst c1 of Child
+    inst c2 of Child
+    c1.clock <= clock
+    c2.clock <= clock
+    c1.a <= a
+    c2.a <= not(a)
+    cover(clock, a, UInt<1>(1)) : outer
+";
+        let (mut sim, info) = build(src, 4);
+        // when-expansion hoists the instances before the cover, so the
+        // chain threads c1 -> c2 -> outer and streams out in reverse
+        assert_eq!(info.order, vec!["outer", "c2.inner", "c1.inner"]);
+        assert_eq!(info.chain_bits(), 12);
+        // run: a=1 for 3 cycles => outer 3, c1 3, c2 0
+        sim.poke("scan_en", 0);
+        sim.poke("scan_in", 0);
+        sim.poke("a", 1);
+        sim.step_n(3);
+        sim.poke("scan_en", 1);
+        let mut bits = Vec::new();
+        for _ in 0..12 {
+            bits.push(sim.peek("scan_out"));
+            sim.step();
+        }
+        let count = |range: std::ops::Range<usize>| -> u64 {
+            bits[range].iter().enumerate().fold(0, |acc, (i, b)| acc | (b << i))
+        };
+        // first counter out is the first in `order`
+        assert_eq!(count(0..4), 3, "outer");
+        assert_eq!(count(4..8), 0, "c2.inner");
+        assert_eq!(count(8..12), 3, "c1.inner");
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        let mut c = passes::lower(parse(ONE_COVER).unwrap()).unwrap();
+        assert!(insert_scan_chain(&mut c, 0).is_err());
+        let mut c2 = passes::lower(parse(ONE_COVER).unwrap()).unwrap();
+        assert!(insert_scan_chain(&mut c2, 65).is_err());
+    }
+}

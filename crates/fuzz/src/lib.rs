@@ -1,0 +1,16 @@
+//! # rtlcov-fuzz
+//!
+//! Coverage-guided mutational fuzzing for RTL (§5.4 of the paper): an
+//! AFL-style mutation engine ([`mutate`]), an rfuzz-style harness mapping
+//! raw bytes onto DUT pins ([`harness`]), and a fuzzing loop that accepts
+//! **any** instrumented coverage metric as feedback ([`fuzzer`]) — the
+//! mix-and-match capability the cover-primitive design enables.
+
+#![warn(missing_docs)]
+
+pub mod fuzzer;
+pub mod harness;
+pub mod mutate;
+
+pub use fuzzer::{averaged_campaign, CoveragePoint, Feedback, Fuzzer};
+pub use harness::FuzzHarness;

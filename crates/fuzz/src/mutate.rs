@@ -1,0 +1,235 @@
+//! AFL-style input mutators.
+//!
+//! The paper connects AFL to an rfuzz-style harness; this module implements
+//! AFL's core mutation operators over raw byte buffers: bit flips, byte
+//! operations, bounded arithmetic, interesting-value substitution, havoc
+//! stacking, and splicing between corpus entries.
+
+use rand::Rng;
+
+/// Interesting 8-bit values (from AFL's technical details).
+const INTERESTING_8: [u8; 9] = [0x80, 0xff, 0x00, 0x01, 0x10, 0x20, 0x40, 0x64, 0x7f];
+
+/// Apply one random mutation (possibly stacked) to `input`.
+pub fn mutate(input: &mut Vec<u8>, rng: &mut impl Rng) {
+    if input.is_empty() {
+        input.push(rng.gen());
+        return;
+    }
+    match rng.gen_range(0..10) {
+        0 => bitflip(input, rng),
+        1 => byteflip(input, rng),
+        2 => arith(input, rng),
+        3 => interesting(input, rng),
+        4 => random_byte(input, rng),
+        5 => grow(input, rng),
+        6 => shrink(input, rng),
+        7 | 8 => clone_block(input, rng),
+        _ => havoc(input, rng),
+    }
+}
+
+/// Flip 1, 2 or 4 consecutive bits.
+pub fn bitflip(input: &mut [u8], rng: &mut impl Rng) {
+    let n = [1u32, 2, 4][rng.gen_range(0..3)];
+    let total_bits = input.len() * 8;
+    let start = rng.gen_range(0..total_bits);
+    for i in 0..n as usize {
+        let bit = (start + i) % total_bits;
+        input[bit / 8] ^= 1 << (bit % 8);
+    }
+}
+
+/// Invert a whole byte.
+pub fn byteflip(input: &mut [u8], rng: &mut impl Rng) {
+    let i = rng.gen_range(0..input.len());
+    input[i] ^= 0xff;
+}
+
+/// Add or subtract a small delta (AFL's arith stage, ±35).
+pub fn arith(input: &mut [u8], rng: &mut impl Rng) {
+    let i = rng.gen_range(0..input.len());
+    let delta = rng.gen_range(1..=35u8);
+    if rng.gen() {
+        input[i] = input[i].wrapping_add(delta);
+    } else {
+        input[i] = input[i].wrapping_sub(delta);
+    }
+}
+
+/// Overwrite a byte with an "interesting" value.
+pub fn interesting(input: &mut [u8], rng: &mut impl Rng) {
+    let i = rng.gen_range(0..input.len());
+    input[i] = INTERESTING_8[rng.gen_range(0..INTERESTING_8.len())];
+}
+
+/// Replace a byte with a random value.
+pub fn random_byte(input: &mut [u8], rng: &mut impl Rng) {
+    let i = rng.gen_range(0..input.len());
+    input[i] = rng.gen();
+}
+
+/// Append random bytes (lengthens the run).
+pub fn grow(input: &mut Vec<u8>, rng: &mut impl Rng) {
+    let n = rng.gen_range(1..=16);
+    for _ in 0..n {
+        input.push(rng.gen());
+    }
+}
+
+/// Truncate the tail (shortens the run).
+pub fn shrink(input: &mut Vec<u8>, rng: &mut impl Rng) {
+    if input.len() > 2 {
+        let keep = rng.gen_range(1..input.len());
+        input.truncate(keep);
+    }
+}
+
+/// Duplicate a random block and insert it right after itself — AFL's
+/// havoc block-clone operator. This is the mutation that extends repeated
+/// waveforms (e.g. one more SCL pulse in an I2C frame).
+pub fn clone_block(input: &mut Vec<u8>, rng: &mut impl Rng) {
+    if input.is_empty() {
+        input.push(rng.gen());
+        return;
+    }
+    let len = rng.gen_range(1..=input.len().min(32));
+    let start = rng.gen_range(0..=input.len() - len);
+    let block: Vec<u8> = input[start..start + len].to_vec();
+    let copies = rng.gen_range(1..=4);
+    let at = start + len;
+    for _ in 0..copies {
+        if input.len() > 4096 {
+            break;
+        }
+        input.splice(at..at, block.iter().copied());
+    }
+}
+
+/// Overwrite a random block with a copy of another block (AFL's havoc
+/// block-overwrite operator).
+pub fn overwrite_block(input: &mut [u8], rng: &mut impl Rng) {
+    if input.len() < 2 {
+        return;
+    }
+    let len = rng.gen_range(1..=input.len() / 2);
+    let src = rng.gen_range(0..=input.len() - len);
+    let dst = rng.gen_range(0..=input.len() - len);
+    let block: Vec<u8> = input[src..src + len].to_vec();
+    input[dst..dst + len].copy_from_slice(&block);
+}
+
+/// Stack 2–8 random mutations (AFL's havoc stage).
+pub fn havoc(input: &mut Vec<u8>, rng: &mut impl Rng) {
+    let n = rng.gen_range(2..=8);
+    for _ in 0..n {
+        match rng.gen_range(0..7) {
+            0 => bitflip(input, rng),
+            1 => byteflip(input, rng),
+            2 => arith(input, rng),
+            3 => interesting(input, rng),
+            4 => clone_block(input, rng),
+            5 => overwrite_block(input, rng),
+            _ => random_byte(input, rng),
+        }
+        if input.is_empty() {
+            input.push(rng.gen());
+        }
+    }
+}
+
+/// Splice two corpus entries at random cut points (AFL's crossover).
+pub fn splice(a: &[u8], b: &[u8], rng: &mut impl Rng) -> Vec<u8> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let cut_a = rng.gen_range(0..a.len());
+    let cut_b = rng.gen_range(0..b.len());
+    let mut out = a[..cut_a].to_vec();
+    out.extend_from_slice(&b[cut_b..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutations_change_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let original = vec![0u8; 32];
+        let mut changed = 0;
+        for _ in 0..100 {
+            let mut input = original.clone();
+            mutate(&mut input, &mut rng);
+            if input != original {
+                changed += 1;
+            }
+        }
+        assert!(changed > 90, "only {changed} of 100 mutations changed the input");
+    }
+
+    #[test]
+    fn bitflip_flips_exactly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let mut input = vec![0u8; 8];
+            bitflip(&mut input, &mut rng);
+            let ones: u32 = input.iter().map(|b| b.count_ones()).sum();
+            assert!(matches!(ones, 1 | 2 | 4), "{ones}");
+        }
+    }
+
+    #[test]
+    fn splice_preserves_material() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = vec![1u8; 10];
+        let b = vec![2u8; 10];
+        for _ in 0..20 {
+            let s = splice(&a, &b, &mut rng);
+            assert!(!s.is_empty());
+            assert!(s.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+
+    #[test]
+    fn grow_and_shrink_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut input = vec![0u8; 4];
+        grow(&mut input, &mut rng);
+        assert!(input.len() > 4);
+        let mut input = vec![0u8; 100];
+        shrink(&mut input, &mut rng);
+        assert!(input.len() < 100);
+        assert!(!input.is_empty());
+    }
+
+    #[test]
+    fn clone_block_repeats_material() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut input: Vec<u8> = (0..16).collect();
+        clone_block(&mut input, &mut rng);
+        assert!(input.len() > 16);
+    }
+
+    #[test]
+    fn overwrite_block_keeps_length() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut input: Vec<u8> = (0..16).collect();
+        overwrite_block(&mut input, &mut rng);
+        assert_eq!(input.len(), 16);
+    }
+
+    #[test]
+    fn empty_input_is_seeded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut input = Vec::new();
+        mutate(&mut input, &mut rng);
+        assert!(!input.is_empty());
+    }
+}

@@ -1,0 +1,602 @@
+//! Elaboration: flatten the module hierarchy of a lowered circuit into a
+//! single flat netlist.
+//!
+//! Every backend in this repository (interpreter, compiled simulator,
+//! activity-driven simulator, FPGA host, formal transition system) consumes
+//! the [`FlatCircuit`] produced here. Signal names are instance-path
+//! qualified with `.` separators (`core.alu.out`); cover names follow the
+//! same convention, which is exactly the hierarchical naming scheme the
+//! paper's `CoverageMap` uses.
+
+use rtlcov_firrtl::ir::*;
+use rtlcov_firrtl::typecheck::{addr_width, expr_type, module_env};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced during elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElabError(pub String);
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "elaboration error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+/// How a flat signal gets its value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Def {
+    /// Driven by an expression over flat signal names.
+    Expr(Expr),
+    /// Combinational memory read: `en ? mem[addr] : 0`.
+    MemRead {
+        /// Flat memory name.
+        mem: String,
+        /// Flat name of the address signal.
+        addr: String,
+        /// Flat name of the enable signal.
+        en: String,
+    },
+    /// Externally driven (top-level input).
+    Input,
+    /// Register output (committed at clock edges).
+    Reg,
+    /// Undriven: constant zero.
+    Zero,
+}
+
+/// A flat combinational or state signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatSignal {
+    /// Hierarchical name.
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+    /// Two's complement interpretation.
+    pub signed: bool,
+    /// Value definition.
+    pub def: Def,
+}
+
+/// A flat register.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatReg {
+    /// Hierarchical name (also the name of its output signal).
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+    /// Signedness.
+    pub signed: bool,
+    /// Next-value expression over flat names (the register itself if never
+    /// assigned).
+    pub next: Expr,
+    /// Optional `(reset expr, init expr)`, both over flat names.
+    pub reset: Option<(Expr, Expr)>,
+}
+
+/// A write port of a flat memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatMemWriter {
+    /// Flat name of the address signal.
+    pub addr: String,
+    /// Flat name of the enable signal.
+    pub en: String,
+    /// Flat name of the data signal.
+    pub data: String,
+    /// Flat name of the mask signal.
+    pub mask: String,
+}
+
+/// A flat memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatMem {
+    /// Hierarchical name.
+    pub name: String,
+    /// Element width in bits.
+    pub width: u32,
+    /// Number of elements.
+    pub depth: usize,
+    /// Write ports (reads appear as [`Def::MemRead`] signals).
+    pub writers: Vec<FlatMemWriter>,
+}
+
+/// A flat cover statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatCover {
+    /// Hierarchical cover name (`path.name`).
+    pub name: String,
+    /// Predicate over flat names.
+    pub pred: Expr,
+    /// Enable over flat names.
+    pub enable: Expr,
+}
+
+/// A flat cover-values statement (§6 extension).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatCoverValues {
+    /// Hierarchical cover name.
+    pub name: String,
+    /// Observed signal expression.
+    pub signal: Expr,
+    /// Width of the observed signal.
+    pub width: u32,
+    /// Enable over flat names.
+    pub enable: Expr,
+}
+
+/// The flattened design every backend executes.
+#[derive(Debug, Clone, Default)]
+pub struct FlatCircuit {
+    /// All signals, keyed by hierarchical name.
+    pub signals: HashMap<String, FlatSignal>,
+    /// Top-level input names in declaration order (excluding clock).
+    pub inputs: Vec<String>,
+    /// Top-level output names in declaration order.
+    pub outputs: Vec<String>,
+    /// Registers.
+    pub regs: Vec<FlatReg>,
+    /// Memories.
+    pub mems: Vec<FlatMem>,
+    /// Cover statements.
+    pub covers: Vec<FlatCover>,
+    /// Cover-values statements.
+    pub cover_values: Vec<FlatCoverValues>,
+}
+
+impl FlatCircuit {
+    /// Width of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal does not exist.
+    pub fn width(&self, name: &str) -> u32 {
+        self.signals[name].width
+    }
+}
+
+fn prefixed(path: &str, name: &str) -> String {
+    if path.is_empty() {
+        name.to_string()
+    } else {
+        format!("{path}.{name}")
+    }
+}
+
+/// Elaborate a lowered circuit (run [`rtlcov_firrtl::passes::lower`] first).
+///
+/// # Errors
+///
+/// Fails on remaining `when` statements, unknown modules, untypeable
+/// expressions, or clock-typed cover predicates.
+pub fn elaborate(circuit: &Circuit) -> Result<FlatCircuit, ElabError> {
+    let mut flat = FlatCircuit::default();
+    elaborate_module(circuit, &circuit.top, "", &mut flat)?;
+
+    // Signals that are referenced but never defined default to zero.
+    let mut referenced: Vec<String> = Vec::new();
+    let visit_expr = |e: &Expr, referenced: &mut Vec<String>| {
+        e.for_each(&mut |x| {
+            if let Expr::Ref(n) = x {
+                referenced.push(n.clone());
+            }
+        });
+    };
+    for sig in flat.signals.values() {
+        if let Def::Expr(e) = &sig.def {
+            visit_expr(e, &mut referenced);
+        }
+    }
+    for r in &flat.regs {
+        visit_expr(&r.next, &mut referenced);
+        if let Some((rst, init)) = &r.reset {
+            visit_expr(rst, &mut referenced);
+            visit_expr(init, &mut referenced);
+        }
+    }
+    for c in &flat.covers {
+        visit_expr(&c.pred, &mut referenced);
+        visit_expr(&c.enable, &mut referenced);
+    }
+    for cv in &flat.cover_values {
+        visit_expr(&cv.signal, &mut referenced);
+        visit_expr(&cv.enable, &mut referenced);
+    }
+    for name in referenced {
+        if !flat.signals.contains_key(&name) {
+            return Err(ElabError(format!("undeclared signal `{name}` referenced")));
+        }
+    }
+    Ok(flat)
+}
+
+fn elaborate_module(
+    circuit: &Circuit,
+    mod_name: &str,
+    path: &str,
+    flat: &mut FlatCircuit,
+) -> Result<(), ElabError> {
+    let module = circuit
+        .module(mod_name)
+        .ok_or_else(|| ElabError(format!("unknown module `{mod_name}`")))?;
+    let env = module_env(module, circuit).map_err(|e| ElabError(e.0))?;
+
+    // instance table for reference rewriting
+    let mut insts: HashMap<String, String> = HashMap::new();
+    let mut mems: HashMap<String, Mem> = HashMap::new();
+    module.for_each_stmt(&mut |s| match s {
+        Stmt::Inst { name, module: target, .. } => {
+            insts.insert(name.clone(), target.clone());
+        }
+        Stmt::Mem(m) => {
+            mems.insert(m.name.clone(), m.clone());
+        }
+        _ => {}
+    });
+
+    // Rewrite an expression into flat-name space.
+    let flatten_expr = |e: &Expr| -> Result<Expr, ElabError> {
+        let insts = &insts;
+        let mems = &mems;
+        let out = e.clone().map(&|x| match x {
+            Expr::Ref(n) => Expr::Ref(prefixed(path, &n)),
+            Expr::SubField(inner, field) => {
+                // inner was already rewritten bottom-up into a prefixed ref
+                if let Expr::Ref(name) = inner.as_ref() {
+                    Expr::Ref(format!("{name}.{field}"))
+                } else {
+                    Expr::SubField(inner, field)
+                }
+            }
+            other => other,
+        });
+        // validate: no remaining aggregates accesses
+        let mut bad = None;
+        out.for_each(&mut |x| {
+            if matches!(x, Expr::SubField(..) | Expr::SubIndex(..)) && bad.is_none() {
+                bad = Some(format!("{x:?}"));
+            }
+        });
+        let _ = (insts, mems);
+        match bad {
+            Some(b) => Err(ElabError(format!("unlowered aggregate access {b}"))),
+            None => Ok(out),
+        }
+    };
+
+    // 1. declare ports
+    for p in &module.ports {
+        let flat_name = prefixed(path, &p.name);
+        let width = p.ty.width().ok_or_else(|| {
+            ElabError(format!("port `{}` of `{mod_name}` has unknown width", p.name))
+        })?;
+        let is_clock = matches!(p.ty, Type::Clock);
+        let def = if path.is_empty() {
+            match p.dir {
+                Direction::Input => Def::Input,
+                Direction::Output => Def::Zero, // overwritten by its connect
+            }
+        } else {
+            Def::Zero // driven by parent connect or child logic
+        };
+        flat.signals.insert(
+            flat_name.clone(),
+            FlatSignal { name: flat_name.clone(), width, signed: p.ty.is_signed(), def },
+        );
+        if path.is_empty() && !is_clock {
+            match p.dir {
+                Direction::Input => flat.inputs.push(flat_name),
+                Direction::Output => flat.outputs.push(flat_name),
+            }
+        }
+    }
+
+    // 2. walk the body
+    for s in &module.body {
+        match s {
+            Stmt::When { .. } => {
+                return Err(ElabError("circuit still contains `when`; run lower() first".into()))
+            }
+            Stmt::Wire { name, ty, .. } => {
+                let flat_name = prefixed(path, name);
+                let width =
+                    ty.width().ok_or_else(|| ElabError(format!("wire `{name}` unknown width")))?;
+                flat.signals.insert(
+                    flat_name.clone(),
+                    FlatSignal { name: flat_name, width, signed: ty.is_signed(), def: Def::Zero },
+                );
+            }
+            Stmt::Node { name, value, .. } => {
+                let flat_name = prefixed(path, name);
+                let ty = expr_type(value, &env).map_err(|e| ElabError(e.0))?;
+                let width =
+                    ty.width().ok_or_else(|| ElabError(format!("node `{name}` unknown width")))?;
+                let def = Def::Expr(flatten_expr(value)?);
+                flat.signals.insert(
+                    flat_name.clone(),
+                    FlatSignal { name: flat_name, width, signed: ty.is_signed(), def },
+                );
+            }
+            Stmt::Reg { name, ty, reset, .. } => {
+                let flat_name = prefixed(path, name);
+                let width =
+                    ty.width().ok_or_else(|| ElabError(format!("reg `{name}` unknown width")))?;
+                let reset = reset
+                    .as_ref()
+                    .map(|(r, i)| Ok::<_, ElabError>((flatten_expr(r)?, flatten_expr(i)?)))
+                    .transpose()?;
+                flat.signals.insert(
+                    flat_name.clone(),
+                    FlatSignal {
+                        name: flat_name.clone(),
+                        width,
+                        signed: ty.is_signed(),
+                        def: Def::Reg,
+                    },
+                );
+                flat.regs.push(FlatReg {
+                    name: flat_name.clone(),
+                    width,
+                    signed: ty.is_signed(),
+                    next: Expr::Ref(flat_name),
+                    reset,
+                });
+            }
+            Stmt::Mem(mem) => {
+                let flat_name = prefixed(path, &mem.name);
+                let width = mem
+                    .data_ty
+                    .width()
+                    .ok_or_else(|| ElabError(format!("mem `{}` unknown width", mem.name)))?;
+                let aw = addr_width(mem.depth);
+                let declare =
+                    |flat: &mut FlatCircuit, port: &str, field: &str, w: u32, def: Def| {
+                        let n = format!("{flat_name}.{port}.{field}");
+                        flat.signals.insert(
+                            n.clone(),
+                            FlatSignal { name: n, width: w, signed: false, def },
+                        );
+                    };
+                for r in &mem.readers {
+                    declare(flat, r, "addr", aw, Def::Zero);
+                    declare(flat, r, "en", 1, Def::Zero);
+                    declare(
+                        flat,
+                        r,
+                        "data",
+                        width,
+                        Def::MemRead {
+                            mem: flat_name.clone(),
+                            addr: format!("{flat_name}.{r}.addr"),
+                            en: format!("{flat_name}.{r}.en"),
+                        },
+                    );
+                }
+                let mut writers = Vec::new();
+                for w in &mem.writers {
+                    declare(flat, w, "addr", aw, Def::Zero);
+                    declare(flat, w, "en", 1, Def::Zero);
+                    declare(flat, w, "data", width, Def::Zero);
+                    declare(flat, w, "mask", 1, Def::Zero);
+                    writers.push(FlatMemWriter {
+                        addr: format!("{flat_name}.{w}.addr"),
+                        en: format!("{flat_name}.{w}.en"),
+                        data: format!("{flat_name}.{w}.data"),
+                        mask: format!("{flat_name}.{w}.mask"),
+                    });
+                }
+                flat.mems.push(FlatMem { name: flat_name, width, depth: mem.depth, writers });
+            }
+            Stmt::Inst { name, module: target, .. } => {
+                let child_path = prefixed(path, name);
+                elaborate_module(circuit, target, &child_path, flat)?;
+            }
+            Stmt::Connect { loc, value, .. } => {
+                let sink = flatten_sink(loc, path)?;
+                let value = flatten_expr(value)?;
+                // register sinks update `next`, everything else is a def
+                if let Some(reg) = flat.regs.iter_mut().find(|r| r.name == sink) {
+                    reg.next = value;
+                } else {
+                    let sig = flat.signals.get_mut(&sink).ok_or_else(|| {
+                        ElabError(format!("connect to undeclared signal `{sink}`"))
+                    })?;
+                    sig.def = Def::Expr(value);
+                }
+            }
+            Stmt::Invalid { loc, .. } => {
+                let sink = flatten_sink(loc, path)?;
+                if let Some(sig) = flat.signals.get_mut(&sink) {
+                    sig.def = Def::Zero;
+                }
+            }
+            Stmt::Cover { name, pred, enable, .. } => {
+                flat.covers.push(FlatCover {
+                    name: prefixed(path, name),
+                    pred: flatten_expr(pred)?,
+                    enable: flatten_expr(enable)?,
+                });
+            }
+            Stmt::CoverValues { name, signal, enable, .. } => {
+                let ty = expr_type(signal, &env).map_err(|e| ElabError(e.0))?;
+                let width = ty
+                    .width()
+                    .ok_or_else(|| ElabError(format!("cover_values `{name}` unknown width")))?;
+                flat.cover_values.push(FlatCoverValues {
+                    name: prefixed(path, name),
+                    signal: flatten_expr(signal)?,
+                    width,
+                    enable: flatten_expr(enable)?,
+                });
+            }
+            Stmt::Skip => {}
+        }
+    }
+    Ok(())
+}
+
+fn flatten_sink(loc: &Expr, path: &str) -> Result<String, ElabError> {
+    match loc {
+        Expr::Ref(n) => Ok(prefixed(path, n)),
+        Expr::SubField(inner, field) => Ok(format!("{}.{field}", flatten_sink(inner, path)?)),
+        other => Err(ElabError(format!("connect to non-reference {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcov_firrtl::parser::parse;
+    use rtlcov_firrtl::passes;
+
+    fn flat(src: &str) -> FlatCircuit {
+        elaborate(&passes::lower(parse(src).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn flattens_simple_module() {
+        let f = flat(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<4>
+    output o : UInt<4>
+    o <= not(a)
+",
+        );
+        assert_eq!(f.inputs, vec!["a"]);
+        assert_eq!(f.outputs, vec!["o"]);
+        assert!(matches!(&f.signals["o"].def, Def::Expr(_)));
+        assert!(matches!(&f.signals["a"].def, Def::Input));
+    }
+
+    #[test]
+    fn hierarchical_names() {
+        let f = flat(
+            "
+circuit Top :
+  module Child :
+    input clock : Clock
+    input in : UInt<4>
+    output out : UInt<4>
+    out <= not(in)
+  module Top :
+    input clock : Clock
+    input x : UInt<4>
+    output o : UInt<4>
+    inst c of Child
+    c.clock <= clock
+    c.in <= x
+    o <= c.out
+",
+        );
+        assert!(f.signals.contains_key("c.in"));
+        assert!(f.signals.contains_key("c.out"));
+        // parent drives c.in from x
+        match &f.signals["c.in"].def {
+            Def::Expr(Expr::Ref(n)) => assert_eq!(n, "x"),
+            other => panic!("{other:?}"),
+        }
+        // child drives c.out
+        assert!(matches!(&f.signals["c.out"].def, Def::Expr(_)));
+    }
+
+    #[test]
+    fn registers_get_next_and_reset() {
+        let f = flat(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    output o : UInt<8>
+    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(3)))
+    r <= tail(add(r, UInt<8>(1)), 1)
+    o <= r
+",
+        );
+        assert_eq!(f.regs.len(), 1);
+        let r = &f.regs[0];
+        assert_eq!(r.name, "r");
+        assert!(r.reset.is_some());
+        assert!(!matches!(r.next, Expr::Ref(_)));
+    }
+
+    #[test]
+    fn covers_get_hierarchical_names() {
+        let f = flat(
+            "
+circuit Top :
+  module Child :
+    input clock : Clock
+    input a : UInt<1>
+    cover(clock, a, UInt<1>(1)) : inner
+  module Top :
+    input clock : Clock
+    input a : UInt<1>
+    inst c of Child
+    c.clock <= clock
+    c.a <= a
+    cover(clock, a, UInt<1>(1)) : outer
+",
+        );
+        let names: Vec<&str> = f.covers.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"outer"));
+        assert!(names.contains(&"c.inner"));
+    }
+
+    #[test]
+    fn memories_flatten_with_ports() {
+        let f = flat(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input addr : UInt<4>
+    input wdata : UInt<8>
+    input wen : UInt<1>
+    output o : UInt<8>
+    mem m : UInt<8>[16], readers(r), writers(w)
+    m.r.addr <= addr
+    m.r.en <= UInt<1>(1)
+    m.w.addr <= addr
+    m.w.en <= wen
+    m.w.data <= wdata
+    m.w.mask <= UInt<1>(1)
+    o <= m.r.data
+",
+        );
+        assert_eq!(f.mems.len(), 1);
+        assert_eq!(f.mems[0].writers.len(), 1);
+        assert!(matches!(&f.signals["m.r.data"].def, Def::MemRead { .. }));
+        match &f.signals["o"].def {
+            Def::Expr(Expr::Ref(n)) => assert_eq!(n, "m.r.data"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_instances_of_same_module() {
+        let f = flat(
+            "
+circuit Top :
+  module Buf :
+    input in : UInt<4>
+    output out : UInt<4>
+    out <= in
+  module Top :
+    input a : UInt<4>
+    output o : UInt<4>
+    inst b1 of Buf
+    inst b2 of Buf
+    b1.in <= a
+    b2.in <= b1.out
+    o <= b2.out
+",
+        );
+        assert!(f.signals.contains_key("b1.in"));
+        assert!(f.signals.contains_key("b2.in"));
+    }
+}

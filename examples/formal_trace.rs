@@ -1,0 +1,74 @@
+//! Formal cover trace generation (§3.4 / §5.5).
+//!
+//! The same instrumentation that drives simulators feeds the SAT-based
+//! bounded model checker: for every FSM cover point of the Figure 7 state
+//! machine, the solver either synthesizes an input sequence reaching it or
+//! proves it unreachable within the bound. Each witness trace is then
+//! replayed on the compiled software simulator to confirm the cover fires
+//! — the cross-backend consistency the single-primitive design buys.
+//!
+//! ```sh
+//! cargo run --release --example formal_trace
+//! ```
+
+use rtlcov::core::instrument::{CoverageCompiler, Metrics};
+use rtlcov::designs::fsm_examples::figure7;
+use rtlcov::formal::bmc::{check_covers, BmcOptions, CoverOutcome};
+use rtlcov::sim::compiled::CompiledSim;
+use rtlcov::sim::elaborate::elaborate;
+
+fn main() {
+    let instrumented = CoverageCompiler::new(Metrics::fsm_only())
+        .run(figure7())
+        .expect("figure 7 lowers");
+    let fsm = &instrumented.artifacts.fsm.fsms[0];
+    println!(
+        "FSM `{}` over enum `{}`: {} states, {} analyzed transitions\n",
+        fsm.reg,
+        fsm.enum_name,
+        fsm.states.len(),
+        fsm.transitions.len()
+    );
+
+    let flat = elaborate(&instrumented.circuit).expect("elaborates");
+    let results = check_covers(&flat, BmcOptions { max_steps: 10, ..Default::default() })
+        .expect("bmc runs");
+
+    for r in &results {
+        match &r.outcome {
+            CoverOutcome::Reached { step, trace } => {
+                // replay the witness on the software simulator
+                let mut sim = CompiledSim::new(&instrumented.circuit).expect("compiles");
+                let counts = trace.replay(&mut sim);
+                let confirmed = counts.count(&r.name).unwrap_or(0) > 0;
+                let inputs: Vec<String> = trace
+                    .inputs
+                    .iter()
+                    .map(|step| {
+                        step.iter()
+                            .zip(&trace.input_names)
+                            .filter(|(_, n)| n.as_str() == "in")
+                            .map(|(v, _)| v.to_string())
+                            .collect()
+                    })
+                    .collect();
+                println!(
+                    "{:<24} reached @ step {step}  (replay {})  in = [{}]",
+                    r.name,
+                    if confirmed { "confirms" } else { "FAILS" },
+                    inputs.join(",")
+                );
+            }
+            CoverOutcome::UnreachableWithin(k) => {
+                println!("{:<24} UNREACHABLE within {k} cycles", r.name);
+            }
+            CoverOutcome::Unknown => println!("{:<24} unknown (budget)", r.name),
+        }
+    }
+    println!(
+        "\nNote: the FSM analysis resolved Figure 7 exactly, so every analyzed\n\
+         transition has a witness trace. Run the §5.5 harness\n\
+         (`cargo run -p rtlcov-bench --bin sec55_formal`) to see the converse:\n\
+         covers the analysis emits that formal verification proves unreachable."
+    );
+}

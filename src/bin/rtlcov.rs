@@ -1,0 +1,176 @@
+//! `rtlcov` — command-line front door to the coverage system.
+//!
+//! ```text
+//! rtlcov instrument <file.fir> [--metrics line,toggle,fsm,rv]        print instrumented FIRRTL
+//! rtlcov run <file.fir> [--metrics ...] [--cycles N] [--seed S]      simulate with random inputs, print reports
+//! rtlcov bmc <file.fir> [--metrics ...] [--steps K]                  formal cover reachability
+//! rtlcov verilog <file.fir>                                          emit structural Verilog
+//! ```
+
+use rtlcov::core::instrument::{CoverageCompiler, Instrumented, Metrics};
+use rtlcov::core::passes::toggle::ToggleOptions;
+use rtlcov::core::report::{
+    fsm::FsmReport, line::LineReport, ready_valid::ReadyValidReport, toggle::ToggleReport,
+};
+use rtlcov::sim::{compiled::CompiledSim, Simulator};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rtlcov instrument <file.fir> [--metrics line,toggle,fsm,rv]\n  \
+         rtlcov run <file.fir> [--metrics ...] [--cycles N] [--seed S]\n  \
+         rtlcov bmc <file.fir> [--metrics ...] [--steps K]\n  \
+         rtlcov verilog <file.fir>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_metrics(spec: &str) -> Result<Metrics, String> {
+    let mut m = Metrics::none();
+    for part in spec.split(',').filter(|s| !s.is_empty()) {
+        match part {
+            "line" => m.line = true,
+            "toggle" => m.toggle = Some(ToggleOptions::default()),
+            "toggle-regs" => m.toggle = Some(ToggleOptions::regs_only()),
+            "fsm" => m.fsm = true,
+            "rv" | "ready-valid" => m.ready_valid = true,
+            "all" => m = Metrics::all(),
+            other => return Err(format!("unknown metric `{other}`")),
+        }
+    }
+    Ok(m)
+}
+
+struct Args {
+    command: String,
+    file: String,
+    metrics: Metrics,
+    cycles: usize,
+    steps: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.len() < 2 {
+        return Err("missing command or file".into());
+    }
+    let mut args = Args {
+        command: argv[0].clone(),
+        file: argv[1].clone(),
+        metrics: Metrics::line_only(),
+        cycles: 1000,
+        steps: 20,
+        seed: 0,
+    };
+    let mut i = 2;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--metrics" => args.metrics = parse_metrics(value)?,
+            "--cycles" => args.cycles = value.parse().map_err(|_| "bad --cycles")?,
+            "--steps" => args.steps = value.parse().map_err(|_| "bad --steps")?,
+            "--seed" => args.seed = value.parse().map_err(|_| "bad --seed")?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn instrument(args: &Args) -> Result<Instrumented, String> {
+    let src = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read `{}`: {e}", args.file))?;
+    let circuit = rtlcov::firrtl::parser::parse(&src).map_err(|e| e.to_string())?;
+    CoverageCompiler::new(args.metrics).run(circuit).map_err(|e| e.to_string())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let inst = instrument(args)?;
+    match args.command.as_str() {
+        "instrument" => {
+            print!("{}", rtlcov::firrtl::printer::print_circuit(&inst.circuit));
+        }
+        "verilog" => {
+            print!("{}", rtlcov::firrtl::verilog::emit_verilog(&inst.circuit));
+        }
+        "run" => {
+            use rand::{Rng, SeedableRng};
+            let mut sim = CompiledSim::new(&inst.circuit).map_err(|e| e.to_string())?;
+            let flat =
+                rtlcov::sim::elaborate::elaborate(&inst.circuit).map_err(|e| e.to_string())?;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
+            sim.reset(2);
+            for _ in 0..args.cycles {
+                for name in &flat.inputs {
+                    if name != "reset" {
+                        sim.poke(name, rng.gen());
+                    }
+                }
+                sim.step();
+            }
+            let counts = sim.cover_counts();
+            println!("== raw counts ==\n{counts}");
+            if args.metrics.line {
+                println!("{}", LineReport::build(&inst.circuit, &inst.artifacts.line, &counts).render());
+            }
+            if args.metrics.toggle.is_some() {
+                println!("{}", ToggleReport::build(&inst.circuit, &inst.artifacts.toggle, &counts).render());
+            }
+            if args.metrics.fsm {
+                println!("{}", FsmReport::build(&inst.circuit, &inst.artifacts.fsm, &counts).render());
+            }
+            if args.metrics.ready_valid {
+                println!(
+                    "{}",
+                    ReadyValidReport::build(&inst.circuit, &inst.artifacts.ready_valid, &counts)
+                        .render()
+                );
+            }
+        }
+        "bmc" => {
+            let flat =
+                rtlcov::sim::elaborate::elaborate(&inst.circuit).map_err(|e| e.to_string())?;
+            let results = rtlcov::formal::bmc::check_covers(
+                &flat,
+                rtlcov::formal::bmc::BmcOptions {
+                    max_steps: args.steps,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            for r in results {
+                use rtlcov::formal::bmc::CoverOutcome;
+                match r.outcome {
+                    CoverOutcome::Reached { step, .. } => {
+                        println!("{:<40} reached @ step {step}", r.name)
+                    }
+                    CoverOutcome::UnreachableWithin(k) => {
+                        println!("{:<40} UNREACHABLE within {k}", r.name)
+                    }
+                    CoverOutcome::Unknown => println!("{:<40} unknown", r.name),
+                }
+            }
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Formal/simulation consistency: BMC witness traces must replay on the
+//! software simulators, and covers proven unreachable must never fire in
+//! (bounded) random simulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtlcov::core::instrument::{CoverageCompiler, Metrics};
+use rtlcov::formal::bmc::{check_covers, BmcOptions, CoverOutcome};
+use rtlcov::sim::compiled::CompiledSim;
+use rtlcov::sim::elaborate::elaborate;
+use rtlcov::sim::Simulator;
+
+fn instrumented(src: &str) -> rtlcov::core::instrument::Instrumented {
+    let circuit = rtlcov::firrtl::parser::parse(src).unwrap();
+    CoverageCompiler::new(Metrics::line_only()).run(circuit).unwrap()
+}
+
+const MAZE: &str = "
+circuit Maze :
+  module Maze :
+    input clock : Clock
+    input reset : UInt<1>
+    input step : UInt<2>
+    output at : UInt<3>
+    reg pos : UInt<3>, clock with : (reset => (reset, UInt<3>(0)))
+    at <= pos
+    when eq(pos, UInt<3>(0)) :
+      when eq(step, UInt<2>(1)) :
+        pos <= UInt<3>(1)
+    else when eq(pos, UInt<3>(1)) :
+      when eq(step, UInt<2>(2)) :
+        pos <= UInt<3>(2)
+      else when eq(step, UInt<2>(3)) :
+        pos <= UInt<3>(0)
+    else when eq(pos, UInt<3>(2)) :
+      when eq(step, UInt<2>(1)) :
+        pos <= UInt<3>(5)
+";
+
+#[test]
+fn every_reached_cover_replays_on_the_simulator() {
+    let inst = instrumented(MAZE);
+    let flat = elaborate(&inst.circuit).unwrap();
+    let results =
+        check_covers(&flat, BmcOptions { max_steps: 10, ..Default::default() }).unwrap();
+    let mut reached = 0;
+    for r in &results {
+        if let CoverOutcome::Reached { trace, .. } = &r.outcome {
+            reached += 1;
+            let mut sim = CompiledSim::new(&inst.circuit).unwrap();
+            let counts = trace.replay(&mut sim);
+            assert!(
+                counts.count(&r.name).unwrap_or(0) > 0,
+                "witness for {} does not replay: {counts}",
+                r.name
+            );
+        }
+    }
+    assert!(reached >= 4, "only {reached} covers reached");
+}
+
+#[test]
+fn unreachable_verdicts_agree_with_random_simulation() {
+    let inst = instrumented(MAZE);
+    let flat = elaborate(&inst.circuit).unwrap();
+    let results =
+        check_covers(&flat, BmcOptions { max_steps: 12, ..Default::default() }).unwrap();
+    let unreachable: Vec<&str> = results
+        .iter()
+        .filter(|r| matches!(r.outcome, CoverOutcome::UnreachableWithin(_)))
+        .map(|r| r.name.as_str())
+        .collect();
+    // random simulation within the same bound must never hit them
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..200 {
+        let mut sim = CompiledSim::new(&inst.circuit).unwrap();
+        sim.reset(1);
+        for _ in 0..12 {
+            sim.poke("step", rng.gen_range(0..4));
+            sim.step();
+        }
+        let counts = sim.cover_counts();
+        for name in &unreachable {
+            assert_eq!(counts.count(name), Some(0), "{name} fired in simulation!");
+        }
+    }
+}
+
+#[test]
+fn deeper_bounds_reach_monotonically_more() {
+    let inst = instrumented(MAZE);
+    let flat = elaborate(&inst.circuit).unwrap();
+    let count_reached = |k: usize| -> usize {
+        check_covers(&flat, BmcOptions { max_steps: k, ..Default::default() })
+            .unwrap()
+            .iter()
+            .filter(|r| matches!(r.outcome, CoverOutcome::Reached { .. }))
+            .count()
+    };
+    let shallow = count_reached(2);
+    let deep = count_reached(8);
+    assert!(deep >= shallow);
+    assert!(deep > 0);
+}
+
+#[test]
+fn fsm_transitions_and_formal_agree_on_figure7() {
+    // every transition the FSM analysis emits for Figure 7 is exact, so
+    // formal must find a witness for all of them
+    let inst = CoverageCompiler::new(Metrics::fsm_only())
+        .run(rtlcov::designs::fsm_examples::figure7())
+        .unwrap();
+    assert!(!inst.artifacts.fsm.fsms[0].over_approximated);
+    let flat = elaborate(&inst.circuit).unwrap();
+    let results =
+        check_covers(&flat, BmcOptions { max_steps: 10, ..Default::default() }).unwrap();
+    for r in &results {
+        assert!(
+            matches!(r.outcome, CoverOutcome::Reached { .. }),
+            "{}: {:?}",
+            r.name,
+            r.outcome
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+use rtlcov::core::CoverageMap;
+use rtlcov::firrtl::bv::Bv;
+use rtlcov::firrtl::eval::const_fold;
+use rtlcov::firrtl::ir::{Expr, PrimOp};
+use rtlcov::firrtl::{parser, printer};
+
+proptest! {
+    // ------------------------------------------------------------- Bv --
+
+    #[test]
+    fn bv_add_matches_u128(a in any::<u64>(), b in any::<u64>(), w in 1u32..=64) {
+        let x = Bv::from_u64(a, w);
+        let y = Bv::from_u64(b, w);
+        let sum = x.add(&y);
+        // the w+1-bit result never overflows, so the u128 sum is exact
+        let expect = x.to_u128() + y.to_u128();
+        prop_assert_eq!(sum.to_u128(), expect);
+        prop_assert_eq!(sum.width(), w + 1);
+    }
+
+    #[test]
+    fn bv_sub_then_add_roundtrips(a in any::<u64>(), b in any::<u64>(), w in 1u32..=63) {
+        let x = Bv::from_u64(a, w);
+        let y = Bv::from_u64(b, w);
+        // (x - y) + y ≡ x (mod 2^w)
+        let diff = x.sub(&y).bits(w - 1, 0);
+        let back = diff.add(&y).bits(w - 1, 0);
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn bv_mul_matches_u128(a in any::<u32>(), b in any::<u32>()) {
+        let x = Bv::from_u64(a as u64, 32);
+        let y = Bv::from_u64(b as u64, 32);
+        prop_assert_eq!(x.mul(&y).to_u128(), (a as u128) * (b as u128));
+    }
+
+    #[test]
+    fn bv_cat_bits_inverse(a in any::<u64>(), b in any::<u64>(), wa in 1u32..=32, wb in 1u32..=32) {
+        let x = Bv::from_u64(a, wa);
+        let y = Bv::from_u64(b, wb);
+        let c = x.cat(&y);
+        prop_assert_eq!(c.bits(wa + wb - 1, wb), x);
+        prop_assert_eq!(c.bits(wb - 1, 0), y);
+    }
+
+    #[test]
+    fn bv_comparisons_match_native(a in any::<u64>(), b in any::<u64>(), w in 1u32..=64) {
+        let mask = if w == 64 { u64::MAX } else { (1 << w) - 1 };
+        let (am, bm) = (a & mask, b & mask);
+        let x = Bv::from_u64(am, w);
+        let y = Bv::from_u64(bm, w);
+        prop_assert_eq!(x.ult(&y), am < bm);
+        let sx = x.to_i64();
+        let sy = y.to_i64();
+        prop_assert_eq!(x.slt(&y), sx < sy);
+    }
+
+    #[test]
+    fn bv_shift_roundtrip(a in any::<u64>(), w in 1u32..=48, s in 0u32..16) {
+        let x = Bv::from_u64(a, w);
+        // (x << s) >> s == x
+        prop_assert_eq!(x.shl(s).shr(s), x);
+    }
+
+    #[test]
+    fn bv_not_involution(a in any::<u64>(), w in 1u32..=64) {
+        let x = Bv::from_u64(a, w);
+        prop_assert_eq!(x.not().not(), x);
+    }
+
+    // --------------------------------------------------- constant fold --
+
+    #[test]
+    fn const_fold_add_is_exact(a in any::<u32>(), b in any::<u32>()) {
+        let e = Expr::prim(
+            PrimOp::Add,
+            vec![Expr::u(a as u64, 32), Expr::u(b as u64, 32)],
+            vec![],
+        );
+        let v = const_fold(&e).unwrap();
+        prop_assert_eq!(v.bits.to_u64(), a as u64 + b as u64);
+    }
+
+    // -------------------------------------------------- coverage map --
+
+    #[test]
+    fn coverage_merge_is_commutative(
+        entries_a in prop::collection::vec(("[a-d]", 0u64..1000), 0..8),
+        entries_b in prop::collection::vec(("[a-d]", 0u64..1000), 0..8),
+    ) {
+        let a: CoverageMap = entries_a.into_iter().collect();
+        let b: CoverageMap = entries_b.into_iter().collect();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn coverage_merge_never_loses_points(
+        entries in prop::collection::vec(("[a-f]{1,3}", 0u64..10), 0..16),
+    ) {
+        let a: CoverageMap = entries.clone().into_iter().collect();
+        let mut merged = CoverageMap::new();
+        merged.merge(&a);
+        prop_assert_eq!(merged.len(), a.len());
+        for (name, count) in a.iter() {
+            prop_assert_eq!(merged.count(name), Some(count));
+        }
+    }
+
+    // ------------------------------------------------- parser/printer --
+
+    #[test]
+    fn print_parse_roundtrip_for_random_counters(
+        width in 1u32..=32,
+        init in 0u64..1000,
+        step in 1u64..16,
+    ) {
+        let src = format!(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    output o : UInt<{width}>
+    reg r : UInt<{width}>, clock with : (reset => (reset, UInt<{width}>({init})))
+    r <= tail(add(r, UInt<{width}>({step})), 1)
+    o <= r
+    cover(clock, eq(r, UInt<{width}>(0)), UInt<1>(1)) : wrap
+"
+        );
+        let c1 = parser::parse(&src).unwrap();
+        let text = printer::print_circuit(&c1);
+        let c2 = parser::parse(&text).unwrap();
+        prop_assert_eq!(c1, c2);
+    }
+
+    // ----------------------------------------------------- mutators --
+
+    #[test]
+    fn mutations_preserve_nonemptiness(seed in any::<u64>(), len in 1usize..128) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut input = vec![0xa5u8; len];
+        for _ in 0..16 {
+            rtlcov::fuzz::mutate::mutate(&mut input, &mut rng);
+            prop_assert!(!input.is_empty());
+            prop_assert!(input.len() <= 16 * 4096, "len {}", input.len());
+        }
+    }
+}
+
+// deterministic sanity companion for the messy width-65 add masking above
+#[test]
+fn bv_add_edge_width_64() {
+    let x = Bv::from_u64(u64::MAX, 64);
+    let y = Bv::from_u64(u64::MAX, 64);
+    let s = x.add(&y);
+    assert_eq!(s.width(), 65);
+    assert_eq!(s.to_u128(), (u64::MAX as u128) * 2);
+}
