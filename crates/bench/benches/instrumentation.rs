@@ -12,14 +12,19 @@ fn bench_instrumentation(c: &mut Criterion) {
     let configs: Vec<(&str, Metrics)> = vec![
         ("baseline", Metrics::none()),
         ("line", Metrics::line_only()),
-        ("toggle-regs", Metrics::toggle_only(ToggleOptions::regs_only())),
+        (
+            "toggle-regs",
+            Metrics::toggle_only(ToggleOptions::regs_only()),
+        ),
         ("toggle-all", Metrics::toggle_only(ToggleOptions::default())),
         ("all-metrics", Metrics::all()),
     ];
     let mut group = c.benchmark_group("gcd-replay");
     group.sample_size(20);
     for (name, metrics) in configs {
-        let inst = CoverageCompiler::new(metrics).run(workload.circuit.clone()).unwrap();
+        let inst = CoverageCompiler::new(metrics)
+            .run(workload.circuit.clone())
+            .unwrap();
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut sim = CompiledSim::new(&inst.circuit).unwrap();

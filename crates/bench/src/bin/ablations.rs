@@ -32,7 +32,10 @@ fn main() {
     ]);
     for w in table2_workloads(scale) {
         let with = ToggleOptions::default();
-        let without = ToggleOptions { use_alias_analysis: false, ..ToggleOptions::default() };
+        let without = ToggleOptions {
+            use_alias_analysis: false,
+            ..ToggleOptions::default()
+        };
         let (mut sim_on, inst_on) = instrumented_sim(&w, Metrics::toggle_only(with));
         let (mut sim_off, inst_off) = instrumented_sim(&w, Metrics::toggle_only(without));
         let t_on = run_workload(&w, &mut sim_on);
@@ -58,7 +61,10 @@ fn main() {
     )
     .unwrap();
     let info = instrument_line_coverage(&mut pre);
-    println!("before expansion: {} branch covers inserted", info.cover_count());
+    println!(
+        "before expansion: {} branch covers inserted",
+        info.cover_count()
+    );
     // after: when-expansion removed every branch, so the pass finds nothing
     let mut post = passes::lower(rtlcov_designs::riscv_mini::riscv_mini()).unwrap();
     let info = instrument_line_coverage(&mut post);
@@ -79,7 +85,11 @@ fn main() {
 
     println!("=== Ablation 3: activity-driven evaluation (ESSENT premise) ===\n");
     let mut table = Table::new();
-    table.row(vec!["workload".into(), "activity factor".into(), "note".into()]);
+    table.row(vec![
+        "workload".into(),
+        "activity factor".into(),
+        "note".into(),
+    ]);
     // low activity: riscv-mini spinning in its fetch FSM with no program
     let w = riscv_mini_workload(2000 * scale);
     let low = passes::lower(w.circuit.clone()).unwrap();

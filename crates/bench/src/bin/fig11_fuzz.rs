@@ -52,7 +52,13 @@ fn main() {
         ),
         (
             "random (no feedback)",
-            averaged_campaign(|| make_harness(false), Feedback::Random, iterations, runs, samples),
+            averaged_campaign(
+                || make_harness(false),
+                Feedback::Random,
+                iterations,
+                runs,
+                samples,
+            ),
         ),
     ];
     let mut table = Table::new();

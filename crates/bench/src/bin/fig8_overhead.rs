@@ -20,7 +20,9 @@ fn measure(w: &Workload, metrics: Metrics, native: bool) -> f64 {
     if let Some((imem, dmem, program)) = &w.program {
         use rtlcov_sim::Simulator;
         let _ = &program;
-        program.load(&mut sim as &mut dyn Simulator, imem, dmem).expect("fits");
+        program
+            .load(&mut sim as &mut dyn Simulator, imem, dmem)
+            .expect("fits");
     }
     let (_, elapsed) = timed(|| w.trace.replay(&mut sim));
     elapsed.as_secs_f64()
@@ -34,8 +36,16 @@ fn main() {
     let configs: Vec<(&str, Metrics, bool)> = vec![
         ("built-in (native mux)", Metrics::none(), true),
         ("line", Metrics::line_only(), false),
-        ("toggle (regs)", Metrics::toggle_only(ToggleOptions::regs_only()), false),
-        ("toggle (all)", Metrics::toggle_only(ToggleOptions::default()), false),
+        (
+            "toggle (regs)",
+            Metrics::toggle_only(ToggleOptions::regs_only()),
+            false,
+        ),
+        (
+            "toggle (all)",
+            Metrics::toggle_only(ToggleOptions::default()),
+            false,
+        ),
         ("fsm", Metrics::fsm_only(), false),
         (
             "line+toggle",

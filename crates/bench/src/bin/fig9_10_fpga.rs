@@ -26,8 +26,12 @@ fn software_coverage(circuit: &rtlcov_firrtl::ir::Circuit, tiles: usize) -> Cove
     let mut sim = CompiledSim::new(circuit).expect("soc compiles");
     let p = boot_workload(3);
     for i in 0..tiles {
-        p.load(&mut sim, &format!("tile{i}.icache.mem"), &format!("tile{i}.dcache.mem"))
-            .expect("fits");
+        p.load(
+            &mut sim,
+            &format!("tile{i}.icache.mem"),
+            &format!("tile{i}.dcache.mem"),
+        )
+        .expect("fits");
     }
     sim.reset(2);
     for _ in 0..6000 {
@@ -87,7 +91,10 @@ fn main() {
                 remove_covered(&mut removed, &sw_counts, 10);
                 insert_scan_chain(&mut removed, w).expect("scan chain inserts");
                 let r = estimate(&removed);
-                (r.luts.to_string(), format!("{:.2}", r.luts as f64 / base_luts as f64))
+                (
+                    r.luts.to_string(),
+                    format!("{:.2}", r.luts as f64 / base_luts as f64),
+                )
             } else {
                 ("-".into(), "-".into())
             };

@@ -28,7 +28,10 @@ fn main() {
         "model target freq".into(),
         "scan-out time".into(),
     ]);
-    for (name, tiles, circuit) in [("rocket-like", 4, rocket_like()), ("boom-like", 6, boom_like())] {
+    for (name, tiles, circuit) in [
+        ("rocket-like", 4, rocket_like()),
+        ("boom-like", 6, boom_like()),
+    ] {
         let inst = CoverageCompiler::new(Metrics::line_only())
             .run(circuit)
             .expect("soc lowers");
@@ -66,7 +69,11 @@ fn main() {
             cycles.to_string(),
             format!("{:.1} s", wall.as_secs_f64()),
             fmax,
-            format!("{:.1} ms ({} counts)", scan_time.as_secs_f64() * 1e3, counts.len()),
+            format!(
+                "{:.1} ms ({} counts)",
+                scan_time.as_secs_f64() * 1e3,
+                counts.len()
+            ),
         ]);
     }
     println!("{}", table.render());

@@ -25,7 +25,11 @@ fn main() {
     // run each ISA test and merge the maps
     let mut merged = CoverageMap::new();
     let mut table = Table::new();
-    table.row(vec!["test".into(), "covered".into(), "merged so far".into()]);
+    table.row(vec![
+        "test".into(),
+        "covered".into(),
+        "merged so far".into(),
+    ]);
     for w in riscv_isa_workloads(800) {
         let mut sim = CompiledSim::new(&inst.circuit).expect("compiles");
         let counts = w.run(&mut sim);

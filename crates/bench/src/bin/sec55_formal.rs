@@ -36,7 +36,11 @@ fn main() {
     let (results, elapsed) = timed(|| {
         check_covers(
             &flat,
-            BmcOptions { max_steps: steps, conflict_budget: 400_000, symbolic_mem_init: true },
+            BmcOptions {
+                max_steps: steps,
+                conflict_budget: 400_000,
+                symbolic_mem_init: true,
+            },
         )
         .expect("bmc runs")
     });
@@ -61,7 +65,11 @@ fn main() {
         table.row(vec![r.name.clone(), outcome]);
     }
     println!("{}", table.render());
-    println!("BMC time: {:.1} s over {} covers\n", elapsed.as_secs_f64(), results.len());
+    println!(
+        "BMC time: {:.1} s over {} covers\n",
+        elapsed.as_secs_f64(),
+        results.len()
+    );
     if !icache_unreachable.is_empty() && dcache_write_reached {
         println!(
             "FINDING (paper §5.5): {} icache cover(s) are unreachable while their \
@@ -83,7 +91,11 @@ fn main() {
     let (results, elapsed) = timed(|| {
         check_covers(
             &flat,
-            BmcOptions { max_steps: steps, conflict_budget: 400_000, symbolic_mem_init: true },
+            BmcOptions {
+                max_steps: steps,
+                conflict_budget: 400_000,
+                symbolic_mem_init: true,
+            },
         )
         .expect("bmc runs")
     });
@@ -92,8 +104,7 @@ fn main() {
         .filter(|r| matches!(r.outcome, CoverOutcome::UnreachableWithin(_)))
         .map(|r| r.name.as_str())
         .collect();
-    let transitions: Vec<&&str> =
-        unreachable.iter().filter(|n| n.contains("_t_")).collect();
+    let transitions: Vec<&&str> = unreachable.iter().filter(|n| n.contains("_t_")).collect();
     println!(
         "{} FSM covers checked in {:.1} s; {} unreachable within {steps} (of which {} are transitions)",
         results.len(),

@@ -9,7 +9,9 @@ use rtlcov_bench::Table;
 use std::path::Path;
 
 fn loc(path: &Path) -> usize {
-    let Ok(text) = std::fs::read_to_string(path) else { return 0 };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return 0;
+    };
     let mut in_tests = false;
     let mut count = 0;
     for line in text.lines() {
@@ -37,8 +39,16 @@ fn main() {
             vec!["map.rs", "instances.rs", "instrument.rs"],
             vec!["report/mod.rs"],
         ),
-        ("Line Coverage", vec!["passes/line.rs"], vec!["report/line.rs"]),
-        ("Toggle Coverage", vec!["passes/toggle.rs"], vec!["report/toggle.rs"]),
+        (
+            "Line Coverage",
+            vec!["passes/line.rs"],
+            vec!["report/line.rs"],
+        ),
+        (
+            "Toggle Coverage",
+            vec!["passes/toggle.rs"],
+            vec!["report/toggle.rs"],
+        ),
         ("FSM Coverage", vec!["passes/fsm.rs"], vec!["report/fsm.rs"]),
         (
             "Ready/Valid Coverage",
@@ -47,7 +57,9 @@ fn main() {
         ),
     ];
     println!("Table 1: lines of Rust code for coverage passes and report generators");
-    println!("(paper: Scala LoC — Common 106/290, Line 89/64, Toggle 279/51, FSM 144/34, R/V 78/26)\n");
+    println!(
+        "(paper: Scala LoC — Common 106/290, Line 89/64, Toggle 279/51, FSM 144/34, R/V 78/26)\n"
+    );
     let mut table = Table::new();
     table.row(vec!["".into(), "LoC Instrum.".into(), "LoC Report".into()]);
     for (name, instr_files, report_files) in rows {

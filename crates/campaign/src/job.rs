@@ -1,0 +1,113 @@
+//! Campaign job descriptions: which design, which stimulus shard, which
+//! backend.
+
+use rtlcov_sim::SimKind;
+use std::fmt;
+
+/// A coverage-producing backend a campaign can schedule jobs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// One of the software simulators.
+    Sim(SimKind),
+    /// The emulated FPGA flow (scan-chain transform + host).
+    Fpga,
+    /// Bounded model checking (stimulus-independent: scheduled once per
+    /// design, on shard 0 only).
+    Formal,
+}
+
+impl Backend {
+    /// Every backend, in a stable order.
+    pub const ALL: [Backend; 5] = [
+        Backend::Sim(SimKind::Interp),
+        Backend::Sim(SimKind::Compiled),
+        Backend::Sim(SimKind::Essent),
+        Backend::Fpga,
+        Backend::Formal,
+    ];
+
+    /// Stable lower-case name (CLI/shard-file identifier).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Sim(kind) => kind.name(),
+            Backend::Fpga => "fpga",
+            Backend::Formal => "formal",
+        }
+    }
+
+    /// Parse a [`Backend::name`] back into a backend.
+    pub fn parse(name: &str) -> Option<Backend> {
+        Backend::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// Whether the backend consumes stimulus shards: formal explores the
+    /// whole input space symbolically, so extra shards add nothing.
+    pub fn is_sharded(&self) -> bool {
+        !matches!(self, Backend::Formal)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One schedulable unit of campaign work.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobSpec {
+    /// Design name (see `rtlcov_designs::workloads::campaign_design_names`).
+    pub design: String,
+    /// Stimulus shard index (selects the workload seed).
+    pub shard: u64,
+    /// Backend to run on.
+    pub backend: Backend,
+}
+
+impl JobSpec {
+    /// Stable identifier, also used as the shard-file stem.
+    pub fn id(&self) -> String {
+        format!("{}--s{}--{}", self.design, self.shard, self.backend.name())
+    }
+}
+
+impl fmt::Display for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+        }
+        assert_eq!(Backend::parse("vcs"), None);
+    }
+
+    #[test]
+    fn job_ids_are_unique_per_axis() {
+        let a = JobSpec {
+            design: "gcd".into(),
+            shard: 0,
+            backend: Backend::Fpga,
+        };
+        let b = JobSpec {
+            design: "gcd".into(),
+            shard: 1,
+            backend: Backend::Fpga,
+        };
+        let c = JobSpec {
+            design: "queue".into(),
+            shard: 0,
+            backend: Backend::Fpga,
+        };
+        assert_ne!(a.id(), b.id());
+        assert_ne!(a.id(), c.id());
+        assert_eq!(a.id(), "gcd--s0--fpga");
+    }
+}

@@ -1,0 +1,32 @@
+//! # rtlcov-campaign
+//!
+//! A parallel, multi-backend coverage campaign runner on top of the
+//! paper's simulator-independent coverage interface (§3/§5.3): because
+//! every backend — interpreter, compiled, activity-driven, emulated FPGA,
+//! formal BMC — reports the same [`rtlcov_core::CoverageMap`], a campaign
+//! can fan (design × stimulus-shard × backend) jobs out over a worker
+//! pool and fold the results into one merged map whose value is
+//! bit-identical to a sequential run.
+//!
+//! * [`job`] — the (design, shard, backend) job axis;
+//! * [`runner`] — worker pool + coordinator with saturation-aware
+//!   scheduling (stop a design after `k` shards of no new coverage);
+//! * [`merge`] — binary-counter merge tree and plateau detection;
+//! * [`shard`] — versioned, resumable on-disk shard artifacts
+//!   (JSON or compact binary);
+//! * [`report`] — per-design metric reports over the merged coverage.
+
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod merge;
+pub mod report;
+pub mod runner;
+pub mod shard;
+
+pub use job::{Backend, JobSpec};
+pub use merge::{MergeTree, SaturationTracker};
+pub use runner::{
+    job_list, run_campaign, CampaignConfig, CampaignError, CampaignResult, JobOutcome,
+};
+pub use shard::{Shard, ShardError, ShardFormat, ShardStore};

@@ -1,0 +1,60 @@
+//! Campaign-level report rendering: per-design, per-metric summaries over
+//! the merged coverage, reusing the core report generators.
+
+use crate::runner::CampaignResult;
+use rtlcov_core::instrument::Metrics;
+use rtlcov_core::report::{
+    fsm::FsmReport, line::LineReport, ready_valid::ReadyValidReport, toggle::ToggleReport,
+};
+
+/// Render the merged per-design reports for every requested metric.
+pub fn render(result: &CampaignResult, metrics: Metrics) -> String {
+    let mut out = String::new();
+    for (design, map) in &result.per_design {
+        let Some(inst) = result.instrumented.get(design) else {
+            continue;
+        };
+        out.push_str(&format!(
+            "== {design}: {}/{} cover points hit ==\n",
+            map.covered(),
+            map.len()
+        ));
+        if metrics.line {
+            out.push_str(&LineReport::build(&inst.circuit, &inst.artifacts.line, map).render());
+            out.push('\n');
+        }
+        if metrics.toggle.is_some() {
+            out.push_str(&ToggleReport::build(&inst.circuit, &inst.artifacts.toggle, map).render());
+            out.push('\n');
+        }
+        if metrics.fsm {
+            out.push_str(&FsmReport::build(&inst.circuit, &inst.artifacts.fsm, map).render());
+            out.push('\n');
+        }
+        if metrics.ready_valid {
+            out.push_str(
+                &ReadyValidReport::build(&inst.circuit, &inst.artifacts.ready_valid, map).render(),
+            );
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// One-line-per-job campaign summary (outcome + totals).
+pub fn summary(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    for (job, outcome) in &result.outcomes {
+        out.push_str(&format!("{:<40} {outcome:?}\n", job.id()));
+    }
+    out.push_str(&format!(
+        "total: {} completed, {} resumed, {} cancelled, {} failed; {} cover points ({} hit)\n",
+        result.completed(),
+        result.resumed(),
+        result.cancelled(),
+        result.failed(),
+        result.merged.len(),
+        result.merged.covered(),
+    ));
+    out
+}

@@ -1,0 +1,492 @@
+//! The campaign scheduler: fan (design × shard × backend) jobs out over a
+//! worker pool, stream per-shard coverage back to a coordinator, and stop
+//! paying for designs whose coverage has saturated.
+//!
+//! Topology:
+//!
+//! ```text
+//!   job queue ──▶ worker 0 ─┐
+//!   (Mutex<VecDeque>)  ...  ├─ mpsc ─▶ coordinator: MergeTree per design
+//!              ──▶ worker N ─┘          SaturationTracker per design
+//!                    ▲                  ShardStore persistence
+//!                    └── per-design cancel flags (AtomicBool) ◀──┘
+//! ```
+//!
+//! Workers instrument nothing themselves: each design is instrumented
+//! once up front and shared immutably, so a campaign pays the compiler
+//! pipeline once per design, not once per job. The coordinator is the
+//! only writer of merged state and shard files; workers only simulate.
+//!
+//! Determinism: `CoverageMap::merge` is a saturating sum, associative and
+//! commutative, so with plateau cancellation disabled the merged map is
+//! bit-identical for any worker count and any completion order. Plateau
+//! cancellation (`plateau > 0`) deliberately trades that for wall-clock:
+//! after `plateau` consecutive shards of a design with no newly hit cover
+//! point, the design's remaining jobs are cancelled.
+
+use crate::job::{Backend, JobSpec};
+use crate::merge::{MergeTree, SaturationTracker};
+use crate::shard::{ShardFormat, ShardStore};
+use rtlcov_core::instrument::{CoverageCompiler, Instrumented, Metrics};
+use rtlcov_core::CoverageMap;
+use rtlcov_designs::workloads::campaign_workload;
+use rtlcov_formal::bmc::{self, BmcOptions};
+use rtlcov_fpga::FpgaBackend;
+use rtlcov_sim::elaborate::{elaborate, FlatCircuit};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Designs to cover (names from
+    /// `rtlcov_designs::workloads::campaign_design_names`).
+    pub designs: Vec<String>,
+    /// Backends to schedule each shard on.
+    pub backends: Vec<Backend>,
+    /// Metrics to instrument.
+    pub metrics: Metrics,
+    /// Stimulus shards per design (formal runs shard 0 only).
+    pub shards: u64,
+    /// Per-shard stimulus scale factor (1 = smoke-test scale).
+    pub scale: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Saturation threshold: cancel a design's remaining jobs after this
+    /// many consecutive shards with no new cover points. 0 disables.
+    pub plateau: usize,
+    /// Persist shards here (and resume from them). `None` keeps the
+    /// campaign in memory only.
+    pub shard_dir: Option<PathBuf>,
+    /// On-disk shard format.
+    pub format: ShardFormat,
+    /// Bound for formal jobs.
+    pub bmc_steps: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            designs: vec!["gcd".into(), "queue".into()],
+            backends: Backend::ALL.to_vec(),
+            metrics: Metrics::all(),
+            shards: 2,
+            scale: 1,
+            workers: 4,
+            plateau: 0,
+            shard_dir: None,
+            format: ShardFormat::Binary,
+            bmc_steps: 10,
+        }
+    }
+}
+
+/// Why the campaign could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignError(pub String);
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "campaign error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// How one scheduled job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Ran and merged.
+    Completed,
+    /// Loaded from a previously persisted shard instead of running.
+    Resumed,
+    /// Skipped because its design saturated first.
+    Cancelled,
+    /// The backend failed (error message).
+    Failed(String),
+}
+
+/// Everything a finished campaign knows.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// Global merged map; keys are `{design}::{cover}` so identically
+    /// named cover points in different designs stay distinct.
+    pub merged: CoverageMap,
+    /// Per-design merged maps with the designs' own cover names.
+    pub per_design: BTreeMap<String, CoverageMap>,
+    /// Instrumented circuits + pass metadata, for report rendering.
+    pub instrumented: BTreeMap<String, Instrumented>,
+    /// Outcome of every scheduled job, in job-id order.
+    pub outcomes: Vec<(JobSpec, JobOutcome)>,
+}
+
+impl CampaignResult {
+    fn count(&self, pred: impl Fn(&JobOutcome) -> bool) -> usize {
+        self.outcomes.iter().filter(|(_, o)| pred(o)).count()
+    }
+
+    /// Jobs that ran to completion in this invocation.
+    pub fn completed(&self) -> usize {
+        self.count(|o| matches!(o, JobOutcome::Completed))
+    }
+
+    /// Jobs satisfied by previously persisted shards.
+    pub fn resumed(&self) -> usize {
+        self.count(|o| matches!(o, JobOutcome::Resumed))
+    }
+
+    /// Jobs cancelled by saturation.
+    pub fn cancelled(&self) -> usize {
+        self.count(|o| matches!(o, JobOutcome::Cancelled))
+    }
+
+    /// Jobs that failed.
+    pub fn failed(&self) -> usize {
+        self.count(|o| matches!(o, JobOutcome::Failed(_)))
+    }
+}
+
+/// Immutable per-design state shared by all workers.
+struct DesignContext {
+    name: String,
+    instrumented: Instrumented,
+    /// Elaborated once for formal jobs; `None` when formal isn't scheduled.
+    flat: Option<FlatCircuit>,
+}
+
+enum Event {
+    Done { job: JobSpec, map: CoverageMap },
+    Cancelled { job: JobSpec },
+    Failed { job: JobSpec, error: String },
+}
+
+/// Enumerate the full job list for a config, in scheduling order
+/// (design-major, then shard, then backend — so saturation cancels the
+/// tail of a design's shards).
+pub fn job_list(config: &CampaignConfig) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for design in &config.designs {
+        for shard in 0..config.shards.max(1) {
+            for backend in &config.backends {
+                if !backend.is_sharded() && shard != 0 {
+                    continue;
+                }
+                jobs.push(JobSpec {
+                    design: design.clone(),
+                    shard,
+                    backend: *backend,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+fn run_job(
+    job: &JobSpec,
+    ctx: &DesignContext,
+    config: &CampaignConfig,
+) -> Result<CoverageMap, String> {
+    match job.backend {
+        Backend::Sim(kind) => {
+            let mut sim = kind
+                .build(&ctx.instrumented.circuit)
+                .map_err(|e| e.to_string())?;
+            let workload = campaign_workload(&ctx.name, job.shard, config.scale)
+                .ok_or_else(|| format!("no workload for design `{}`", ctx.name))?;
+            Ok(workload.run(&mut *sim))
+        }
+        Backend::Fpga => {
+            let mut sim = FpgaBackend::with_default_width(&ctx.instrumented.circuit)
+                .map_err(|e| e.to_string())?;
+            let workload = campaign_workload(&ctx.name, job.shard, config.scale)
+                .ok_or_else(|| format!("no workload for design `{}`", ctx.name))?;
+            Ok(workload.run(&mut sim))
+        }
+        Backend::Formal => {
+            let flat = ctx
+                .flat
+                .as_ref()
+                .ok_or("design was not elaborated for formal")?;
+            bmc::cover_map(
+                flat,
+                BmcOptions {
+                    max_steps: config.bmc_steps,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Run a campaign to completion.
+///
+/// # Errors
+///
+/// Configuration errors (unknown design/empty axes) and instrumentation
+/// failures abort the whole campaign. Individual job failures do not:
+/// they are reported per job in [`CampaignResult::outcomes`].
+pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, CampaignError> {
+    if config.designs.is_empty() {
+        return Err(CampaignError("no designs selected".into()));
+    }
+    if config.backends.is_empty() {
+        return Err(CampaignError("no backends selected".into()));
+    }
+    let workers = config.workers.max(1);
+    let needs_formal = config.backends.contains(&Backend::Formal);
+
+    // instrument each design once; workers share the result immutably
+    let mut contexts: Vec<DesignContext> = Vec::new();
+    for design in &config.designs {
+        let workload = campaign_workload(design, 0, 1)
+            .ok_or_else(|| CampaignError(format!("unknown design `{design}`")))?;
+        let instrumented = CoverageCompiler::new(config.metrics)
+            .run(workload.circuit)
+            .map_err(|e| CampaignError(format!("instrumenting `{design}`: {e}")))?;
+        let flat = if needs_formal {
+            Some(
+                elaborate(&instrumented.circuit)
+                    .map_err(|e| CampaignError(format!("elaborating `{design}`: {e}")))?,
+            )
+        } else {
+            None
+        };
+        contexts.push(DesignContext {
+            name: design.clone(),
+            instrumented,
+            flat,
+        });
+    }
+    let context_of: HashMap<&str, &DesignContext> =
+        contexts.iter().map(|c| (c.name.as_str(), c)).collect();
+
+    // resume: load usable shards, schedule everything else
+    let store = config
+        .shard_dir
+        .as_ref()
+        .map(|d| ShardStore::new(d, config.format));
+    let mut resumed: Vec<(JobSpec, CoverageMap)> = Vec::new();
+    if let Some(store) = &store {
+        let (shards, _rejected) = store.scan();
+        for shard in shards {
+            resumed.push((shard.job, shard.map));
+        }
+    }
+    let all_jobs = job_list(config);
+    let pending: VecDeque<JobSpec> = all_jobs
+        .iter()
+        .filter(|j| !resumed.iter().any(|(r, _)| r == *j))
+        .cloned()
+        .collect();
+    let scheduled = pending.len();
+
+    // coordinator state
+    let mut trees: BTreeMap<String, MergeTree> = BTreeMap::new();
+    let mut trackers: BTreeMap<String, SaturationTracker> = BTreeMap::new();
+    let cancel: HashMap<String, AtomicBool> = config
+        .designs
+        .iter()
+        .map(|d| (d.clone(), AtomicBool::new(false)))
+        .collect();
+    for design in &config.designs {
+        trees.insert(design.clone(), MergeTree::new());
+        trackers.insert(design.clone(), SaturationTracker::new(config.plateau));
+    }
+    let mut outcomes: HashMap<JobSpec, JobOutcome> = HashMap::new();
+
+    // previously persisted shards participate in the merge (and in the
+    // saturation statistics) but are not re-run and not re-persisted
+    for (job, map) in resumed {
+        if let Some(tree) = trees.get_mut(&job.design) {
+            let tracker = trackers.get_mut(&job.design).expect("tracker per design");
+            tracker.observe(&map);
+            tree.insert(map);
+            outcomes.insert(job, JobOutcome::Resumed);
+        }
+    }
+
+    let queue = Mutex::new(pending);
+    let (sender, receiver) = mpsc::channel::<Event>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let sender = sender.clone();
+            let queue = &queue;
+            let cancel = &cancel;
+            let context_of = &context_of;
+            scope.spawn(move || loop {
+                let job = match queue.lock().expect("queue lock").pop_front() {
+                    Some(job) => job,
+                    None => break,
+                };
+                if cancel[job.design.as_str()].load(Ordering::SeqCst) {
+                    let _ = sender.send(Event::Cancelled { job });
+                    continue;
+                }
+                let ctx = context_of[job.design.as_str()];
+                let event = match run_job(&job, ctx, config) {
+                    Ok(map) => Event::Done { job, map },
+                    Err(error) => Event::Failed { job, error },
+                };
+                let _ = sender.send(event);
+            });
+        }
+        drop(sender);
+
+        for event in receiver.iter().take(scheduled) {
+            match event {
+                Event::Done { job, map } => {
+                    if let Some(store) = &store {
+                        if let Err(e) = store.save(&job, &map) {
+                            outcomes.insert(job, JobOutcome::Failed(format!("persist: {e}")));
+                            continue;
+                        }
+                    }
+                    let tracker = trackers.get_mut(&job.design).expect("tracker per design");
+                    tracker.observe(&map);
+                    if tracker.saturated() {
+                        cancel[job.design.as_str()].store(true, Ordering::SeqCst);
+                    }
+                    trees
+                        .get_mut(&job.design)
+                        .expect("tree per design")
+                        .insert(map);
+                    outcomes.insert(job, JobOutcome::Completed);
+                }
+                Event::Cancelled { job } => {
+                    outcomes.insert(job, JobOutcome::Cancelled);
+                }
+                Event::Failed { job, error } => {
+                    outcomes.insert(job, JobOutcome::Failed(error));
+                }
+            }
+        }
+    });
+
+    let mut per_design = BTreeMap::new();
+    let mut merged = CoverageMap::new();
+    for (design, tree) in &trees {
+        let map = tree.merged();
+        for (name, count) in map.iter() {
+            let global = format!("{design}::{name}");
+            merged.declare(global.clone());
+            merged.record(global, count);
+        }
+        per_design.insert(design.clone(), map);
+    }
+    let mut outcomes: Vec<(JobSpec, JobOutcome)> = outcomes.into_iter().collect();
+    outcomes.sort_by_key(|(job, _)| job.id());
+    let instrumented = contexts
+        .into_iter()
+        .map(|c| (c.name, c.instrumented))
+        .collect();
+    Ok(CampaignResult {
+        merged,
+        per_design,
+        instrumented,
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcov_sim::SimKind;
+
+    fn quick(designs: &[&str], backends: Vec<Backend>) -> CampaignConfig {
+        CampaignConfig {
+            designs: designs.iter().map(|s| s.to_string()).collect(),
+            backends,
+            metrics: Metrics::line_only(),
+            shards: 2,
+            workers: 2,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn unknown_design_is_a_config_error() {
+        let config = quick(&["nope"], vec![Backend::Sim(SimKind::Interp)]);
+        assert!(run_campaign(&config).is_err());
+    }
+
+    #[test]
+    fn formal_runs_once_per_design() {
+        let config = quick(
+            &["gcd"],
+            vec![Backend::Sim(SimKind::Interp), Backend::Formal],
+        );
+        let jobs = job_list(&config);
+        let formal = jobs.iter().filter(|j| j.backend == Backend::Formal).count();
+        assert_eq!(formal, 1, "formal is stimulus-independent");
+        assert_eq!(jobs.len(), 3); // 2 interp shards + 1 formal
+    }
+
+    #[test]
+    fn small_campaign_completes_and_prefixes_global_keys() {
+        let config = quick(&["gcd"], vec![Backend::Sim(SimKind::Interp)]);
+        let result = run_campaign(&config).unwrap();
+        assert_eq!(result.completed(), 2);
+        assert_eq!(result.failed(), 0);
+        let gcd = &result.per_design["gcd"];
+        assert!(gcd.len() > 0, "line instrumentation yields cover points");
+        assert_eq!(result.merged.len(), gcd.len());
+        for (name, _) in result.merged.iter() {
+            assert!(name.starts_with("gcd::"), "{name}");
+        }
+    }
+
+    #[test]
+    fn persisted_campaign_resumes_without_rerunning() {
+        let dir =
+            std::env::temp_dir().join(format!("rtlcov-campaign-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CampaignConfig {
+            shard_dir: Some(dir.clone()),
+            ..quick(
+                &["queue"],
+                vec![Backend::Sim(SimKind::Interp), Backend::Sim(SimKind::Essent)],
+            )
+        };
+        let first = run_campaign(&config).unwrap();
+        assert_eq!(first.completed(), 4);
+        assert_eq!(first.resumed(), 0);
+        let second = run_campaign(&config).unwrap();
+        assert_eq!(second.completed(), 0);
+        assert_eq!(second.resumed(), 4);
+        assert_eq!(first.merged, second.merged, "resume reproduces the merge");
+        // corrupt one shard: exactly that job reruns
+        let path = ShardStore::new(&dir, config.format).path_for(&JobSpec {
+            design: "queue".into(),
+            shard: 1,
+            backend: Backend::Sim(SimKind::Essent),
+        });
+        std::fs::write(&path, b"RSHDgarbage").unwrap();
+        let third = run_campaign(&config).unwrap();
+        assert_eq!(third.completed(), 1);
+        assert_eq!(third.resumed(), 3);
+        assert_eq!(first.merged, third.merged);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn saturation_cancels_redundant_shards() {
+        // one worker => deterministic completion order; gcd's line
+        // coverage saturates on the first shard, so with K = 2 the
+        // remaining shards are cancelled
+        let config = CampaignConfig {
+            shards: 8,
+            workers: 1,
+            plateau: 2,
+            ..quick(&["gcd"], vec![Backend::Sim(SimKind::Interp)])
+        };
+        let result = run_campaign(&config).unwrap();
+        assert!(result.cancelled() >= 1, "outcomes: {:?}", result.outcomes);
+        assert_eq!(result.completed() + result.cancelled(), 8);
+    }
+}

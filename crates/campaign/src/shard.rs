@@ -1,0 +1,435 @@
+//! Versioned on-disk coverage shards, so campaigns are resumable.
+//!
+//! Each completed job persists its map as one file named
+//! `<design>--s<shard>--<backend>.covshard.<ext>` in two selectable
+//! formats:
+//!
+//! * **JSON** (`.covshard.json`): a human-auditable envelope
+//!   `{"version": 1, "design": ..., "shard": ..., "backend": ...,
+//!   "counts": {...}}` using the core mini-JSON (u64-exact counts);
+//! * **binary** (`.covshard.bin`): an `RSHD` header (magic + version +
+//!   metadata) wrapping the core `RCOV` codec payload — compact and
+//!   strict, never panicking on corrupt input.
+//!
+//! On resume, [`ShardStore::scan`] reloads every parseable shard and
+//! reports the unreadable ones so the scheduler can re-run exactly those
+//! jobs instead of trusting a corrupt artifact.
+
+use crate::job::{Backend, JobSpec};
+use rtlcov_core::codec;
+use rtlcov_core::json::Json;
+use rtlcov_core::CoverageMap;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Envelope magic for binary shards (distinct from the inner `RCOV`
+/// payload magic).
+pub const SHARD_MAGIC: [u8; 4] = *b"RSHD";
+/// Envelope format version.
+pub const SHARD_VERSION: u16 = 1;
+
+/// On-disk representation for shard artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFormat {
+    /// Human-auditable JSON envelope.
+    Json,
+    /// Compact binary envelope around the core codec.
+    Binary,
+}
+
+impl ShardFormat {
+    /// File extension (after `.covshard.`).
+    pub fn extension(&self) -> &'static str {
+        match self {
+            ShardFormat::Json => "json",
+            ShardFormat::Binary => "bin",
+        }
+    }
+}
+
+/// Why a shard file was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// Filesystem error (message, since `io::Error` isn't `Clone`).
+    Io(String),
+    /// Neither a valid JSON nor a valid binary shard envelope.
+    Malformed(String),
+    /// Envelope version this build does not understand.
+    UnsupportedVersion(u64),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard io error: {e}"),
+            ShardError::Malformed(e) => write!(f, "malformed shard: {e}"),
+            ShardError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported shard version {v} (this build reads {SHARD_VERSION})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// A decoded shard: which job produced it and what it observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// The producing job.
+    pub job: JobSpec,
+    /// The coverage it observed.
+    pub map: CoverageMap,
+}
+
+/// A directory of shard artifacts.
+#[derive(Debug, Clone)]
+pub struct ShardStore {
+    dir: PathBuf,
+    format: ShardFormat,
+}
+
+impl ShardStore {
+    /// A store writing `format` shards under `dir` (created on demand).
+    pub fn new(dir: impl Into<PathBuf>, format: ShardFormat) -> Self {
+        ShardStore {
+            dir: dir.into(),
+            format,
+        }
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a job's shard lands in.
+    pub fn path_for(&self, job: &JobSpec) -> PathBuf {
+        self.dir
+            .join(format!("{}.covshard.{}", job.id(), self.format.extension()))
+    }
+
+    /// Persist one shard atomically (write to a temp name, then rename).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn save(&self, job: &JobSpec, map: &CoverageMap) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(job);
+        let bytes = match self.format {
+            ShardFormat::Json => encode_json(job, map).into_bytes(),
+            ShardFormat::Binary => encode_binary(job, map),
+        };
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Load one shard file (format inferred from the contents, not the
+    /// name, so renamed files still resolve).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] on unreadable, corrupt, or future-versioned files.
+    pub fn load(path: &Path) -> Result<Shard, ShardError> {
+        let bytes = fs::read(path).map_err(|e| ShardError::Io(e.to_string()))?;
+        if bytes.starts_with(&SHARD_MAGIC) {
+            decode_binary(&bytes)
+        } else {
+            let text = String::from_utf8(bytes)
+                .map_err(|_| ShardError::Malformed("not UTF-8 and not RSHD".into()))?;
+            decode_json(&text)
+        }
+    }
+
+    /// Scan the directory for previously persisted shards. Returns the
+    /// loadable ones plus `(path, error)` for each rejected file, so the
+    /// campaign re-runs exactly the jobs whose artifacts are unusable.
+    /// A missing directory is an empty campaign, not an error.
+    pub fn scan(&self) -> (Vec<Shard>, Vec<(PathBuf, ShardError)>) {
+        let mut shards = Vec::new();
+        let mut rejected = Vec::new();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(_) => return (shards, rejected),
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !name.contains(".covshard.") || name.ends_with(".tmp") {
+                continue;
+            }
+            match Self::load(&path) {
+                Ok(shard) => shards.push(shard),
+                Err(e) => rejected.push((path, e)),
+            }
+        }
+        // deterministic order regardless of directory iteration order
+        shards.sort_by_key(|s| s.job.id());
+        rejected.sort_by(|a, b| a.0.cmp(&b.0));
+        (shards, rejected)
+    }
+}
+
+fn encode_json(job: &JobSpec, map: &CoverageMap) -> String {
+    let mut counts = BTreeMap::new();
+    for (name, count) in map.iter() {
+        counts.insert(name.to_string(), Json::UInt(count));
+    }
+    let mut envelope = BTreeMap::new();
+    envelope.insert("version".to_string(), Json::UInt(u64::from(SHARD_VERSION)));
+    envelope.insert("design".to_string(), Json::Str(job.design.clone()));
+    envelope.insert("shard".to_string(), Json::UInt(job.shard));
+    envelope.insert(
+        "backend".to_string(),
+        Json::Str(job.backend.name().to_string()),
+    );
+    envelope.insert("counts".to_string(), Json::Object(counts));
+    Json::Object(envelope).to_string()
+}
+
+fn decode_json(text: &str) -> Result<Shard, ShardError> {
+    let value =
+        rtlcov_core::json::parse(text).map_err(|e| ShardError::Malformed(format!("json: {e}")))?;
+    let version = value
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ShardError::Malformed("missing `version`".into()))?;
+    if version != u64::from(SHARD_VERSION) {
+        return Err(ShardError::UnsupportedVersion(version));
+    }
+    let design = value
+        .get("design")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ShardError::Malformed("missing `design`".into()))?;
+    let shard = value
+        .get("shard")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ShardError::Malformed("missing `shard`".into()))?;
+    let backend_name = value
+        .get("backend")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ShardError::Malformed("missing `backend`".into()))?;
+    let backend = Backend::parse(backend_name)
+        .ok_or_else(|| ShardError::Malformed(format!("unknown backend `{backend_name}`")))?;
+    let counts = value
+        .get("counts")
+        .and_then(Json::as_object)
+        .ok_or_else(|| ShardError::Malformed("missing `counts`".into()))?;
+    let mut map = CoverageMap::new();
+    for (name, count) in counts {
+        let count = count
+            .as_u64()
+            .ok_or_else(|| ShardError::Malformed(format!("count for `{name}` not a u64")))?;
+        map.declare(name.clone());
+        map.record(name.clone(), count);
+    }
+    Ok(Shard {
+        job: JobSpec {
+            design: design.to_string(),
+            shard,
+            backend,
+        },
+        map,
+    })
+}
+
+fn encode_binary(job: &JobSpec, map: &CoverageMap) -> Vec<u8> {
+    let payload = codec::encode(map);
+    let mut out = Vec::with_capacity(payload.len() + 64);
+    out.extend_from_slice(&SHARD_MAGIC);
+    out.extend_from_slice(&SHARD_VERSION.to_le_bytes());
+    let design = job.design.as_bytes();
+    out.extend_from_slice(
+        &u32::try_from(design.len())
+            .expect("design name fits u32")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(design);
+    out.extend_from_slice(&job.shard.to_le_bytes());
+    let backend = job.backend.name().as_bytes();
+    out.extend_from_slice(
+        &u32::try_from(backend.len())
+            .expect("backend name fits u32")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(backend);
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_binary(bytes: &[u8]) -> Result<Shard, ShardError> {
+    let mut offset = 0usize;
+    let take = |offset: &mut usize, n: usize| -> Result<&[u8], ShardError> {
+        let end = offset
+            .checked_add(n)
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| ShardError::Malformed(format!("truncated at offset {offset}")))?;
+        let slice = &bytes[*offset..end];
+        *offset = end;
+        Ok(slice)
+    };
+    let magic = take(&mut offset, 4)?;
+    if magic != SHARD_MAGIC {
+        return Err(ShardError::Malformed("bad envelope magic".into()));
+    }
+    let version = u16::from_le_bytes(take(&mut offset, 2)?.try_into().expect("2 bytes"));
+    if version != SHARD_VERSION {
+        return Err(ShardError::UnsupportedVersion(u64::from(version)));
+    }
+    let design_len =
+        u32::from_le_bytes(take(&mut offset, 4)?.try_into().expect("4 bytes")) as usize;
+    let design = String::from_utf8(take(&mut offset, design_len)?.to_vec())
+        .map_err(|_| ShardError::Malformed("design name not UTF-8".into()))?;
+    let shard = u64::from_le_bytes(take(&mut offset, 8)?.try_into().expect("8 bytes"));
+    let backend_len =
+        u32::from_le_bytes(take(&mut offset, 4)?.try_into().expect("4 bytes")) as usize;
+    let backend_name = String::from_utf8(take(&mut offset, backend_len)?.to_vec())
+        .map_err(|_| ShardError::Malformed("backend name not UTF-8".into()))?;
+    let backend = Backend::parse(&backend_name)
+        .ok_or_else(|| ShardError::Malformed(format!("unknown backend `{backend_name}`")))?;
+    let map = codec::decode(&bytes[offset..])
+        .map_err(|e| ShardError::Malformed(format!("payload: {e}")))?;
+    Ok(Shard {
+        job: JobSpec {
+            design,
+            shard,
+            backend,
+        },
+        map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcov_sim::SimKind;
+
+    fn sample_job() -> JobSpec {
+        JobSpec {
+            design: "gcd".into(),
+            shard: 3,
+            backend: Backend::Sim(SimKind::Interp),
+        }
+    }
+
+    fn sample_map() -> CoverageMap {
+        let mut m = CoverageMap::new();
+        m.record("top.a", 17);
+        m.record("top.b", u64::MAX);
+        m.declare("top.unhit");
+        m
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rtlcov-shard-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = tmp_dir("json");
+        let store = ShardStore::new(&dir, ShardFormat::Json);
+        let path = store.save(&sample_job(), &sample_map()).unwrap();
+        let shard = ShardStore::load(&path).unwrap();
+        assert_eq!(shard.job, sample_job());
+        assert_eq!(shard.map, sample_map());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_round_trip_and_equivalence_with_json() {
+        let dir = tmp_dir("bin");
+        let bin = ShardStore::new(&dir, ShardFormat::Binary);
+        let json = ShardStore::new(&dir, ShardFormat::Json);
+        let pb = bin.save(&sample_job(), &sample_map()).unwrap();
+        let pj = json.save(&sample_job(), &sample_map()).unwrap();
+        assert_ne!(pb, pj);
+        assert_eq!(
+            ShardStore::load(&pb).unwrap(),
+            ShardStore::load(&pj).unwrap()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_version_is_rejected_not_misread() {
+        let dir = tmp_dir("ver");
+        let store = ShardStore::new(&dir, ShardFormat::Binary);
+        let path = store.save(&sample_job(), &sample_map()).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            ShardStore::load(&path),
+            Err(ShardError::UnsupportedVersion(99))
+        );
+        // json too
+        let jstore = ShardStore::new(&dir, ShardFormat::Json);
+        let jpath = jstore.save(&sample_job(), &sample_map()).unwrap();
+        let text = fs::read_to_string(&jpath)
+            .unwrap()
+            .replace("\"version\":1", "\"version\":99");
+        fs::write(&jpath, text).unwrap();
+        assert_eq!(
+            ShardStore::load(&jpath),
+            Err(ShardError::UnsupportedVersion(99))
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_of_a_binary_shard_errors_without_panicking() {
+        let bytes = encode_binary(&sample_job(), &sample_map());
+        for len in 0..bytes.len() {
+            let result = decode_binary(&bytes[..len]);
+            assert!(result.is_err(), "prefix of {len} bytes decoded");
+        }
+        assert!(decode_binary(&bytes).is_ok());
+    }
+
+    #[test]
+    fn scan_recovers_good_shards_and_reports_bad_ones() {
+        let dir = tmp_dir("scan");
+        let store = ShardStore::new(&dir, ShardFormat::Binary);
+        let a = JobSpec {
+            design: "gcd".into(),
+            shard: 0,
+            backend: Backend::Fpga,
+        };
+        let b = JobSpec {
+            design: "queue".into(),
+            shard: 1,
+            backend: Backend::Formal,
+        };
+        store.save(&a, &sample_map()).unwrap();
+        store.save(&b, &sample_map()).unwrap();
+        fs::write(dir.join("junk.covshard.bin"), b"RSHDgarbage").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"ignored").unwrap();
+        let (shards, rejected) = store.scan();
+        assert_eq!(
+            shards.iter().map(|s| s.job.clone()).collect::<Vec<_>>(),
+            vec![a, b],
+            "sorted by job id"
+        );
+        assert_eq!(rejected.len(), 1);
+        assert!(rejected[0].0.ends_with("junk.covshard.bin"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_scans_empty() {
+        let store = ShardStore::new("/nonexistent/rtlcov-shards", ShardFormat::Json);
+        let (shards, rejected) = store.scan();
+        assert!(shards.is_empty());
+        assert!(rejected.is_empty());
+    }
+}

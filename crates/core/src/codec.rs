@@ -1,0 +1,282 @@
+//! Compact binary codec for [`CoverageMap`] shards.
+//!
+//! Campaigns persist one `CoverageMap` per (design, workload-shard,
+//! backend) job so runs are resumable and maps produced on different
+//! machines or backends can be merged offline (§5.3). JSON stays the
+//! human-readable interchange format; this codec is the compact on-disk
+//! twin. Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "RCOV"
+//! 4       2     format version (currently 1)
+//! 6       2     reserved flags (must be 0)
+//! 8       8     entry count
+//! 16      —     entries: name_len u32, name bytes (UTF-8), count u64
+//! ```
+//!
+//! Decoding never panics: truncated input, a bad magic, an unsupported
+//! version, or trailing bytes all surface as a [`CodecError`].
+
+use crate::map::CoverageMap;
+use std::fmt;
+
+/// The four magic bytes opening every binary shard.
+pub const MAGIC: [u8; 4] = *b"RCOV";
+
+/// The format version this build reads and writes.
+pub const VERSION: u16 = 1;
+
+/// Why a byte slice failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the field being read was complete.
+    Truncated {
+        /// What was being read when the input ran out.
+        reading: &'static str,
+        /// Byte offset at which more input was needed.
+        offset: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The header version is not [`VERSION`].
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The reserved flags field is non-zero (written by a newer format).
+    UnsupportedFlags(u16),
+    /// A cover-point name is not valid UTF-8.
+    InvalidName {
+        /// Index of the offending entry.
+        entry: u64,
+    },
+    /// Bytes remain after the advertised entry count was read.
+    TrailingBytes {
+        /// Offset of the first unexpected byte.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { reading, offset } => {
+                write!(
+                    f,
+                    "truncated input while reading {reading} at byte {offset}"
+                )
+            }
+            CodecError::BadMagic(found) => {
+                write!(f, "bad magic {found:02x?} (expected {MAGIC:02x?})")
+            }
+            CodecError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported shard format version {found} (this build reads {VERSION})"
+                )
+            }
+            CodecError::UnsupportedFlags(flags) => {
+                write!(f, "unsupported shard flags {flags:#06x}")
+            }
+            CodecError::InvalidName { entry } => {
+                write!(f, "entry {entry} has a non-UTF-8 name")
+            }
+            CodecError::TrailingBytes { offset } => {
+                write!(f, "trailing bytes after the last entry at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encode a map into the binary shard format.
+pub fn encode(map: &CoverageMap) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + map.len() * 24);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(map.len() as u64).to_le_bytes());
+    for (name, count) in map.iter() {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&count.to_le_bytes());
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, reading: &'static str) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(CodecError::Truncated {
+                reading,
+                offset: self.bytes.len(),
+            }),
+        }
+    }
+
+    fn u16(&mut self, reading: &'static str) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, reading)?.try_into().expect("len 2"),
+        ))
+    }
+
+    fn u32(&mut self, reading: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, reading)?.try_into().expect("len 4"),
+        ))
+    }
+
+    fn u64(&mut self, reading: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, reading)?.try_into().expect("len 8"),
+        ))
+    }
+}
+
+/// Decode a binary shard produced by [`encode`].
+///
+/// # Errors
+///
+/// Any malformed input returns a [`CodecError`]; this function never
+/// panics on untrusted bytes.
+pub fn decode(bytes: &[u8]) -> Result<CoverageMap, CodecError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.take(4, "magic")?;
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic.try_into().expect("len 4")));
+    }
+    let version = r.u16("version")?;
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion { found: version });
+    }
+    let flags = r.u16("flags")?;
+    if flags != 0 {
+        return Err(CodecError::UnsupportedFlags(flags));
+    }
+    let entries = r.u64("entry count")?;
+    let mut map = CoverageMap::new();
+    for entry in 0..entries {
+        let name_len = r.u32("entry name length")? as usize;
+        let name = std::str::from_utf8(r.take(name_len, "entry name")?)
+            .map_err(|_| CodecError::InvalidName { entry })?;
+        let count = r.u64("entry count value")?;
+        // record(_, 0) still inserts the key, so unhit points stay declared
+        map.record(name, count);
+    }
+    if r.pos != bytes.len() {
+        return Err(CodecError::TrailingBytes { offset: r.pos });
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CoverageMap {
+        let mut m = CoverageMap::new();
+        m.record("top.cover_0", 42);
+        m.record("top.sub.cover_1", u64::MAX);
+        m.declare("top.never_hit");
+        m
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let m = sample();
+        assert_eq!(decode(&encode(&m)).unwrap(), m);
+        assert_eq!(
+            decode(&encode(&CoverageMap::new())).unwrap(),
+            CoverageMap::new()
+        );
+    }
+
+    #[test]
+    fn json_and_binary_agree() {
+        let m = sample();
+        let via_json = CoverageMap::from_json(&m.to_json()).unwrap();
+        let via_binary = decode(&encode(&m)).unwrap();
+        assert_eq!(via_json, via_binary);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut bytes = encode(&sample());
+        bytes[4..6].copy_from_slice(&2u16.to_le_bytes());
+        assert_eq!(
+            decode(&bytes),
+            Err(CodecError::UnsupportedVersion { found: 2 })
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode(&sample());
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(CodecError::BadMagic(_))));
+    }
+
+    #[test]
+    fn nonzero_flags_are_rejected() {
+        let mut bytes = encode(&sample());
+        bytes[6] = 1;
+        assert_eq!(decode(&bytes), Err(CodecError::UnsupportedFlags(1)));
+    }
+
+    #[test]
+    fn every_truncation_point_errors_without_panic() {
+        let bytes = encode(&sample());
+        for len in 0..bytes.len() {
+            let err = decode(&bytes[..len]);
+            assert!(
+                matches!(err, Err(CodecError::Truncated { .. })),
+                "prefix of length {len} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_advertised_count_is_truncation_not_panic() {
+        // header claims u64::MAX entries but carries none
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn huge_name_length_is_truncation_not_panic() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&sample());
+        bytes.push(0);
+        assert!(matches!(
+            decode(&bytes),
+            Err(CodecError::TrailingBytes { .. })
+        ));
+    }
+}

@@ -25,16 +25,22 @@ pub fn lower_cover_values(circuit: &mut Circuit) -> Result<usize, String> {
     let reference = circuit.clone();
     let mut total = 0usize;
     for module in circuit.modules.iter_mut() {
-        let env = rtlcov_firrtl::typecheck::module_env(module, &reference)
-            .map_err(|e| e.0)?;
+        let env = rtlcov_firrtl::typecheck::module_env(module, &reference).map_err(|e| e.0)?;
         let body = std::mem::take(&mut module.body);
         let mut out = Vec::with_capacity(body.len());
         for s in body {
             match s {
-                Stmt::CoverValues { name, clock, signal, enable, info } => {
-                    let ty = rtlcov_firrtl::typecheck::expr_type(&signal, &env)
-                        .map_err(|e| e.0)?;
-                    let w = ty.width().ok_or_else(|| format!("`{name}` has unknown width"))?;
+                Stmt::CoverValues {
+                    name,
+                    clock,
+                    signal,
+                    enable,
+                    info,
+                } => {
+                    let ty = rtlcov_firrtl::typecheck::expr_type(&signal, &env).map_err(|e| e.0)?;
+                    let w = ty
+                        .width()
+                        .ok_or_else(|| format!("`{name}` has unknown width"))?;
                     if w > MAX_LOWERED_WIDTH {
                         return Err(format!(
                             "cover_values `{name}` covers a {w}-bit signal: 2^{w} covers would \

@@ -17,10 +17,21 @@ pub fn instance_paths(circuit: &Circuit) -> Vec<(String, String)> {
 
 fn walk(circuit: &Circuit, module: &str, path: &str, out: &mut Vec<(String, String)>) {
     out.push((path.to_string(), module.to_string()));
-    let Some(m) = circuit.module(module) else { return };
+    let Some(m) = circuit.module(module) else {
+        return;
+    };
     m.for_each_stmt(&mut |s| {
-        if let Stmt::Inst { name, module: target, .. } = s {
-            let child = if path.is_empty() { name.clone() } else { format!("{path}.{name}") };
+        if let Stmt::Inst {
+            name,
+            module: target,
+            ..
+        } = s
+        {
+            let child = if path.is_empty() {
+                name.clone()
+            } else {
+                format!("{path}.{name}")
+            };
             walk(circuit, target, &child, out);
         }
     });

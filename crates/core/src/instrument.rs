@@ -49,22 +49,34 @@ impl Metrics {
 
     /// Line coverage only.
     pub fn line_only() -> Self {
-        Metrics { line: true, ..Metrics::default() }
+        Metrics {
+            line: true,
+            ..Metrics::default()
+        }
     }
 
     /// Toggle coverage only.
     pub fn toggle_only(options: ToggleOptions) -> Self {
-        Metrics { toggle: Some(options), ..Metrics::default() }
+        Metrics {
+            toggle: Some(options),
+            ..Metrics::default()
+        }
     }
 
     /// FSM coverage only.
     pub fn fsm_only() -> Self {
-        Metrics { fsm: true, ..Metrics::default() }
+        Metrics {
+            fsm: true,
+            ..Metrics::default()
+        }
     }
 
     /// Ready/valid coverage only.
     pub fn ready_valid_only() -> Self {
-        Metrics { ready_valid: true, ..Metrics::default() }
+        Metrics {
+            ready_valid: true,
+            ..Metrics::default()
+        }
     }
 }
 
@@ -167,7 +179,9 @@ circuit T :
 
     #[test]
     fn all_metrics_compose() {
-        let inst = CoverageCompiler::new(Metrics::all()).run(parse(SRC).unwrap()).unwrap();
+        let inst = CoverageCompiler::new(Metrics::all())
+            .run(parse(SRC).unwrap())
+            .unwrap();
         let a = &inst.artifacts;
         assert!(a.line.cover_count() > 0, "line");
         assert!(a.toggle.cover_count() > 0, "toggle");
@@ -187,7 +201,9 @@ circuit T :
 
     #[test]
     fn baseline_inserts_nothing() {
-        let inst = CoverageCompiler::new(Metrics::none()).run(parse(SRC).unwrap()).unwrap();
+        let inst = CoverageCompiler::new(Metrics::none())
+            .run(parse(SRC).unwrap())
+            .unwrap();
         assert_eq!(inst.artifacts.cover_count(), 0);
         let mut covers = 0;
         inst.circuit.top_module().for_each_stmt(&mut |s| {
@@ -200,8 +216,9 @@ circuit T :
 
     #[test]
     fn single_metric_selection() {
-        let inst =
-            CoverageCompiler::new(Metrics::line_only()).run(parse(SRC).unwrap()).unwrap();
+        let inst = CoverageCompiler::new(Metrics::line_only())
+            .run(parse(SRC).unwrap())
+            .unwrap();
         assert!(inst.artifacts.line.cover_count() > 0);
         assert_eq!(inst.artifacts.toggle.cover_count(), 0);
         assert_eq!(inst.artifacts.fsm.cover_count(), 0);

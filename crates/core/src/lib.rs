@@ -36,9 +36,11 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod cover_values;
 pub mod instances;
 pub mod instrument;
+pub mod json;
 pub mod map;
 pub mod report;
 

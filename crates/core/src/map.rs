@@ -6,7 +6,7 @@
 //! the format is identical across backends, maps can be trivially merged
 //! (§5.3 of the paper).
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Json, JsonError};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -23,7 +23,7 @@ use std::fmt;
 /// assert_eq!(sw.count("core.fetch_taken"), Some(10));
 /// assert_eq!(sw.count("core.icache_miss"), Some(1));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoverageMap {
     counts: BTreeMap<String, u64>,
 }
@@ -83,6 +83,24 @@ impl CoverageMap {
         }
     }
 
+    /// Merge any number of maps into one (the campaign merge-tree
+    /// primitive). Saturating addition is associative and commutative, so
+    /// the result is independent of both grouping and order — the pairwise
+    /// tree reduction here returns exactly what a sequential left fold
+    /// would, while keeping the reduction depth logarithmic.
+    pub fn merge_many(maps: &[&CoverageMap]) -> CoverageMap {
+        match maps {
+            [] => CoverageMap::new(),
+            [only] => (*only).clone(),
+            _ => {
+                let (left, right) = maps.split_at(maps.len() / 2);
+                let mut merged = Self::merge_many(left);
+                merged.merge(&Self::merge_many(right));
+                merged
+            }
+        }
+    }
+
     /// Names of points covered at least `threshold` times — the candidates
     /// for removal before FPGA instrumentation (§5.3).
     pub fn covered_at_least(&self, threshold: u64) -> Vec<&str> {
@@ -98,18 +116,47 @@ impl CoverageMap {
         self.counts.iter().map(|(n, &c)| (n.as_str(), c))
     }
 
-    /// Serialize to the JSON interchange format.
+    /// Serialize to the JSON interchange format:
+    /// `{"counts": {"<name>": <count>, ...}}`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("BTreeMap<String, u64> always serializes")
+        let mut out = String::from("{\n  \"counts\": {");
+        for (i, (name, count)) in self.counts.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json::write_escaped(&mut out, name);
+            out.push_str(": ");
+            out.push_str(&count.to_string());
+        }
+        if !self.counts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}");
+        out
     }
 
     /// Parse from the JSON interchange format.
     ///
     /// # Errors
     ///
-    /// Returns the underlying serde error on malformed input.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Returns a [`JsonError`] on malformed input or a document that is
+    /// not a `{"counts": {...}}` object with unsigned-integer counts.
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let doc = json::parse(s)?;
+        let counts = doc
+            .get("counts")
+            .and_then(Json::as_object)
+            .ok_or_else(|| JsonError {
+                message: "missing `counts` object".into(),
+                offset: 0,
+            })?;
+        let mut map = CoverageMap::new();
+        for (name, value) in counts {
+            let count = value.as_u64().ok_or_else(|| JsonError {
+                message: format!("count for `{name}` is not an unsigned integer"),
+                offset: 0,
+            })?;
+            map.counts.insert(name.clone(), count);
+        }
+        Ok(map)
     }
 }
 
@@ -213,8 +260,117 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let m: CoverageMap =
-            vec![("a".to_string(), 1), ("b".to_string(), 2)].into_iter().collect();
+        let m: CoverageMap = vec![("a".to_string(), 1), ("b".to_string(), 2)]
+            .into_iter()
+            .collect();
         assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn merge_many_equals_sequential_fold() {
+        let mut a = CoverageMap::new();
+        a.record("x", 1);
+        a.declare("only_declared");
+        let mut b = CoverageMap::new();
+        b.record("x", 2);
+        b.record("y", 5);
+        let mut c = CoverageMap::new();
+        c.record("y", u64::MAX); // saturates with b's 5
+        let tree = CoverageMap::merge_many(&[&a, &b, &c]);
+        let mut fold = CoverageMap::new();
+        for m in [&a, &b, &c] {
+            fold.merge(m);
+        }
+        assert_eq!(tree, fold);
+        assert_eq!(tree.count("x"), Some(3));
+        assert_eq!(tree.count("y"), Some(u64::MAX));
+        assert_eq!(tree.count("only_declared"), Some(0));
+    }
+
+    #[test]
+    fn merge_many_trivial_inputs() {
+        assert_eq!(CoverageMap::merge_many(&[]), CoverageMap::new());
+        let mut a = CoverageMap::new();
+        a.record("x", 7);
+        assert_eq!(CoverageMap::merge_many(&[&a]), a);
+    }
+}
+
+#[cfg(test)]
+mod merge_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Arbitrary maps over a small name alphabet so merges collide often.
+    /// Zero counts exercise declared-but-unhit keys: `record(name, 0)`
+    /// inserts the key with count 0, exactly like `declare`.
+    fn build(entries: Vec<(String, u64)>) -> CoverageMap {
+        let mut m = CoverageMap::new();
+        for (name, count) in entries {
+            m.record(name, count);
+        }
+        m
+    }
+
+    proptest! {
+        #[test]
+        fn merge_many_is_associative(
+            ea in prop::collection::vec(("[a-e]{1,2}", 0u64..100), 0..10),
+            eb in prop::collection::vec(("[a-e]{1,2}", 0u64..100), 0..10),
+            ec in prop::collection::vec(("[a-e]{1,2}", 0u64..100), 0..10),
+        ) {
+            let (a, b, c) = (build(ea), build(eb), build(ec));
+            // ((a ⊕ b) ⊕ c) == (a ⊕ (b ⊕ c)) == merge_many's tree shape
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ab_c = ab.clone();
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            prop_assert_eq!(&ab_c, &a_bc);
+            prop_assert_eq!(&CoverageMap::merge_many(&[&a, &b, &c]), &ab_c);
+        }
+
+        #[test]
+        fn merge_many_is_order_independent(
+            ea in prop::collection::vec(("[a-e]{1,2}", 0u64..100), 0..10),
+            eb in prop::collection::vec(("[a-e]{1,2}", 0u64..100), 0..10),
+            ec in prop::collection::vec(("[a-e]{1,2}", 0u64..100), 0..10),
+            ed in prop::collection::vec(("[a-e]{1,2}", 0u64..100), 0..10),
+        ) {
+            let maps = [build(ea), build(eb), build(ec), build(ed)];
+            let refs: Vec<&CoverageMap> = maps.iter().collect();
+            let forward = CoverageMap::merge_many(&refs);
+            let reversed: Vec<&CoverageMap> = maps.iter().rev().collect();
+            let backward = CoverageMap::merge_many(&reversed);
+            let rotated: Vec<&CoverageMap> =
+                maps.iter().skip(2).chain(maps.iter().take(2)).collect();
+            let rotated = CoverageMap::merge_many(&rotated);
+            prop_assert_eq!(&forward, &backward);
+            prop_assert_eq!(&forward, &rotated);
+            // every declared key survives, hit or not
+            for m in &maps {
+                for (name, count) in m.iter() {
+                    let merged = forward.count(name);
+                    prop_assert!(merged.is_some(), "key {} lost in merge", name);
+                    prop_assert!(merged.unwrap_or(0) >= count.min(1));
+                }
+            }
+        }
+
+        #[test]
+        fn merge_many_counts_sum_without_overflow(
+            entries in prop::collection::vec(("[a-c]", 0u64..1000), 0..12),
+            copies in 1usize..6,
+        ) {
+            let one = build(entries);
+            let refs: Vec<&CoverageMap> = std::iter::repeat(&one).take(copies).collect();
+            let merged = CoverageMap::merge_many(&refs);
+            for (name, count) in one.iter() {
+                prop_assert_eq!(merged.count(name), Some(count * copies as u64));
+            }
+        }
     }
 }

@@ -17,7 +17,6 @@ use rtlcov_firrtl::bv::Bv;
 use rtlcov_firrtl::dsl::ExprExt;
 use rtlcov_firrtl::eval::{eval, Value};
 use rtlcov_firrtl::ir::*;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Result of the next-state analysis for one `(state, input)` case.
@@ -30,7 +29,7 @@ enum Next {
 }
 
 /// Analysis + instrumentation metadata for one FSM.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FsmInfo {
     /// Module containing the register.
     pub module: String,
@@ -62,7 +61,7 @@ impl FsmInfo {
 }
 
 /// Metadata emitted by the FSM pass, consumed by [`crate::report::fsm`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FsmCoverageInfo {
     /// One entry per annotated state register.
     pub fsms: Vec<FsmInfo>,
@@ -71,7 +70,10 @@ pub struct FsmCoverageInfo {
 impl FsmCoverageInfo {
     /// Total number of inserted cover points (states + transitions).
     pub fn cover_count(&self) -> usize {
-        self.fsms.iter().map(|f| f.states.len() + f.transitions.len()).sum()
+        self.fsms
+            .iter()
+            .map(|f| f.states.len() + f.transitions.len())
+            .sum()
     }
 }
 
@@ -105,7 +107,11 @@ impl NodeEnv<'_> {
                 Some(cv) if cv.is_true() => self.ceval(v),
                 _ => None,
             },
-            Expr::Prim { op: PrimOp::And, args, .. } => {
+            Expr::Prim {
+                op: PrimOp::And,
+                args,
+                ..
+            } => {
                 let (a, b) = (self.ceval(&args[0]), self.ceval(&args[1]));
                 match (&a, &b) {
                     (Some(x), _) if !x.is_true() && x.bits.width() == 1 => {
@@ -114,17 +120,19 @@ impl NodeEnv<'_> {
                     (_, Some(y)) if !y.is_true() && y.bits.width() == 1 => {
                         Some(Value::bool_value(false))
                     }
-                    (Some(_), Some(_)) => {
-                        Some(rtlcov_firrtl::eval::eval_prim(
-                            PrimOp::And,
-                            &[a.expect("checked"), b.expect("checked")],
-                            &[],
-                        ))
-                    }
+                    (Some(_), Some(_)) => Some(rtlcov_firrtl::eval::eval_prim(
+                        PrimOp::And,
+                        &[a.expect("checked"), b.expect("checked")],
+                        &[],
+                    )),
                     _ => None,
                 }
             }
-            Expr::Prim { op: PrimOp::Or, args, .. } => {
+            Expr::Prim {
+                op: PrimOp::Or,
+                args,
+                ..
+            } => {
                 let (a, b) = (self.ceval(&args[0]), self.ceval(&args[1]));
                 match (&a, &b) {
                     (Some(x), _) if x.is_true() && x.bits.width() == 1 => {
@@ -133,19 +141,16 @@ impl NodeEnv<'_> {
                     (_, Some(y)) if y.is_true() && y.bits.width() == 1 => {
                         Some(Value::bool_value(true))
                     }
-                    (Some(_), Some(_)) => {
-                        Some(rtlcov_firrtl::eval::eval_prim(
-                            PrimOp::Or,
-                            &[a.expect("checked"), b.expect("checked")],
-                            &[],
-                        ))
-                    }
+                    (Some(_), Some(_)) => Some(rtlcov_firrtl::eval::eval_prim(
+                        PrimOp::Or,
+                        &[a.expect("checked"), b.expect("checked")],
+                        &[],
+                    )),
                     _ => None,
                 }
             }
             Expr::Prim { op, args, consts } => {
-                let vals: Option<Vec<Value>> =
-                    args.iter().map(|a| self.ceval(a)).collect();
+                let vals: Option<Vec<Value>> = args.iter().map(|a| self.ceval(a)).collect();
                 vals.map(|v| rtlcov_firrtl::eval::eval_prim(*op, &v, consts))
             }
             _ => eval(e, &|n: &str| self.resolve(n)).ok(),
@@ -167,9 +172,7 @@ impl NodeEnv<'_> {
             return Next::All;
         }
         match e {
-            Expr::UIntLit(v) | Expr::SIntLit(v) => {
-                Next::States(BTreeSet::from([v.to_u64()]))
-            }
+            Expr::UIntLit(v) | Expr::SIntLit(v) => Next::States(BTreeSet::from([v.to_u64()])),
             Expr::Ref(n) if n == self.reg => Next::States(BTreeSet::from([self.state])),
             Expr::Ref(n) => match self.nodes.get(n.as_str()) {
                 Some(expr) => self.analyze(expr, depth + 1),
@@ -216,10 +219,23 @@ pub fn instrument_fsm_coverage(circuit: &mut Circuit) -> FsmCoverageInfo {
         .collect();
 
     for a in &annotations {
-        let Annotation::EnumReg { module: mod_name, reg, enum_name } = a else { continue };
-        let Some(def) = enum_defs.get(enum_name.as_str()) else { continue };
-        let Some(module) = circuit.module_mut(mod_name) else { continue };
-        let Some(clock) = module.clock() else { continue };
+        let Annotation::EnumReg {
+            module: mod_name,
+            reg,
+            enum_name,
+        } = a
+        else {
+            continue;
+        };
+        let Some(def) = enum_defs.get(enum_name.as_str()) else {
+            continue;
+        };
+        let Some(module) = circuit.module_mut(mod_name) else {
+            continue;
+        };
+        let Some(clock) = module.clock() else {
+            continue;
+        };
 
         // locate the register, its next expression, and node definitions
         let mut reg_width = 0;
@@ -228,7 +244,9 @@ pub fn instrument_fsm_coverage(circuit: &mut Circuit) -> FsmCoverageInfo {
         let mut nodes: Vec<(String, Expr)> = Vec::new();
         for s in &module.body {
             match s {
-                Stmt::Reg { name, ty, reset: r, .. } if name == reg => {
+                Stmt::Reg {
+                    name, ty, reset: r, ..
+                } if name == reg => {
                     reg_width = ty.width().unwrap_or(0);
                     reset = r.clone();
                 }
@@ -244,8 +262,7 @@ pub fn instrument_fsm_coverage(circuit: &mut Circuit) -> FsmCoverageInfo {
         }
         // a register that is never assigned keeps its value
         let next = next.unwrap_or_else(|| Expr::Ref(reg.clone()));
-        let node_map: HashMap<&str, &Expr> =
-            nodes.iter().map(|(n, e)| (n.as_str(), e)).collect();
+        let node_map: HashMap<&str, &Expr> = nodes.iter().map(|(n, e)| (n.as_str(), e)).collect();
         let reset_name = reset.as_ref().and_then(|(r, _)| match r {
             Expr::Ref(n) => Some(n.clone()),
             _ => None,
@@ -283,8 +300,7 @@ pub fn instrument_fsm_coverage(circuit: &mut Circuit) -> FsmCoverageInfo {
                 }
                 Next::All => {
                     fsm.over_approximated = true;
-                    fsm.reset_states =
-                        def.variants.iter().map(|(n, _)| n.clone()).collect();
+                    fsm.reset_states = def.variants.iter().map(|(n, _)| n.clone()).collect();
                 }
             }
         }
@@ -303,7 +319,8 @@ pub fn instrument_fsm_coverage(circuit: &mut Circuit) -> FsmCoverageInfo {
                 Next::States(set) => {
                     for v in set {
                         if let Some(to_name) = by_value.get(&v) {
-                            fsm.transitions.push((from_name.clone(), (*to_name).to_string()));
+                            fsm.transitions
+                                .push((from_name.clone(), (*to_name).to_string()));
                         }
                     }
                 }
@@ -400,16 +417,11 @@ circuit T :
         assert!(!fsm.over_approximated, "{fsm:?}");
         assert_eq!(fsm.reset_states, vec!["A".to_string()]);
         let t: BTreeSet<(String, String)> = fsm.transitions.iter().cloned().collect();
-        let expect: BTreeSet<(String, String)> = [
-            ("A", "A"),
-            ("A", "B"),
-            ("B", "B"),
-            ("B", "C"),
-            ("C", "C"),
-        ]
-        .iter()
-        .map(|(a, b)| (a.to_string(), b.to_string()))
-        .collect();
+        let expect: BTreeSet<(String, String)> =
+            [("A", "A"), ("A", "B"), ("B", "B"), ("B", "C"), ("C", "C")]
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect();
         assert_eq!(t, expect);
     }
 

@@ -11,11 +11,10 @@
 //! produce line coverage.
 
 use rtlcov_firrtl::ir::*;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A source position covered by a branch cover point.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SourceLine {
     /// Source file name.
     pub file: String,
@@ -24,7 +23,7 @@ pub struct SourceLine {
 }
 
 /// Metadata for one module's line instrumentation.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModuleLineInfo {
     /// Cover name → source lines dominated by that branch.
     pub covers: BTreeMap<String, Vec<SourceLine>>,
@@ -32,7 +31,7 @@ pub struct ModuleLineInfo {
 
 /// Metadata emitted by the line coverage pass, consumed by
 /// [`crate::report::line`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LineCoverageInfo {
     /// Per-module info.
     pub modules: BTreeMap<String, ModuleLineInfo>,
@@ -53,7 +52,9 @@ impl LineCoverageInfo {
 pub fn instrument_line_coverage(circuit: &mut Circuit) -> LineCoverageInfo {
     let mut info = LineCoverageInfo::default();
     for module in circuit.modules.iter_mut() {
-        let Some(clock) = module.clock() else { continue };
+        let Some(clock) = module.clock() else {
+            continue;
+        };
         let mut minfo = ModuleLineInfo::default();
         let mut counter = 0usize;
         let body = std::mem::take(&mut module.body);
@@ -71,7 +72,10 @@ fn lines_of(stmts: &[Stmt]) -> Vec<SourceLine> {
         .filter_map(|s| {
             let i = s.info();
             if i.is_known() {
-                Some(SourceLine { file: i.file.as_deref().unwrap_or("?").to_string(), line: i.line })
+                Some(SourceLine {
+                    file: i.file.as_deref().unwrap_or("?").to_string(),
+                    line: i.line,
+                })
             } else {
                 None
             }
@@ -91,14 +95,24 @@ fn instrument_stmts(
     let mut out = Vec::with_capacity(stmts.len());
     for s in stmts {
         match s {
-            Stmt::When { cond, then, else_, info } => {
+            Stmt::When {
+                cond,
+                then,
+                else_,
+                info,
+            } => {
                 let then = instrument_branch(then, clock, counter, minfo);
                 let else_ = if else_.is_empty() {
                     else_
                 } else {
                     instrument_branch(else_, clock, counter, minfo)
                 };
-                out.push(Stmt::When { cond, then, else_, info });
+                out.push(Stmt::When {
+                    cond,
+                    then,
+                    else_,
+                    info,
+                });
             }
             other => out.push(other),
         }
@@ -251,7 +265,10 @@ circuit T :
             }
             let mut map = CoverageMap::new();
             for s in &m.body {
-                if let Stmt::Cover { name, pred, enable, .. } = s {
+                if let Stmt::Cover {
+                    name, pred, enable, ..
+                } = s
+                {
                     let p = eval(pred, &|n| env.get(n).cloned()).map(|v| v.is_true());
                     let e = eval(enable, &|n| env.get(n).cloned()).map(|v| v.is_true());
                     let hit = p.unwrap_or(false) && e.unwrap_or(false);

@@ -13,11 +13,10 @@
 
 use rtlcov_firrtl::dsl::ExprExt;
 use rtlcov_firrtl::ir::*;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Direction of a decoupled interface from the module's perspective.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecoupledDir {
     /// The module consumes data (valid is an input).
     Sink,
@@ -26,7 +25,7 @@ pub enum DecoupledDir {
 }
 
 /// One detected decoupled interface.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecoupledPort {
     /// Port name (pre-lowering).
     pub port: String,
@@ -35,7 +34,7 @@ pub struct DecoupledPort {
 }
 
 /// Metadata emitted by the ready/valid pass.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ReadyValidInfo {
     /// module → cover name → interface.
     pub modules: BTreeMap<String, BTreeMap<String, DecoupledPort>>,
@@ -50,7 +49,9 @@ impl ReadyValidInfo {
 
 fn find_ready_valid(ty: &Type) -> Option<bool> {
     // returns Some(valid_flipped) if this bundle is decoupled-shaped
-    let Type::Bundle(fields) = ty else { return None };
+    let Type::Bundle(fields) = ty else {
+        return None;
+    };
     let ready = fields.iter().find(|f| f.name == "ready")?;
     let valid = fields.iter().find(|f| f.name == "valid")?;
     if ready.ty != Type::bool() || valid.ty != Type::bool() {
@@ -75,21 +76,26 @@ pub fn instrument_ready_valid_coverage(circuit: &mut Circuit) -> ReadyValidInfo 
         .collect();
 
     for module in circuit.modules.iter_mut() {
-        let Some(clock) = module.clock() else { continue };
+        let Some(clock) = module.clock() else {
+            continue;
+        };
         let mut minfo: BTreeMap<String, DecoupledPort> = BTreeMap::new();
         let mut added: Vec<Stmt> = Vec::new();
         for p in &module.ports {
             let structural = find_ready_valid(&p.ty);
-            let forced = annotated.iter().any(|(m, q)| m == &module.name && q == &p.name);
-            let Some(valid_flipped) = structural.or(if forced { Some(false) } else { None })
-            else {
+            let forced = annotated
+                .iter()
+                .any(|(m, q)| m == &module.name && q == &p.name);
+            let Some(valid_flipped) = structural.or(if forced { Some(false) } else { None }) else {
                 continue;
             };
             let dir = match (p.dir, valid_flipped) {
                 (Direction::Input, false) | (Direction::Output, true) => DecoupledDir::Sink,
                 _ => DecoupledDir::Source,
             };
-            let fire = Expr::r(&p.name).field("valid").and(&Expr::r(&p.name).field("ready"));
+            let fire = Expr::r(&p.name)
+                .field("valid")
+                .and(&Expr::r(&p.name).field("ready"));
             let cover = format!("rv_{}", p.name);
             added.push(Stmt::Cover {
                 name: cover.clone(),
@@ -98,7 +104,13 @@ pub fn instrument_ready_valid_coverage(circuit: &mut Circuit) -> ReadyValidInfo 
                 enable: Expr::one(),
                 info: p.info.clone(),
             });
-            minfo.insert(cover, DecoupledPort { port: p.name.clone(), dir });
+            minfo.insert(
+                cover,
+                DecoupledPort {
+                    port: p.name.clone(),
+                    dir,
+                },
+            );
         }
         if !minfo.is_empty() {
             module.body.extend(added);

@@ -34,11 +34,7 @@ impl RemovalStats {
 /// Remove cover statements already covered at least `threshold` times in
 /// `counts`, in **every** instantiation of their module (removing a
 /// module-level cover removes it from all instances, so all must qualify).
-pub fn remove_covered(
-    circuit: &mut Circuit,
-    counts: &CoverageMap,
-    threshold: u64,
-) -> RemovalStats {
+pub fn remove_covered(circuit: &mut Circuit, counts: &CoverageMap, threshold: u64) -> RemovalStats {
     // per module: covers that are sufficiently hit in every instance path
     let paths = instance_paths(circuit);
     let mut instance_count: HashMap<&str, usize> = HashMap::new();
@@ -47,11 +43,12 @@ pub fn remove_covered(
     }
     let mut qualified: HashMap<String, HashMap<String, usize>> = HashMap::new();
     for (path, module) in &paths {
-        let Some(m) = circuit.module(module) else { continue };
+        let Some(m) = circuit.module(module) else {
+            continue;
+        };
         m.for_each_stmt(&mut |s| {
             if let Stmt::Cover { name, .. } = s {
-                let hit =
-                    counts.count(&runtime_cover_name(path, name)).unwrap_or(0) >= threshold;
+                let hit = counts.count(&runtime_cover_name(path, name)).unwrap_or(0) >= threshold;
                 if hit {
                     *qualified
                         .entry(module.clone())
@@ -66,7 +63,10 @@ pub fn remove_covered(
     let mut before = 0;
     let mut after = 0;
     for module in circuit.modules.iter_mut() {
-        let n_inst = instance_count.get(module.name.as_str()).copied().unwrap_or(0);
+        let n_inst = instance_count
+            .get(module.name.as_str())
+            .copied()
+            .unwrap_or(0);
         let removable: HashSet<String> = qualified
             .get(&module.name)
             .map(|m| {

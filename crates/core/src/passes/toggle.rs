@@ -17,7 +17,6 @@
 use rtlcov_firrtl::dsl::ExprExt;
 use rtlcov_firrtl::ir::*;
 use rtlcov_firrtl::passes::alias::{alias_analysis, AliasGroups};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Which signal classes to instrument (the paper lets the user choose).
@@ -52,7 +51,12 @@ impl Default for ToggleOptions {
 impl ToggleOptions {
     /// Instrument registers only.
     pub fn regs_only() -> Self {
-        ToggleOptions { ports: false, regs: true, wires: false, ..ToggleOptions::default() }
+        ToggleOptions {
+            ports: false,
+            regs: true,
+            wires: false,
+            ..ToggleOptions::default()
+        }
     }
 
     /// Count rising and falling edges separately.
@@ -63,7 +67,7 @@ impl ToggleOptions {
 }
 
 /// Edge direction of a toggle cover.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ToggleEdge {
     /// Any change (the default single-cover-per-bit mode).
     #[default]
@@ -75,20 +79,19 @@ pub enum ToggleEdge {
 }
 
 /// Metadata for one instrumented signal bit.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ToggleTarget {
     /// Signal name within the module.
     pub signal: String,
     /// Bit index.
     pub bit: u32,
     /// Which edge this cover counts.
-    #[serde(default)]
     pub edge: ToggleEdge,
 }
 
 /// Metadata emitted by the toggle pass, consumed by
 /// [`crate::report::toggle`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ToggleCoverageInfo {
     /// module → cover name → target.
     pub modules: BTreeMap<String, BTreeMap<String, ToggleTarget>>,
@@ -159,21 +162,20 @@ pub fn instrument_toggle_coverage(
                     candidates.push((name.clone(), w, ty.is_signed()));
                 }
             }
-            Stmt::Node { name, .. } if options.wires => {
-                // compiler-generated temporaries are not user signals;
-                // width 0 is resolved via the type environment below
-                if !name.starts_with('_') {
-                    candidates.push((name.clone(), 0, false));
-                }
+            // compiler-generated temporaries are not user signals;
+            // width 0 is resolved via the type environment below
+            Stmt::Node { name, .. } if options.wires && !name.starts_with('_') => {
+                candidates.push((name.clone(), 0, false));
             }
             _ => {}
         });
         // resolve unknown node widths through the type environment
-        let Some(env) = envs.get(&module.name) else { continue };
+        let Some(env) = envs.get(&module.name) else {
+            continue;
+        };
         for cand in candidates.iter_mut() {
             if cand.1 == 0 {
-                if let Some(Type::UInt(Some(w))) | Some(Type::SInt(Some(w))) = env.get(&cand.0)
-                {
+                if let Some(Type::UInt(Some(w))) | Some(Type::SInt(Some(w))) = env.get(&cand.0) {
                     cand.1 = *w;
                     cand.2 = matches!(env.get(&cand.0), Some(Type::SInt(_)));
                 }
@@ -187,8 +189,7 @@ pub fn instrument_toggle_coverage(
     // group, preferring the group's true representative when it is among
     // the candidates (so the global reset lands in the top module).
     if let Some(a) = &alias {
-        let mut group_taken: std::collections::HashSet<usize> =
-            std::collections::HashSet::new();
+        let mut group_taken: std::collections::HashSet<usize> = std::collections::HashSet::new();
         // representatives claim their group first
         for (module, candidates) in &per_module {
             for (name, _, _) in candidates {
@@ -220,8 +221,12 @@ pub fn instrument_toggle_coverage(
 
     // Phase 3: instrument the selected candidates.
     for module in circuit.modules.iter_mut() {
-        let Some(clock) = module.clock() else { continue };
-        let Some(candidates) = per_module.get(&module.name) else { continue };
+        let Some(clock) = module.clock() else {
+            continue;
+        };
+        let Some(candidates) = per_module.get(&module.name) else {
+            continue;
+        };
         if candidates.is_empty() {
             continue;
         }
@@ -245,7 +250,11 @@ pub fn instrument_toggle_coverage(
         });
 
         for (signal, width, signed) in candidates {
-            let sig_expr = if *signed { Expr::r(signal).as_uint() } else { Expr::r(signal) };
+            let sig_expr = if *signed {
+                Expr::r(signal).as_uint()
+            } else {
+                Expr::r(signal)
+            };
             let prev = format!("_tgl_prev_{}", sanitize(signal));
             added.push(Stmt::Reg {
                 name: prev.clone(),
@@ -272,10 +281,7 @@ pub fn instrument_toggle_coverage(
                     added.push(Stmt::Cover {
                         name: rise.clone(),
                         clock: clock.clone(),
-                        pred: Expr::and(
-                            sig_expr.bit(bit),
-                            Expr::not(Expr::r(&prev).bit(bit)),
-                        ),
+                        pred: Expr::and(sig_expr.bit(bit), Expr::not(Expr::r(&prev).bit(bit))),
                         enable: Expr::r(&en_name),
                         info: Info::none(),
                     });
@@ -291,10 +297,7 @@ pub fn instrument_toggle_coverage(
                     added.push(Stmt::Cover {
                         name: fall.clone(),
                         clock: clock.clone(),
-                        pred: Expr::and(
-                            Expr::not(sig_expr.bit(bit)),
-                            Expr::r(&prev).bit(bit),
-                        ),
+                        pred: Expr::and(Expr::not(sig_expr.bit(bit)), Expr::r(&prev).bit(bit)),
                         enable: Expr::r(&en_name),
                         info: Info::none(),
                     });
@@ -318,7 +321,11 @@ pub fn instrument_toggle_coverage(
                 });
                 minfo.insert(
                     cover,
-                    ToggleTarget { signal: signal.clone(), bit, edge: ToggleEdge::Any },
+                    ToggleTarget {
+                        signal: signal.clone(),
+                        bit,
+                        edge: ToggleEdge::Any,
+                    },
                 );
             }
         }
@@ -365,22 +372,28 @@ circuit T :
         let m = &info.modules["T"];
         assert_eq!(
             m["t_r_0"],
-            ToggleTarget { signal: "r".into(), bit: 0, edge: ToggleEdge::Any }
+            ToggleTarget {
+                signal: "r".into(),
+                bit: 0,
+                edge: ToggleEdge::Any
+            }
         );
         assert_eq!(
             m["t_r_1"],
-            ToggleTarget { signal: "r".into(), bit: 1, edge: ToggleEdge::Any }
+            ToggleTarget {
+                signal: "r".into(),
+                bit: 1,
+                edge: ToggleEdge::Any
+            }
         );
     }
 
     #[test]
     fn split_edges_doubles_covers() {
         let mut c = lowered(COUNTER);
-        let info = instrument_toggle_coverage(
-            &mut c,
-            ToggleOptions::regs_only().with_split_edges(),
-        )
-        .unwrap();
+        let info =
+            instrument_toggle_coverage(&mut c, ToggleOptions::regs_only().with_split_edges())
+                .unwrap();
         assert_eq!(info.cover_count(), 4);
         let m = &info.modules["T"];
         assert_eq!(m["tr_r_0"].edge, ToggleEdge::Rise);
@@ -416,7 +429,10 @@ circuit T :
         let mut without_alias = lowered(src);
         let without_info = instrument_toggle_coverage(
             &mut without_alias,
-            ToggleOptions { use_alias_analysis: false, ..ToggleOptions::default() },
+            ToggleOptions {
+                use_alias_analysis: false,
+                ..ToggleOptions::default()
+            },
         )
         .unwrap();
         assert!(with_info.cover_count() < without_info.cover_count());

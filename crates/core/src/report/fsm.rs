@@ -24,7 +24,11 @@ pub struct FsmInstanceReport {
 impl FsmInstanceReport {
     /// States never visited.
     pub fn unvisited_states(&self) -> Vec<&str> {
-        self.states.iter().filter(|(_, &c)| c == 0).map(|(n, _)| n.as_str()).collect()
+        self.states
+            .iter()
+            .filter(|(_, &c)| c == 0)
+            .map(|(n, _)| n.as_str())
+            .collect()
     }
 
     /// Transitions never taken.
@@ -77,7 +81,10 @@ impl FsmReport {
                 fsms.push(inst);
             }
         }
-        let total = fsms.iter().map(|f| f.states.len() + f.transitions.len()).sum();
+        let total = fsms
+            .iter()
+            .map(|f| f.states.len() + f.transitions.len())
+            .sum();
         let covered = fsms
             .iter()
             .map(|f| {
@@ -85,7 +92,10 @@ impl FsmReport {
                     + f.transitions.values().filter(|&&c| c > 0).count()
             })
             .sum();
-        FsmReport { fsms, summary: Summary { total, covered } }
+        FsmReport {
+            fsms,
+            summary: Summary { total, covered },
+        }
     }
 
     /// Render the ASCII report.

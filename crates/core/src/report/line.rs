@@ -26,20 +26,31 @@ impl LineReport {
     pub fn build(circuit: &Circuit, info: &LineCoverageInfo, counts: &CoverageMap) -> Self {
         let mut files: BTreeMap<String, BTreeMap<u32, u64>> = BTreeMap::new();
         for (path, module) in instance_paths(circuit) {
-            let Some(minfo) = info.modules.get(&module) else { continue };
+            let Some(minfo) = info.modules.get(&module) else {
+                continue;
+            };
             for (cover, lines) in &minfo.covers {
                 let count = counts.count(&runtime_cover_name(&path, cover)).unwrap_or(0);
                 for sl in lines {
-                    let entry =
-                        files.entry(sl.file.clone()).or_default().entry(sl.line).or_insert(0);
+                    let entry = files
+                        .entry(sl.file.clone())
+                        .or_default()
+                        .entry(sl.line)
+                        .or_insert(0);
                     *entry = (*entry).max(count);
                 }
             }
         }
         let total = files.values().map(|m| m.len()).sum();
-        let covered =
-            files.values().flat_map(|m| m.values()).filter(|&&c| c > 0).count();
-        LineReport { files, summary: Summary { total, covered } }
+        let covered = files
+            .values()
+            .flat_map(|m| m.values())
+            .filter(|&&c| c > 0)
+            .count();
+        LineReport {
+            files,
+            summary: Summary { total, covered },
+        }
     }
 
     /// Lines that were never executed, as `(file, line)` pairs.

@@ -22,7 +22,9 @@ impl ReadyValidReport {
     pub fn build(circuit: &Circuit, info: &ReadyValidInfo, counts: &CoverageMap) -> Self {
         let mut interfaces = BTreeMap::new();
         for (path, module) in instance_paths(circuit) {
-            let Some(minfo) = info.modules.get(&module) else { continue };
+            let Some(minfo) = info.modules.get(&module) else {
+                continue;
+            };
             for (cover, port) in minfo {
                 let count = counts.count(&runtime_cover_name(&path, cover)).unwrap_or(0);
                 let qualified = if path.is_empty() {
@@ -35,7 +37,10 @@ impl ReadyValidReport {
         }
         let total = interfaces.len();
         let covered = interfaces.values().filter(|(_, c)| *c > 0).count();
-        ReadyValidReport { interfaces, summary: Summary { total, covered } }
+        ReadyValidReport {
+            interfaces,
+            summary: Summary { total, covered },
+        }
     }
 
     /// Interfaces on which no transfer ever fired.

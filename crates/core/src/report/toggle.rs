@@ -23,7 +23,11 @@ impl SignalToggle {
 
     /// Bits that never toggled (stuck-at candidates).
     pub fn stuck_bits(&self) -> Vec<u32> {
-        self.bits.iter().filter(|(_, &c)| c == 0).map(|(&b, _)| b).collect()
+        self.bits
+            .iter()
+            .filter(|(_, &c)| c == 0)
+            .map(|(&b, _)| b)
+            .collect()
     }
 }
 
@@ -41,7 +45,9 @@ impl ToggleReport {
     pub fn build(circuit: &Circuit, info: &ToggleCoverageInfo, counts: &CoverageMap) -> Self {
         let mut signals: BTreeMap<String, SignalToggle> = BTreeMap::new();
         for (path, module) in instance_paths(circuit) {
-            let Some(minfo) = info.modules.get(&module) else { continue };
+            let Some(minfo) = info.modules.get(&module) else {
+                continue;
+            };
             for (cover, target) in minfo {
                 let count = counts.count(&runtime_cover_name(&path, cover)).unwrap_or(0);
                 let qualified = if path.is_empty() {
@@ -49,13 +55,23 @@ impl ToggleReport {
                 } else {
                     format!("{path}.{}", target.signal)
                 };
-                signals.entry(qualified).or_default().bits.insert(target.bit, count);
+                signals
+                    .entry(qualified)
+                    .or_default()
+                    .bits
+                    .insert(target.bit, count);
             }
         }
         let total = signals.values().map(|s| s.bits.len()).sum();
-        let covered =
-            signals.values().flat_map(|s| s.bits.values()).filter(|&&c| c > 0).count();
-        ToggleReport { signals, summary: Summary { total, covered } }
+        let covered = signals
+            .values()
+            .flat_map(|s| s.bits.values())
+            .filter(|&&c| c > 0)
+            .count();
+        ToggleReport {
+            signals,
+            summary: Summary { total, covered },
+        }
     }
 
     /// Signals with at least one never-toggled bit.

@@ -76,11 +76,17 @@ pub fn i2c() -> Circuit {
     let scl_high = m.node("scl_high", scl.clone());
     let start_cond = m.node(
         "start_cond",
-        scl_high.and(&sda_prev).and(&sda_in.not_().bits(0, 0)).bits(0, 0),
+        scl_high
+            .and(&sda_prev)
+            .and(&sda_in.not_().bits(0, 0))
+            .bits(0, 0),
     );
     let stop_cond = m.node(
         "stop_cond",
-        scl_high.and(&sda_prev.not_().bits(0, 0)).and(&sda_in).bits(0, 0),
+        scl_high
+            .and(&sda_prev.not_().bits(0, 0))
+            .and(&sda_in)
+            .bits(0, 0),
     );
     let scl_rise = m.node("scl_rise", scl.and(&scl_prev.not_().bits(0, 0)).bits(0, 0));
     let scl_fall = m.node("scl_fall", scl.not_().bits(0, 0).and(&scl_prev).bits(0, 0));
@@ -103,10 +109,7 @@ pub fn i2c() -> Circuit {
     });
 
     // main FSM advances on SCL edges (unless a start/stop hijacked it)
-    let no_cond = m.node(
-        "no_cond",
-        start_cond.or(&stop_cond).not_().bits(0, 0),
-    );
+    let no_cond = m.node("no_cond", start_cond.or(&stop_cond).not_().bits(0, 0));
     let nc = no_cond.clone();
     m.when(nc, move |m| {
         let s = st.clone();
@@ -137,26 +140,32 @@ pub fn i2c() -> Circuit {
         });
         // ACK_ADDR: pull SDA low on the falling edge, release after
         let s = st.clone();
-        m.when(s.eq_(&Expr::u(ACK_ADDR, 3)).and(&scl_fall).bits(0, 0), |m| {
-            m.connect(Expr::r("sda_oe_reg"), Expr::u(1, 1));
-            m.connect(Expr::r("sda_out_reg"), Expr::u(0, 1));
-        });
+        m.when(
+            s.eq_(&Expr::u(ACK_ADDR, 3)).and(&scl_fall).bits(0, 0),
+            |m| {
+                m.connect(Expr::r("sda_oe_reg"), Expr::u(1, 1));
+                m.connect(Expr::r("sda_out_reg"), Expr::u(0, 1));
+            },
+        );
         let s = st.clone();
-        m.when(s.eq_(&Expr::u(ACK_ADDR, 3)).and(&scl_rise).bits(0, 0), |m| {
-            m.connect(Expr::r("sda_oe_reg"), Expr::u(0, 1));
-            m.when_else(
-                Expr::r("rw_bit"),
-                |m| {
-                    m.connect(Expr::r("st"), Expr::u(READ, 3));
-                    m.connect(Expr::r("shift"), Expr::r("data_in"));
-                },
-                |m| {
-                    m.connect(Expr::r("st"), Expr::u(WRITE, 3));
-                    m.connect(Expr::r("shift"), Expr::u(0, 8));
-                },
-            );
-            m.connect(Expr::r("bitcnt"), Expr::u(0, 4));
-        });
+        m.when(
+            s.eq_(&Expr::u(ACK_ADDR, 3)).and(&scl_rise).bits(0, 0),
+            |m| {
+                m.connect(Expr::r("sda_oe_reg"), Expr::u(0, 1));
+                m.when_else(
+                    Expr::r("rw_bit"),
+                    |m| {
+                        m.connect(Expr::r("st"), Expr::u(READ, 3));
+                        m.connect(Expr::r("shift"), Expr::r("data_in"));
+                    },
+                    |m| {
+                        m.connect(Expr::r("st"), Expr::u(WRITE, 3));
+                        m.connect(Expr::r("shift"), Expr::u(0, 8));
+                    },
+                );
+                m.connect(Expr::r("bitcnt"), Expr::u(0, 4));
+            },
+        );
         // WRITE: sample data bits
         let s = st.clone();
         m.when(s.eq_(&Expr::u(WRITE, 3)).and(&scl_rise).bits(0, 0), |m| {
@@ -177,21 +186,30 @@ pub fn i2c() -> Circuit {
         });
         // ACK_DATA: ack then continue receiving
         let s = st.clone();
-        m.when(s.eq_(&Expr::u(ACK_DATA, 3)).and(&scl_fall).bits(0, 0), |m| {
-            m.connect(Expr::r("sda_oe_reg"), Expr::u(1, 1));
-            m.connect(Expr::r("sda_out_reg"), Expr::u(0, 1));
-        });
+        m.when(
+            s.eq_(&Expr::u(ACK_DATA, 3)).and(&scl_fall).bits(0, 0),
+            |m| {
+                m.connect(Expr::r("sda_oe_reg"), Expr::u(1, 1));
+                m.connect(Expr::r("sda_out_reg"), Expr::u(0, 1));
+            },
+        );
         let s = st.clone();
-        m.when(s.eq_(&Expr::u(ACK_DATA, 3)).and(&scl_rise).bits(0, 0), |m| {
-            m.connect(Expr::r("sda_oe_reg"), Expr::u(0, 1));
-            m.connect(Expr::r("st"), Expr::u(WRITE, 3));
-        });
+        m.when(
+            s.eq_(&Expr::u(ACK_DATA, 3)).and(&scl_rise).bits(0, 0),
+            |m| {
+                m.connect(Expr::r("sda_oe_reg"), Expr::u(0, 1));
+                m.connect(Expr::r("st"), Expr::u(WRITE, 3));
+            },
+        );
         // READ: drive data bits out on falling edges
         let s = st.clone();
         m.when(s.eq_(&Expr::u(READ, 3)).and(&scl_fall).bits(0, 0), |m| {
             m.connect(Expr::r("sda_oe_reg"), Expr::u(1, 1));
             m.connect(Expr::r("sda_out_reg"), Expr::r("shift").bit(7));
-            m.connect(Expr::r("shift"), Expr::r("shift").bits(6, 0).cat(&Expr::u(0, 1)));
+            m.connect(
+                Expr::r("shift"),
+                Expr::r("shift").bits(6, 0).cat(&Expr::u(0, 1)),
+            );
             m.connect(Expr::r("bitcnt"), Expr::r("bitcnt").addw(&Expr::u(1, 4)));
             m.when(Expr::r("bitcnt").eq_(&Expr::u(7, 4)), |m| {
                 m.connect(Expr::r("st"), Expr::u(WAIT_ACK, 3));
@@ -200,19 +218,22 @@ pub fn i2c() -> Circuit {
         });
         // WAIT_ACK: master acks (SDA low) → next byte, else idle
         let s = st.clone();
-        m.when(s.eq_(&Expr::u(WAIT_ACK, 3)).and(&scl_rise).bits(0, 0), |m| {
-            m.connect(Expr::r("sda_oe_reg"), Expr::u(0, 1));
-            m.when_else(
-                Expr::r("sda_in").not_().bits(0, 0),
-                |m| {
-                    m.connect(Expr::r("st"), Expr::u(READ, 3));
-                    m.connect(Expr::r("shift"), Expr::r("data_in"));
-                },
-                |m| {
-                    m.connect(Expr::r("st"), Expr::u(IDLE, 3));
-                },
-            );
-        });
+        m.when(
+            s.eq_(&Expr::u(WAIT_ACK, 3)).and(&scl_rise).bits(0, 0),
+            |m| {
+                m.connect(Expr::r("sda_oe_reg"), Expr::u(0, 1));
+                m.when_else(
+                    Expr::r("sda_in").not_().bits(0, 0),
+                    |m| {
+                        m.connect(Expr::r("st"), Expr::u(READ, 3));
+                        m.connect(Expr::r("shift"), Expr::r("data_in"));
+                    },
+                    |m| {
+                        m.connect(Expr::r("st"), Expr::u(IDLE, 3));
+                    },
+                );
+            },
+        );
     });
 
     let _ = (shift, bitcnt, rw_bit);
@@ -235,11 +256,7 @@ pub fn i2c() -> Circuit {
 
 /// Drive one I2C byte write transaction against a simulator; returns true
 /// if `data_valid` pulsed. Used by tests and the fuzzing oracle.
-pub fn write_transaction(
-    sim: &mut dyn rtlcov_sim::Simulator,
-    addr7: u64,
-    byte: u64,
-) -> bool {
+pub fn write_transaction(sim: &mut dyn rtlcov_sim::Simulator, addr7: u64, byte: u64) -> bool {
     let mut saw_valid = false;
     let half = |sim: &mut dyn rtlcov_sim::Simulator, scl: u64, sda: u64| {
         sim.poke("scl", scl);
@@ -253,8 +270,11 @@ pub fn write_transaction(
     half(sim, 1, 0);
     half(sim, 0, 0);
     // address (7 bits, MSB first) + write bit (0)
-    let bits: Vec<u64> =
-        (0..7).rev().map(|i| (addr7 >> i) & 1).chain(std::iter::once(0)).collect();
+    let bits: Vec<u64> = (0..7)
+        .rev()
+        .map(|i| (addr7 >> i) & 1)
+        .chain(std::iter::once(0))
+        .collect();
     for b in bits {
         half(sim, 0, b);
         half(sim, 1, b); // rising edge samples

@@ -57,7 +57,11 @@ impl Iss {
         if self.halted {
             return;
         }
-        let word = self.imem.get((self.pc / 4) as usize).copied().unwrap_or(0x13);
+        let word = self
+            .imem
+            .get((self.pc / 4) as usize)
+            .copied()
+            .unwrap_or(0x13);
         let opcode = word & 0x7f;
         let rd = (word >> 7) & 0x1f;
         let funct3 = (word >> 12) & 0x7;
@@ -66,15 +70,15 @@ impl Iss {
         let funct7b5 = (word >> 30) & 1;
         let imm_i = (word as i32) >> 20;
         let imm_s = (((word as i32) >> 25) << 5) | ((word >> 7) & 0x1f) as i32;
-        let imm_b = ((((word as i32) >> 31) << 12)
+        let imm_b = (((word as i32) >> 31) << 12)
             | ((((word >> 7) & 1) as i32) << 11)
             | ((((word >> 25) & 0x3f) as i32) << 5)
-            | ((((word >> 8) & 0xf) as i32) << 1)) as i32;
+            | ((((word >> 8) & 0xf) as i32) << 1);
         let imm_u = (word & 0xffff_f000) as i32;
-        let imm_j = ((((word as i32) >> 31) << 20)
+        let imm_j = (((word as i32) >> 31) << 20)
             | ((((word >> 12) & 0xff) as i32) << 12)
             | ((((word >> 20) & 1) as i32) << 11)
-            | ((((word >> 21) & 0x3ff) as i32) << 1)) as i32;
+            | ((((word >> 21) & 0x3ff) as i32) << 1);
 
         let a = self.read_reg(rs1);
         let b = self.read_reg(rs2);

@@ -20,9 +20,9 @@
 #![warn(missing_docs)]
 
 pub mod fsm_examples;
-pub mod iss;
 pub mod gcd;
 pub mod i2c;
+pub mod iss;
 pub mod neuroproc_like;
 pub mod programs;
 pub mod queue;

@@ -90,11 +90,16 @@ pub fn neuroproc_like(n: usize) -> Circuit {
     // leak: subtract, saturating at zero
     let leaked = m.node(
         "leaked",
-        integrated.lt(&leak.pad(16)).mux(&Expr::u(0, 16), &integrated.subw(&leak.pad(16))),
+        integrated
+            .lt(&leak.pad(16))
+            .mux(&Expr::u(0, 16), &integrated.subw(&leak.pad(16))),
     );
     let fires = m.node(
         "fires",
-        leaked.geq(&threshold).and(&in_refractory.not_().bits(0, 0)).bits(0, 0),
+        leaked
+            .geq(&threshold)
+            .and(&in_refractory.not_().bits(0, 0))
+            .bits(0, 0),
     );
     let next_pot = m.node("next_pot", fires.mux(&Expr::u(0, 16), &leaked));
 
@@ -117,7 +122,10 @@ pub fn neuroproc_like(n: usize) -> Circuit {
             m.when(Expr::r("in_refractory"), |m| {
                 m.connect(
                     Expr::r("refr_next"),
-                    Expr::r("refr").field("r").field("data").subw(&Expr::u(1, 4)),
+                    Expr::r("refr")
+                        .field("r")
+                        .field("data")
+                        .subw(&Expr::u(1, 4)),
                 );
             });
         },
@@ -165,7 +173,11 @@ mod tests {
         // each neuron is visited every 4 cycles and gains 59 net per visit;
         // firing threshold 100 → fires on its second visit
         s.step_n(4 * 3);
-        assert!(s.peek("fired_total") >= 4, "fired {}", s.peek("fired_total"));
+        assert!(
+            s.peek("fired_total") >= 4,
+            "fired {}",
+            s.peek("fired_total")
+        );
     }
 
     #[test]

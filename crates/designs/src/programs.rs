@@ -196,7 +196,10 @@ pub struct Program {
 impl Program {
     /// A program with no initial data.
     pub fn new(text: Vec<u32>) -> Self {
-        Program { text, data: Vec::new() }
+        Program {
+            text,
+            data: Vec::new(),
+        }
     }
 
     /// Attach initial data words.
@@ -210,12 +213,7 @@ impl Program {
     /// # Errors
     ///
     /// Propagates backdoor write failures (unknown memory, out of range).
-    pub fn load(
-        &self,
-        sim: &mut dyn Simulator,
-        imem: &str,
-        dmem: &str,
-    ) -> Result<(), SimError> {
+    pub fn load(&self, sim: &mut dyn Simulator, imem: &str, dmem: &str) -> Result<(), SimError> {
         for (i, word) in self.text.iter().enumerate() {
             sim.write_mem(imem, i as u64, *word as u64)?;
         }
@@ -329,13 +327,14 @@ pub fn boot_workload(outer_iterations: u32) -> Program {
     // x4 memory base, x5 scratch, x6 call target, x31 link
     let text = vec![
         /* 0:  */ addi(1, 0, 0), // outer = 0
-        /* 4:  */ lui(5, 0),     // placeholder (patched below to iteration cap)
+        /* 4:  */ lui(5, 0), // placeholder (patched below to iteration cap)
         /* 8:  */ addi(3, 0, 0), // acc = 0
         /* 12: */ addi(4, 0, 0x200), // memory base
         // outer loop:
         /* 16: */ addi(2, 0, 8), // inner = 8
         // inner loop: acc += inner; mem[base + inner*4] = acc; x5 = load back
-        /* 20: */ add(3, 3, 2),
+        /* 20: */
+        add(3, 3, 2),
         /* 24: */ slli(6, 2, 2),
         /* 28: */ add(6, 6, 4),
         /* 32: */ sw(3, 6, 0),
@@ -343,7 +342,8 @@ pub fn boot_workload(outer_iterations: u32) -> Program {
         /* 40: */ addi(2, 2, -1),
         /* 44: */ bne(2, 0, -24), // back to 20
         // "function call": jal to a small leaf at 72
-        /* 48: */ jal(31, 24), // to 72
+        /* 48: */
+        jal(31, 24), // to 72
         /* 52: */ addi(1, 1, 1), // outer++
         /* 56: */ blt(1, 7, -40), // while outer < cap (x7): back to 16
         /* 60: */ ecall(),

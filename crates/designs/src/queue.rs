@@ -10,15 +10,30 @@ use rtlcov_firrtl::ir::{Circuit, Expr, Field, Type};
 
 fn decoupled(width: u32) -> Type {
     Type::Bundle(vec![
-        Field { name: "ready".into(), flip: true, ty: Type::bool() },
-        Field { name: "valid".into(), flip: false, ty: Type::bool() },
-        Field { name: "bits".into(), flip: false, ty: Type::uint(width) },
+        Field {
+            name: "ready".into(),
+            flip: true,
+            ty: Type::bool(),
+        },
+        Field {
+            name: "valid".into(),
+            flip: false,
+            ty: Type::bool(),
+        },
+        Field {
+            name: "bits".into(),
+            flip: false,
+            ty: Type::uint(width),
+        },
     ])
 }
 
 /// Build a queue of `depth` entries (power of two) of `width`-bit values.
 pub fn queue(width: u32, depth: usize) -> Circuit {
-    assert!(depth.is_power_of_two(), "queue depth must be a power of two");
+    assert!(
+        depth.is_power_of_two(),
+        "queue depth must be a power of two"
+    );
     let ptr_w = rtlcov_firrtl::typecheck::addr_width(depth);
     let mut m = ModuleBuilder::new("Queue");
     m.clock();
@@ -33,10 +48,19 @@ pub fn queue(width: u32, depth: usize) -> Circuit {
     let maybe_full = m.reg_init("maybe_full", 1, Expr::u(0, 1));
 
     let ptr_match = m.node("ptr_match", enq_ptr.eq_(&deq_ptr));
-    let empty = m.node("empty", ptr_match.and(&maybe_full.not_().bits(0, 0)).bits(0, 0));
+    let empty = m.node(
+        "empty",
+        ptr_match.and(&maybe_full.not_().bits(0, 0)).bits(0, 0),
+    );
     let full = m.node("full", ptr_match.and(&maybe_full).bits(0, 0));
-    let do_enq = m.node("do_enq", enq.field("valid").and(&enq.field("ready")).bits(0, 0));
-    let do_deq = m.node("do_deq", deq.field("valid").and(&deq.field("ready")).bits(0, 0));
+    let do_enq = m.node(
+        "do_enq",
+        enq.field("valid").and(&enq.field("ready")).bits(0, 0),
+    );
+    let do_deq = m.node(
+        "do_deq",
+        deq.field("valid").and(&deq.field("ready")).bits(0, 0),
+    );
 
     m.connect(enq.field("ready"), full.not_().bits(0, 0));
     m.connect(deq.field("valid"), empty.not_().bits(0, 0));
@@ -64,10 +88,7 @@ pub fn queue(width: u32, depth: usize) -> Circuit {
     });
 
     // occupancy = enq_ptr - deq_ptr (mod depth), plus depth when full
-    let diff = m.node(
-        "diff",
-        Expr::r("enq_ptr").subw(&Expr::r("deq_ptr")),
-    );
+    let diff = m.node("diff", Expr::r("enq_ptr").subw(&Expr::r("deq_ptr")));
     m.connect(
         count,
         Expr::r("full").mux(&Expr::u(depth as u64, ptr_w + 1), &diff.pad(ptr_w + 1)),
@@ -144,8 +165,9 @@ mod tests {
 
     #[test]
     fn ready_valid_pass_finds_both_interfaces() {
-        let inst =
-            CoverageCompiler::new(Metrics::ready_valid_only()).run(queue(8, 4)).unwrap();
+        let inst = CoverageCompiler::new(Metrics::ready_valid_only())
+            .run(queue(8, 4))
+            .unwrap();
         assert_eq!(inst.artifacts.ready_valid.cover_count(), 2);
         // transfers are counted on both sides
         let mut s = CompiledSim::new(&inst.circuit).unwrap();

@@ -53,15 +53,35 @@ pub const CACHE_WORDS: usize = 4096;
 
 fn req_bundle() -> Type {
     Type::Bundle(vec![
-        Field { name: "ready".into(), flip: true, ty: Type::bool() },
-        Field { name: "valid".into(), flip: false, ty: Type::bool() },
+        Field {
+            name: "ready".into(),
+            flip: true,
+            ty: Type::bool(),
+        },
+        Field {
+            name: "valid".into(),
+            flip: false,
+            ty: Type::bool(),
+        },
         Field {
             name: "bits".into(),
             flip: false,
             ty: Type::Bundle(vec![
-                Field { name: "addr".into(), flip: false, ty: Type::uint(32) },
-                Field { name: "wdata".into(), flip: false, ty: Type::uint(32) },
-                Field { name: "wen".into(), flip: false, ty: Type::bool() },
+                Field {
+                    name: "addr".into(),
+                    flip: false,
+                    ty: Type::uint(32),
+                },
+                Field {
+                    name: "wdata".into(),
+                    flip: false,
+                    ty: Type::uint(32),
+                },
+                Field {
+                    name: "wen".into(),
+                    flip: false,
+                    ty: Type::bool(),
+                },
             ]),
         },
     ])
@@ -69,8 +89,16 @@ fn req_bundle() -> Type {
 
 fn resp_bundle() -> Type {
     Type::Bundle(vec![
-        Field { name: "ready".into(), flip: true, ty: Type::bool() },
-        Field { name: "valid".into(), flip: false, ty: Type::bool() },
+        Field {
+            name: "ready".into(),
+            flip: true,
+            ty: Type::bool(),
+        },
+        Field {
+            name: "valid".into(),
+            flip: false,
+            ty: Type::bool(),
+        },
         Field {
             name: "bits".into(),
             flip: false,
@@ -141,7 +169,10 @@ fn cache_module(words: usize) -> ModuleBuilder {
     });
     let st = state.clone();
     m.when(st.eq_(&Expr::u(READ, 2)), move |m| {
-        m.connect(Expr::r("rdata_reg"), Expr::r("mem").field("r").field("data"));
+        m.connect(
+            Expr::r("rdata_reg"),
+            Expr::r("mem").field("r").field("data"),
+        );
         m.connect(Expr::r("state"), Expr::u(RESP, 2));
     });
     let st = state.clone();
@@ -218,16 +249,21 @@ fn core_module() -> ModuleBuilder {
     m.connect(rf.field("r2").field("en"), Expr::one());
     let rs1_data = m.node(
         "rs1_data",
-        rs1.eq_(&Expr::u(0, 5)).mux(&Expr::u(0, 32), &rf.field("r1").field("data")),
+        rs1.eq_(&Expr::u(0, 5))
+            .mux(&Expr::u(0, 32), &rf.field("r1").field("data")),
     );
     let rs2_data = m.node(
         "rs2_data",
-        rs2.eq_(&Expr::u(0, 5)).mux(&Expr::u(0, 32), &rf.field("r2").field("data")),
+        rs2.eq_(&Expr::u(0, 5))
+            .mux(&Expr::u(0, 32), &rf.field("r2").field("data")),
     );
 
     // immediates
     let imm_i = m.node("imm_i", sext_to_32(inst.bits(31, 20)));
-    let imm_s = m.node("imm_s", sext_to_32(inst.bits(31, 25).cat(&inst.bits(11, 7))));
+    let imm_s = m.node(
+        "imm_s",
+        sext_to_32(inst.bits(31, 25).cat(&inst.bits(11, 7))),
+    );
     let _imm_b = m.node(
         "imm_b",
         sext_to_32(
@@ -263,28 +299,38 @@ fn core_module() -> ModuleBuilder {
     let add_res = m.node("add_res", alu_a.addw(&alu_b));
     let sub_res = m.node("sub_res", alu_a.subw(&alu_b));
     let sll_res = m.node("sll_res", alu_a.dshl(&shamt).bits(31, 0));
-    let slt_res = m.node(
-        "slt_res",
-        alu_a.as_sint().lt(&alu_b.as_sint()).pad(32),
-    );
+    let slt_res = m.node("slt_res", alu_a.as_sint().lt(&alu_b.as_sint()).pad(32));
     let sltu_res = m.node("sltu_res", alu_a.lt(&alu_b).pad(32));
     let xor_res = m.node("xor_res", alu_a.xor(&alu_b));
     let srl_res = m.node("srl_res", alu_a.dshr(&shamt));
-    let sra_res = m.node("sra_res", alu_a.as_sint().dshr(&shamt).as_uint().bits(31, 0));
+    let sra_res = m.node(
+        "sra_res",
+        alu_a.as_sint().dshr(&shamt).as_uint().bits(31, 0),
+    );
     let or_res = m.node("or_res", alu_a.or(&alu_b));
     let and_res = m.node("and_res", alu_a.and(&alu_b));
 
     let _alu_out = m.node(
         "alu_out",
-        funct3
-            .eq_(&Expr::u(0, 3))
-            .mux(&is_sub.mux(&sub_res, &add_res),
-            &funct3.eq_(&Expr::u(1, 3)).mux(&sll_res,
-            &funct3.eq_(&Expr::u(2, 3)).mux(&slt_res,
-            &funct3.eq_(&Expr::u(3, 3)).mux(&sltu_res,
-            &funct3.eq_(&Expr::u(4, 3)).mux(&xor_res,
-            &funct3.eq_(&Expr::u(5, 3)).mux(&funct7b5.mux(&sra_res, &srl_res),
-            &funct3.eq_(&Expr::u(6, 3)).mux(&or_res, &and_res))))))),
+        funct3.eq_(&Expr::u(0, 3)).mux(
+            &is_sub.mux(&sub_res, &add_res),
+            &funct3.eq_(&Expr::u(1, 3)).mux(
+                &sll_res,
+                &funct3.eq_(&Expr::u(2, 3)).mux(
+                    &slt_res,
+                    &funct3.eq_(&Expr::u(3, 3)).mux(
+                        &sltu_res,
+                        &funct3.eq_(&Expr::u(4, 3)).mux(
+                            &xor_res,
+                            &funct3.eq_(&Expr::u(5, 3)).mux(
+                                &funct7b5.mux(&sra_res, &srl_res),
+                                &funct3.eq_(&Expr::u(6, 3)).mux(&or_res, &and_res),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
     );
 
     // branch condition
@@ -293,13 +339,21 @@ fn core_module() -> ModuleBuilder {
     let br_ltu = m.node("br_ltu", rs1_data.lt(&rs2_data));
     let _br_taken = m.node(
         "br_taken",
-        funct3
-            .eq_(&Expr::u(0, 3))
-            .mux(&br_eq,
-            &funct3.eq_(&Expr::u(1, 3)).mux(&br_eq.not_().bits(0, 0),
-            &funct3.eq_(&Expr::u(4, 3)).mux(&br_lt,
-            &funct3.eq_(&Expr::u(5, 3)).mux(&br_lt.not_().bits(0, 0),
-            &funct3.eq_(&Expr::u(6, 3)).mux(&br_ltu, &br_ltu.not_().bits(0, 0)))))),
+        funct3.eq_(&Expr::u(0, 3)).mux(
+            &br_eq,
+            &funct3.eq_(&Expr::u(1, 3)).mux(
+                &br_eq.not_().bits(0, 0),
+                &funct3.eq_(&Expr::u(4, 3)).mux(
+                    &br_lt,
+                    &funct3.eq_(&Expr::u(5, 3)).mux(
+                        &br_lt.not_().bits(0, 0),
+                        &funct3
+                            .eq_(&Expr::u(6, 3))
+                            .mux(&br_ltu, &br_ltu.not_().bits(0, 0)),
+                    ),
+                ),
+            ),
+        ),
     );
 
     let pc_plus4 = m.node("pc_plus4", pc.addw(&Expr::u(4, 32)));
@@ -309,7 +363,10 @@ fn core_module() -> ModuleBuilder {
     );
 
     // ------------------------------------------------------ default outputs
-    m.connect(ireq.field("valid"), state.eq_(&Expr::u(FETCH, 3)).and(&halt_reg.not_()));
+    m.connect(
+        ireq.field("valid"),
+        state.eq_(&Expr::u(FETCH, 3)).and(&halt_reg.not_()),
+    );
     m.connect(ireq.field("bits").field("addr"), pc.clone());
     m.connect(ireq.field("bits").field("wdata"), Expr::u(0, 32));
     m.connect(ireq.field("bits").field("wen"), Expr::u(0, 1)); // never writes
@@ -317,7 +374,10 @@ fn core_module() -> ModuleBuilder {
 
     let is_mem = m.node(
         "is_mem",
-        opcode.eq_(&Expr::u(OP_LOAD, 7)).or(&opcode.eq_(&Expr::u(OP_STORE, 7))).bits(0, 0),
+        opcode
+            .eq_(&Expr::u(OP_LOAD, 7))
+            .or(&opcode.eq_(&Expr::u(OP_STORE, 7)))
+            .bits(0, 0),
     );
     m.connect(
         dreq.field("valid"),
@@ -325,7 +385,10 @@ fn core_module() -> ModuleBuilder {
     );
     m.connect(dreq.field("bits").field("addr"), mem_addr.clone());
     m.connect(dreq.field("bits").field("wdata"), rs2_data.clone());
-    m.connect(dreq.field("bits").field("wen"), opcode.eq_(&Expr::u(OP_STORE, 7)));
+    m.connect(
+        dreq.field("bits").field("wen"),
+        opcode.eq_(&Expr::u(OP_STORE, 7)),
+    );
     m.connect(dresp.field("ready"), state.eq_(&Expr::u(MEM_WAIT, 3)));
 
     m.connect(halted.clone(), halt_reg.clone());
@@ -350,12 +413,15 @@ fn core_module() -> ModuleBuilder {
     let st = state.clone();
     let ireq2 = ireq.clone();
     let hr = halt_reg.clone();
-    m.when(st.eq_(&Expr::u(FETCH, 3)).and(&hr.not_().bits(0, 0)), move |m| {
-        let st2 = st.clone();
-        m.when(ireq2.field("ready"), move |m| {
-            m.connect(st2.clone(), Expr::u(FETCH_WAIT, 3));
-        });
-    });
+    m.when(
+        st.eq_(&Expr::u(FETCH, 3)).and(&hr.not_().bits(0, 0)),
+        move |m| {
+            let st2 = st.clone();
+            m.when(ireq2.field("ready"), move |m| {
+                m.connect(st2.clone(), Expr::u(FETCH_WAIT, 3));
+            });
+        },
+    );
     let st = state.clone();
     let iresp2 = iresp.clone();
     m.when(st.eq_(&Expr::u(FETCH_WAIT, 3)), move |m| {
@@ -405,10 +471,15 @@ fn core_module() -> ModuleBuilder {
                 m.connect(Expr::r("next_pc"), Expr::r("pc").addw(&Expr::r("imm_b")));
             });
         });
-        m.when(op.eq_(&Expr::u(OP_IMM, 7)).or(&op.eq_(&Expr::u(OP_OP, 7))).bits(0, 0), |m| {
-            m.connect(Expr::r("wb_val"), Expr::r("alu_out"));
-            m.connect(Expr::r("wb_en"), Expr::u(1, 1));
-        });
+        m.when(
+            op.eq_(&Expr::u(OP_IMM, 7))
+                .or(&op.eq_(&Expr::u(OP_OP, 7)))
+                .bits(0, 0),
+            |m| {
+                m.connect(Expr::r("wb_val"), Expr::r("alu_out"));
+                m.connect(Expr::r("wb_en"), Expr::u(1, 1));
+            },
+        );
         m.when(op.eq_(&Expr::u(OP_LOAD, 7)), |m| {
             m.connect(Expr::r("wb_en"), Expr::u(1, 1));
             m.connect(Expr::r("is_load_reg"), Expr::u(1, 1));
@@ -618,10 +689,10 @@ mod tests {
         let p = Program::new(vec![
             asm::addi(1, 0, 0x100), // base address
             asm::addi(2, 0, 77),
-            asm::sw(2, 1, 0),  // mem[0x100] = 77
-            asm::lw(3, 1, 0),  // x3 = mem[0x100]
+            asm::sw(2, 1, 0), // mem[0x100] = 77
+            asm::lw(3, 1, 0), // x3 = mem[0x100]
             asm::addi(3, 3, 1),
-            asm::sw(3, 1, 4),  // mem[0x104] = 78
+            asm::sw(3, 1, 4), // mem[0x104] = 78
             asm::lw(4, 1, 4),
             asm::ecall(),
         ]);
@@ -638,8 +709,8 @@ mod tests {
             asm::jal(1, 8),      // skip next instruction; x1 = 4
             asm::addi(2, 0, 99), // skipped
             asm::addi(3, 0, 1),
-            asm::jalr(4, 1, 0),  // jump to addr in x1 (=4): addi x2 99 runs now
-            asm::ecall(),        // (skipped on first pass)
+            asm::jalr(4, 1, 0), // jump to addr in x1 (=4): addi x2 99 runs now
+            asm::ecall(),       // (skipped on first pass)
         ]);
         // flow: jal -> addi x3 -> jalr -> addi x2 -> addi x3 (again) -> jalr
         // loops... To keep it terminating, jump forward instead:
@@ -659,11 +730,7 @@ mod tests {
 
     #[test]
     fn lui_auipc() {
-        let p = Program::new(vec![
-            asm::lui(1, 0x12345),
-            asm::auipc(2, 0x1),
-            asm::ecall(),
-        ]);
+        let p = Program::new(vec![asm::lui(1, 0x12345), asm::auipc(2, 0x1), asm::ecall()]);
         let sim = boot(&p, 2000);
         assert_eq!(reg(&sim, 1), 0x12345000);
         assert_eq!(reg(&sim, 2), 0x1000 + 4); // pc of auipc is 4
@@ -682,11 +749,7 @@ mod tests {
 
     #[test]
     fn icache_never_writes() {
-        let p = Program::new(vec![
-            asm::addi(1, 0, 1),
-            asm::sw(1, 0, 64),
-            asm::ecall(),
-        ]);
+        let p = Program::new(vec![asm::addi(1, 0, 1), asm::sw(1, 0, 64), asm::ecall()]);
         let low = passes::lower(riscv_mini()).unwrap();
         let mut sim = CompiledSim::new(&low).unwrap();
         p.load(&mut sim, "icache.mem", "dcache.mem").unwrap();

@@ -57,13 +57,14 @@ pub fn serv_like(width: u32) -> Circuit {
     let b_raw = m.node("b_raw", sh_b.bit(0));
     let is_sub = m.node("is_sub", Expr::r("sel").eq_(&Expr::u(op::SUB, 3)));
     let b_bit = m.node("b_bit", is_sub.mux(&b_raw.not_().bits(0, 0), &b_raw));
-    let sum = m.node(
-        "sum",
-        a_bit.xor(&b_bit).xor(&carry.clone()).bits(0, 0),
-    );
+    let sum = m.node("sum", a_bit.xor(&b_bit).xor(&carry.clone()).bits(0, 0));
     let _carry_next = m.node(
         "carry_next",
-        a_bit.and(&b_bit).or(&a_bit.and(&carry.clone())).or(&b_bit.and(&carry.clone())).bits(0, 0),
+        a_bit
+            .and(&b_bit)
+            .or(&a_bit.and(&carry.clone()))
+            .or(&b_bit.and(&carry.clone()))
+            .bits(0, 0),
     );
     let and_bit = m.node("and_bit", a_bit.and(&b_raw).bits(0, 0));
     let or_bit = m.node("or_bit", a_bit.or(&b_raw).bits(0, 0));
@@ -71,9 +72,13 @@ pub fn serv_like(width: u32) -> Circuit {
 
     let _out_bit = m.node(
         "out_bit",
-        Expr::r("sel").eq_(&Expr::u(op::AND, 3)).mux(&and_bit,
-        &Expr::r("sel").eq_(&Expr::u(op::OR, 3)).mux(&or_bit,
-        &Expr::r("sel").eq_(&Expr::u(op::XOR, 3)).mux(&xor_bit, &sum))),
+        Expr::r("sel").eq_(&Expr::u(op::AND, 3)).mux(
+            &and_bit,
+            &Expr::r("sel").eq_(&Expr::u(op::OR, 3)).mux(
+                &or_bit,
+                &Expr::r("sel").eq_(&Expr::u(op::XOR, 3)).mux(&xor_bit, &sum),
+            ),
+        ),
     );
 
     let idle = m.node("idle", busy.not_().bits(0, 0));
@@ -86,10 +91,7 @@ pub fn serv_like(width: u32) -> Circuit {
         m.connect(Expr::r("sel"), op_sel.clone());
         m.connect(Expr::r("done_reg"), Expr::u(0, 1));
         // carry-in: 1 for subtraction (two's complement), else 0
-        m.connect(
-            Expr::r("carry"),
-            op_sel.eq_(&Expr::u(op::SUB, 3)),
-        );
+        m.connect(Expr::r("carry"), op_sel.eq_(&Expr::u(op::SUB, 3)));
     });
     let b = busy.clone();
     m.when(b, move |m| {
@@ -98,7 +100,9 @@ pub fn serv_like(width: u32) -> Circuit {
         m.connect(Expr::r("sh_b"), Expr::r("sh_b").shr(1).pad(width));
         m.connect(
             Expr::r("acc"),
-            Expr::r("out_bit").dshl(&Expr::u(width as u64 - 1, 6)).bits(width - 1, 0)
+            Expr::r("out_bit")
+                .dshl(&Expr::u(width as u64 - 1, 6))
+                .bits(width - 1, 0)
                 .or(&Expr::r("acc").shr(1).pad(width)),
         );
         m.connect(Expr::r("carry"), Expr::r("carry_next"));

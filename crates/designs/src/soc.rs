@@ -33,14 +33,20 @@ fn soc_top(name: &str, tiles: usize, with_uncore: bool) -> ModuleBuilder {
         m.connect(serial.field("clock"), Expr::r("clock"));
         m.connect(serial.field("reset"), Expr::r("reset"));
         m.connect(serial.field("start"), Expr::r("tile0").field("halted"));
-        m.connect(serial.field("op_a"), Expr::r("tile0").field("retired").bits(15, 0));
+        m.connect(
+            serial.field("op_a"),
+            Expr::r("tile0").field("retired").bits(15, 0),
+        );
         m.connect(serial.field("op_b"), Expr::u(42, 16));
         m.connect(serial.field("op_sel"), Expr::u(0, 3));
         let neuro = m.inst("neuro", "NeuroProc");
         m.connect(neuro.field("clock"), Expr::r("clock"));
         m.connect(neuro.field("reset"), Expr::r("reset"));
         m.connect(neuro.field("in_spike"), Expr::r("tile0").field("halted"));
-        m.connect(neuro.field("in_weight"), Expr::r("tile0").field("retired").bits(7, 0));
+        m.connect(
+            neuro.field("in_weight"),
+            Expr::r("tile0").field("retired").bits(7, 0),
+        );
         m.connect(neuro.field("threshold"), Expr::u(100, 16));
         m.connect(neuro.field("leak"), Expr::u(1, 4));
     }
@@ -63,8 +69,10 @@ pub fn rocket_like() -> Circuit {
 /// cover points of the rocket-like SoC per the paper's Rocket/BOOM ratio.
 pub fn boom_like() -> Circuit {
     let base = crate::riscv_mini::riscv_mini();
-    let extras: Vec<Circuit> =
-        vec![crate::serv_like::serv_like(16), crate::neuroproc_like::neuroproc_like(32)];
+    let extras: Vec<Circuit> = vec![
+        crate::serv_like::serv_like(16),
+        crate::neuroproc_like::neuroproc_like(32),
+    ];
     let mut builder = CircuitBuilder::new("BoomSoc").add(soc_top("BoomSoc", 6, true));
     let mut circuit = builder_finish(&mut builder, base, Some(extras));
     circuit.top = "BoomSoc".into();
@@ -101,8 +109,12 @@ mod tests {
         let mut sim = CompiledSim::new(&low).unwrap();
         let p = boot_workload(2);
         for i in 0..4 {
-            p.load(&mut sim, &format!("tile{i}.icache.mem"), &format!("tile{i}.dcache.mem"))
-                .unwrap();
+            p.load(
+                &mut sim,
+                &format!("tile{i}.icache.mem"),
+                &format!("tile{i}.dcache.mem"),
+            )
+            .unwrap();
         }
         sim.reset(2);
         for _ in 0..30_000 {

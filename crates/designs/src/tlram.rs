@@ -16,15 +16,35 @@ pub const OP_GET: u64 = 4;
 
 fn a_channel(data_width: u32, addr_width: u32) -> Type {
     Type::Bundle(vec![
-        Field { name: "ready".into(), flip: true, ty: Type::bool() },
-        Field { name: "valid".into(), flip: false, ty: Type::bool() },
+        Field {
+            name: "ready".into(),
+            flip: true,
+            ty: Type::bool(),
+        },
+        Field {
+            name: "valid".into(),
+            flip: false,
+            ty: Type::bool(),
+        },
         Field {
             name: "bits".into(),
             flip: false,
             ty: Type::Bundle(vec![
-                Field { name: "opcode".into(), flip: false, ty: Type::uint(3) },
-                Field { name: "address".into(), flip: false, ty: Type::uint(addr_width) },
-                Field { name: "data".into(), flip: false, ty: Type::uint(data_width) },
+                Field {
+                    name: "opcode".into(),
+                    flip: false,
+                    ty: Type::uint(3),
+                },
+                Field {
+                    name: "address".into(),
+                    flip: false,
+                    ty: Type::uint(addr_width),
+                },
+                Field {
+                    name: "data".into(),
+                    flip: false,
+                    ty: Type::uint(data_width),
+                },
             ]),
         },
     ])
@@ -32,14 +52,30 @@ fn a_channel(data_width: u32, addr_width: u32) -> Type {
 
 fn d_channel(data_width: u32) -> Type {
     Type::Bundle(vec![
-        Field { name: "ready".into(), flip: true, ty: Type::bool() },
-        Field { name: "valid".into(), flip: false, ty: Type::bool() },
+        Field {
+            name: "ready".into(),
+            flip: true,
+            ty: Type::bool(),
+        },
+        Field {
+            name: "valid".into(),
+            flip: false,
+            ty: Type::bool(),
+        },
         Field {
             name: "bits".into(),
             flip: false,
             ty: Type::Bundle(vec![
-                Field { name: "opcode".into(), flip: false, ty: Type::uint(3) },
-                Field { name: "data".into(), flip: false, ty: Type::uint(data_width) },
+                Field {
+                    name: "opcode".into(),
+                    flip: false,
+                    ty: Type::uint(3),
+                },
+                Field {
+                    name: "data".into(),
+                    flip: false,
+                    ty: Type::uint(data_width),
+                },
             ]),
         },
     ])
@@ -71,9 +107,15 @@ pub fn tlram(data_width: u32, words: usize) -> Circuit {
     m.connect(d.field("bits").field("opcode"), resp_op.clone());
     m.connect(d.field("bits").field("data"), resp_data.clone());
 
-    m.connect(mem.field("r").field("addr"), a.field("bits").field("address"));
+    m.connect(
+        mem.field("r").field("addr"),
+        a.field("bits").field("address"),
+    );
     m.connect(mem.field("r").field("en"), Expr::one());
-    m.connect(mem.field("w").field("addr"), a.field("bits").field("address"));
+    m.connect(
+        mem.field("w").field("addr"),
+        a.field("bits").field("address"),
+    );
     m.connect(mem.field("w").field("en"), a_fire.and(&is_put).bits(0, 0));
     m.connect(mem.field("w").field("data"), a.field("bits").field("data"));
     m.connect(mem.field("w").field("mask"), Expr::one());
@@ -93,7 +135,10 @@ pub fn tlram(data_width: u32, words: usize) -> Circuit {
             |m| {
                 // AccessAckData with the read value
                 m.connect(Expr::r("resp_op"), Expr::u(1, 3));
-                m.connect(Expr::r("resp_data"), Expr::r("mem").field("r").field("data"));
+                m.connect(
+                    Expr::r("resp_data"),
+                    Expr::r("mem").field("r").field("data"),
+                );
             },
         );
     });

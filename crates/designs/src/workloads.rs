@@ -27,7 +27,9 @@ impl Workload {
     /// Load the program image (if any) and replay the trace.
     pub fn run(&self, sim: &mut dyn Simulator) -> rtlcov_core::CoverageMap {
         if let Some((imem, dmem, program)) = &self.program {
-            program.load(sim, imem, dmem).expect("program fits in memory");
+            program
+                .load(sim, imem, dmem)
+                .expect("program fits in memory");
         }
         self.trace.replay(sim)
     }
@@ -35,7 +37,13 @@ impl Workload {
 
 /// GCD workload: a stream of operand pairs (quickstart scale).
 pub fn gcd_workload(pairs: usize) -> Workload {
-    let mut rng = StdRng::seed_from_u64(1);
+    gcd_workload_with(pairs, 1)
+}
+
+/// [`gcd_workload`] with an explicit stimulus seed, so campaign shards
+/// explore distinct operand streams.
+pub fn gcd_workload_with(pairs: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut values = Vec::new();
     for _ in 0..pairs {
         let a = rng.gen_range(1u64..0xffff);
@@ -46,13 +54,22 @@ pub fn gcd_workload(pairs: usize) -> Workload {
             values.push(vec![0, a, b, 0]);
         }
     }
-    let mut trace =
-        InputTrace::new(vec!["reset".into(), "io_a".into(), "io_b".into(), "io_load".into()]);
+    let mut trace = InputTrace::new(vec![
+        "reset".into(),
+        "io_a".into(),
+        "io_b".into(),
+        "io_load".into(),
+    ]);
     trace.push(vec![1, 0, 0, 0]);
     for v in values {
         trace.push(v);
     }
-    Workload { name: "gcd", circuit: crate::gcd::gcd(16), trace, program: None }
+    Workload {
+        name: "gcd",
+        circuit: crate::gcd::gcd(16),
+        trace,
+        program: None,
+    }
 }
 
 /// riscv-mini workload: replay of the ISA suite programs back-to-back is
@@ -96,7 +113,12 @@ pub fn riscv_isa_workloads(cycles_each: usize) -> Vec<Workload> {
 
 /// TLRAM workload: random get/put traffic.
 pub fn tlram_workload(requests: usize) -> Workload {
-    let mut rng = StdRng::seed_from_u64(2);
+    tlram_workload_with(requests, 2)
+}
+
+/// [`tlram_workload`] with an explicit stimulus seed.
+pub fn tlram_workload_with(requests: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
     let inputs = vec![
         "reset".to_string(),
         "a_valid".to_string(),
@@ -109,19 +131,33 @@ pub fn tlram_workload(requests: usize) -> Workload {
     trace.push(vec![1, 0, 0, 0, 0, 0]);
     for _ in 0..requests {
         let put = rng.gen_bool(0.5);
-        let opcode = if put { crate::tlram::OP_PUT } else { crate::tlram::OP_GET };
+        let opcode = if put {
+            crate::tlram::OP_PUT
+        } else {
+            crate::tlram::OP_GET
+        };
         let addr = rng.gen_range(0u64..256);
         let data = rng.gen::<u32>() as u64;
         trace.push(vec![0, 1, opcode, addr, data, 1]);
         trace.push(vec![0, 0, 0, 0, 0, 1]);
         trace.push(vec![0, 0, 0, 0, 0, 1]);
     }
-    Workload { name: "TLRAM", circuit: crate::tlram::tlram(32, 256), trace, program: None }
+    Workload {
+        name: "TLRAM",
+        circuit: crate::tlram::tlram(32, 256),
+        trace,
+        program: None,
+    }
 }
 
 /// Serial-ALU workload: a stream of random operations.
 pub fn serv_workload(operations: usize) -> Workload {
-    let mut rng = StdRng::seed_from_u64(3);
+    serv_workload_with(operations, 3)
+}
+
+/// [`serv_workload`] with an explicit stimulus seed.
+pub fn serv_workload_with(operations: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
     let inputs = vec![
         "reset".to_string(),
         "start".to_string(),
@@ -140,12 +176,22 @@ pub fn serv_workload(operations: usize) -> Workload {
             trace.push(vec![0, 0, a, b, sel]);
         }
     }
-    Workload { name: "serv-like", circuit: crate::serv_like::serv_like(16), trace, program: None }
+    Workload {
+        name: "serv-like",
+        circuit: crate::serv_like::serv_like(16),
+        trace,
+        program: None,
+    }
 }
 
 /// NeuroProc workload: Poisson-ish input spikes for many cycles.
 pub fn neuroproc_workload(cycles: usize) -> Workload {
-    let mut rng = StdRng::seed_from_u64(4);
+    neuroproc_workload_with(cycles, 4)
+}
+
+/// [`neuroproc_workload`] with an explicit stimulus seed.
+pub fn neuroproc_workload_with(cycles: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
     let inputs = vec![
         "reset".to_string(),
         "in_spike".to_string(),
@@ -173,8 +219,18 @@ pub fn neuroproc_workload(cycles: usize) -> Workload {
 
 /// I2C workload: a few valid transactions embedded in idle time.
 pub fn i2c_workload(transactions: usize) -> Workload {
-    let mut rng = StdRng::seed_from_u64(5);
-    let inputs = vec!["reset".to_string(), "scl".to_string(), "sda_in".to_string(), "data_in".to_string()];
+    i2c_workload_with(transactions, 5)
+}
+
+/// [`i2c_workload`] with an explicit stimulus seed.
+pub fn i2c_workload_with(transactions: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs = vec![
+        "reset".to_string(),
+        "scl".to_string(),
+        "sda_in".to_string(),
+        "data_in".to_string(),
+    ];
     let mut trace = InputTrace::new(inputs);
     trace.push(vec![1, 1, 1, 0]);
     let half = |trace: &mut InputTrace, scl: u64, sda: u64| {
@@ -217,7 +273,78 @@ pub fn i2c_workload(transactions: usize) -> Workload {
         half(&mut trace, 1, 0);
         half(&mut trace, 1, 1);
     }
-    Workload { name: "i2c", circuit: crate::i2c::i2c(), trace, program: None }
+    Workload {
+        name: "i2c",
+        circuit: crate::i2c::i2c(),
+        trace,
+        program: None,
+    }
+}
+
+/// Queue workload: random enqueue/dequeue pressure on the canonical
+/// DecoupledIO component, including bursts that fill and drain it.
+pub fn queue_workload(operations: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs = vec![
+        "reset".to_string(),
+        "enq_valid".to_string(),
+        "enq_bits".to_string(),
+        "deq_ready".to_string(),
+    ];
+    let mut trace = InputTrace::new(inputs);
+    trace.push(vec![1, 0, 0, 0]);
+    for _ in 0..operations {
+        let bits = rng.gen_range(0u64..256);
+        let enq = rng.gen_bool(0.6) as u64;
+        let deq = rng.gen_bool(0.4) as u64;
+        trace.push(vec![0, enq, bits, deq]);
+    }
+    // drain whatever is left so the empty/full states both get exercised
+    for _ in 0..8 {
+        trace.push(vec![0, 0, 0, 1]);
+    }
+    Workload {
+        name: "queue",
+        circuit: crate::queue::queue(8, 4),
+        trace,
+        program: None,
+    }
+}
+
+/// Stable names of the designs a coverage campaign can enumerate, in the
+/// order campaigns schedule them.
+pub fn campaign_design_names() -> Vec<&'static str> {
+    vec![
+        "gcd",
+        "queue",
+        "tlram",
+        "serv",
+        "neuroproc",
+        "i2c",
+        "riscv-mini",
+    ]
+}
+
+/// The workload for one campaign shard of a design: the same circuit
+/// driven by a shard-specific stimulus seed, so shards explore distinct
+/// input streams and their coverage merges meaningfully. `scale`
+/// multiplies the per-shard stimulus length (1 = smoke-test scale).
+///
+/// Returns `None` for unknown design names. riscv-mini replays the boot
+/// program, which is seed-independent: every shard runs the same image.
+pub fn campaign_workload(design: &str, shard: u64, scale: usize) -> Option<Workload> {
+    // decorrelate shard streams from the fixed per-design default seeds
+    let seed = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(shard.wrapping_add(1));
+    Some(match design {
+        "gcd" => gcd_workload_with(4 * scale, seed),
+        "queue" => queue_workload(60 * scale, seed),
+        "tlram" => tlram_workload_with(30 * scale, seed),
+        "serv" => serv_workload_with(8 * scale, seed),
+        "neuroproc" => neuroproc_workload_with(200 * scale, seed),
+        "i2c" => i2c_workload_with(scale, seed),
+        "riscv-mini" => riscv_mini_workload(1500 * scale),
+        _ => return None,
+    })
 }
 
 /// The four Table 2 benchmarks at the given scale factor (1 = quick CI
@@ -248,6 +375,36 @@ mod tests {
             assert_eq!(counts.len(), 0, "{}", w.name);
             assert!(w.trace.cycles() > 100, "{}", w.name);
         }
+    }
+
+    #[test]
+    fn queue_workload_fills_and_drains() {
+        use rtlcov_sim::Simulator;
+        let w = queue_workload(60, 7);
+        let low = passes::lower(w.circuit.clone()).unwrap();
+        let mut sim = CompiledSim::new(&low).unwrap();
+        let mut max_count = 0;
+        for cycle_values in &w.trace.values {
+            for (name, value) in w.trace.inputs.iter().zip(cycle_values) {
+                sim.poke(name, *value);
+            }
+            sim.step();
+            max_count = max_count.max(sim.peek("count"));
+        }
+        assert_eq!(max_count, 4, "queue never filled");
+        assert_eq!(sim.peek("count"), 0, "queue did not drain");
+    }
+
+    #[test]
+    fn campaign_workloads_enumerate_and_differ_by_shard() {
+        assert!(campaign_workload("nope", 0, 1).is_none());
+        for name in campaign_design_names() {
+            let w = campaign_workload(name, 0, 1).unwrap();
+            assert!(w.trace.cycles() > 0, "{name}");
+        }
+        let a = campaign_workload("gcd", 0, 1).unwrap();
+        let b = campaign_workload("gcd", 1, 1).unwrap();
+        assert_ne!(a.trace.values, b.trace.values, "shards must differ");
     }
 
     #[test]

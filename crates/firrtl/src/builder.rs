@@ -38,10 +38,15 @@ pub struct CircuitBuilder {
 impl CircuitBuilder {
     /// Start a circuit whose top module is `top`.
     pub fn new(top: impl Into<String>) -> Self {
-        CircuitBuilder { top: top.into(), modules: Vec::new(), annotations: Vec::new() }
+        CircuitBuilder {
+            top: top.into(),
+            modules: Vec::new(),
+            annotations: Vec::new(),
+        }
     }
 
     /// Add a finished module builder.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(mut self, mb: ModuleBuilder) -> Self {
         let (module, annotations) = mb.finish();
         self.modules.push(module);
@@ -61,7 +66,11 @@ impl CircuitBuilder {
     /// Finish the circuit without checking that the top module exists —
     /// for callers that splice in modules from other circuits afterwards.
     pub fn build_unchecked(self) -> Circuit {
-        Circuit { top: self.top, modules: self.modules, annotations: self.annotations }
+        Circuit {
+            top: self.top,
+            modules: self.modules,
+            annotations: self.annotations,
+        }
     }
 
     /// Finish the circuit.
@@ -75,7 +84,11 @@ impl CircuitBuilder {
             "top module `{}` was not added",
             self.top
         );
-        Circuit { top: self.top, modules: self.modules, annotations: self.annotations }
+        Circuit {
+            top: self.top,
+            modules: self.modules,
+            annotations: self.annotations,
+        }
     }
 }
 
@@ -114,17 +127,29 @@ impl ModuleBuilder {
 
     fn info(&mut self) -> Info {
         self.line += 1;
-        Info { file: Some(self.file.clone()), line: self.line, col: 1 }
+        Info {
+            file: Some(self.file.clone()),
+            line: self.line,
+            col: 1,
+        }
     }
 
     fn push(&mut self, s: Stmt) {
-        self.scopes.last_mut().expect("scope stack never empty").push(s);
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .push(s);
     }
 
     /// Add the conventional `clock` input and make it the default clock.
     pub fn clock(&mut self) -> Expr {
         let info = self.info();
-        self.ports.push(Port { name: "clock".into(), dir: Direction::Input, ty: Type::Clock, info });
+        self.ports.push(Port {
+            name: "clock".into(),
+            dir: Direction::Input,
+            ty: Type::Clock,
+            info,
+        });
         let e = Expr::r("clock");
         self.default_clock = Some(e.clone());
         e
@@ -153,7 +178,12 @@ impl ModuleBuilder {
     pub fn input_ty(&mut self, name: impl Into<String>, ty: Type) -> Expr {
         let name = name.into();
         let info = self.info();
-        self.ports.push(Port { name: name.clone(), dir: Direction::Input, ty, info });
+        self.ports.push(Port {
+            name: name.clone(),
+            dir: Direction::Input,
+            ty,
+            info,
+        });
         Expr::r(name)
     }
 
@@ -166,7 +196,12 @@ impl ModuleBuilder {
     pub fn output_ty(&mut self, name: impl Into<String>, ty: Type) -> Expr {
         let name = name.into();
         let info = self.info();
-        self.ports.push(Port { name: name.clone(), dir: Direction::Output, ty, info });
+        self.ports.push(Port {
+            name: name.clone(),
+            dir: Direction::Output,
+            ty,
+            info,
+        });
         Expr::r(name)
     }
 
@@ -179,7 +214,11 @@ impl ModuleBuilder {
     pub fn wire_ty(&mut self, name: impl Into<String>, ty: Type) -> Expr {
         let name = name.into();
         let info = self.info();
-        self.push(Stmt::Wire { name: name.clone(), ty, info });
+        self.push(Stmt::Wire {
+            name: name.clone(),
+            ty,
+            info,
+        });
         Expr::r(name)
     }
 
@@ -189,10 +228,19 @@ impl ModuleBuilder {
     ///
     /// Panics if [`ModuleBuilder::clock`] has not been called.
     pub fn reg(&mut self, name: impl Into<String>, width: u32) -> Expr {
-        let clock = self.default_clock.clone().expect("call clock() before reg()");
+        let clock = self
+            .default_clock
+            .clone()
+            .expect("call clock() before reg()");
         let name = name.into();
         let info = self.info();
-        self.push(Stmt::Reg { name: name.clone(), ty: Type::uint(width), clock, reset: None, info });
+        self.push(Stmt::Reg {
+            name: name.clone(),
+            ty: Type::uint(width),
+            clock,
+            reset: None,
+            info,
+        });
         Expr::r(name)
     }
 
@@ -202,8 +250,14 @@ impl ModuleBuilder {
     ///
     /// Panics if `clock()`/`reset()` have not been called.
     pub fn reg_init(&mut self, name: impl Into<String>, width: u32, init: Expr) -> Expr {
-        let clock = self.default_clock.clone().expect("call clock() before reg_init()");
-        let reset = self.default_reset.clone().expect("call reset() before reg_init()");
+        let clock = self
+            .default_clock
+            .clone()
+            .expect("call clock() before reg_init()");
+        let reset = self
+            .default_reset
+            .clone()
+            .expect("call reset() before reg_init()");
         let name = name.into();
         let info = self.info();
         self.push(Stmt::Reg {
@@ -239,7 +293,11 @@ impl ModuleBuilder {
     pub fn node(&mut self, name: impl Into<String>, value: Expr) -> Expr {
         let name = name.into();
         let info = self.info();
-        self.push(Stmt::Node { name: name.clone(), value, info });
+        self.push(Stmt::Node {
+            name: name.clone(),
+            value,
+            info,
+        });
         Expr::r(name)
     }
 
@@ -266,7 +324,11 @@ impl ModuleBuilder {
     pub fn inst(&mut self, name: impl Into<String>, module: impl Into<String>) -> Expr {
         let name = name.into();
         let info = self.info();
-        self.push(Stmt::Inst { name: name.clone(), module: module.into(), info });
+        self.push(Stmt::Inst {
+            name: name.clone(),
+            module: module.into(),
+            info,
+        });
         Expr::r(name)
     }
 
@@ -298,7 +360,12 @@ impl ModuleBuilder {
         self.scopes.push(Vec::new());
         body(self);
         let then = self.scopes.pop().expect("scope pushed above");
-        self.push(Stmt::When { cond, then, else_: Vec::new(), info });
+        self.push(Stmt::When {
+            cond,
+            then,
+            else_: Vec::new(),
+            info,
+        });
     }
 
     /// `when (cond) { then } .otherwise { else }`.
@@ -315,11 +382,17 @@ impl ModuleBuilder {
         self.scopes.push(Vec::new());
         else_body(self);
         let else_ = self.scopes.pop().expect("scope pushed above");
-        self.push(Stmt::When { cond, then, else_, info });
+        self.push(Stmt::When {
+            cond,
+            then,
+            else_,
+            info,
+        });
     }
 
     /// Chisel `switch`: one `when` chain comparing `scrutinee` to each
     /// literal case value.
+    #[allow(clippy::type_complexity)]
     pub fn switch(&mut self, scrutinee: Expr, cases: Vec<(Expr, Box<dyn FnOnce(&mut Self) + '_>)>) {
         // Build nested when/else-when from the back.
         let mut stmts: Vec<Stmt> = Vec::new();
@@ -330,7 +403,12 @@ impl ModuleBuilder {
             let then = self.scopes.pop().expect("scope pushed above");
             let cond = Expr::eq(scrutinee.clone(), value);
             let else_ = std::mem::take(&mut stmts);
-            stmts = vec![Stmt::When { cond, then, else_, info }];
+            stmts = vec![Stmt::When {
+                cond,
+                then,
+                else_,
+                info,
+            }];
         }
         for s in stmts {
             self.push(s);
@@ -343,9 +421,18 @@ impl ModuleBuilder {
     ///
     /// Panics if `clock()` has not been called.
     pub fn cover(&mut self, name: impl Into<String>, pred: Expr) {
-        let clock = self.default_clock.clone().expect("call clock() before cover()");
+        let clock = self
+            .default_clock
+            .clone()
+            .expect("call clock() before cover()");
         let info = self.info();
-        self.push(Stmt::Cover { name: name.into(), clock, pred, enable: Expr::one(), info });
+        self.push(Stmt::Cover {
+            name: name.into(),
+            clock,
+            pred,
+            enable: Expr::one(),
+            info,
+        });
     }
 
     /// Insert a cover-values statement (§6 extension) on the default clock.
@@ -354,7 +441,10 @@ impl ModuleBuilder {
     ///
     /// Panics if `clock()` has not been called.
     pub fn cover_values(&mut self, name: impl Into<String>, signal: Expr) {
-        let clock = self.default_clock.clone().expect("call clock() before cover_values()");
+        let clock = self
+            .default_clock
+            .clone()
+            .expect("call clock() before cover_values()");
         let info = self.info();
         self.push(Stmt::CoverValues {
             name: name.into(),
@@ -434,8 +524,14 @@ mod tests {
         m.switch(
             sel,
             vec![
-                (Expr::u(0, 2), Box::new(move |m: &mut ModuleBuilder| m.connect(o2, Expr::u(1, 4)))),
-                (Expr::u(1, 2), Box::new(move |m: &mut ModuleBuilder| m.connect(o3, Expr::u(2, 4)))),
+                (
+                    Expr::u(0, 2),
+                    Box::new(move |m: &mut ModuleBuilder| m.connect(o2, Expr::u(1, 4))),
+                ),
+                (
+                    Expr::u(1, 2),
+                    Box::new(move |m: &mut ModuleBuilder| m.connect(o3, Expr::u(2, 4))),
+                ),
             ],
         );
         let (module, _) = m.finish();

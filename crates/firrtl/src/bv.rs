@@ -34,18 +34,24 @@ pub struct Bv {
 }
 
 fn words_for(width: u32) -> usize {
-    ((width + WORD_BITS - 1) / WORD_BITS).max(1) as usize
+    (width.div_ceil(WORD_BITS)).max(1) as usize
 }
 
 impl Bv {
     /// The all-zeros value of the given width.
     pub fn zero(width: u32) -> Self {
-        Bv { width, words: vec![0; words_for(width)] }
+        Bv {
+            width,
+            words: vec![0; words_for(width)],
+        }
     }
 
     /// The all-ones value of the given width.
     pub fn ones(width: u32) -> Self {
-        let mut v = Bv { width, words: vec![u64::MAX; words_for(width)] };
+        let mut v = Bv {
+            width,
+            words: vec![u64::MAX; words_for(width)],
+        };
         v.mask_top();
         v
     }
@@ -71,7 +77,10 @@ impl Bv {
 
     /// Construct from a signed integer using two's complement at `width`.
     pub fn from_i64(value: i64, width: u32) -> Self {
-        let mut v = Bv { width, words: vec![value as u64; 1] };
+        let mut v = Bv {
+            width,
+            words: vec![value as u64; 1],
+        };
         if words_for(width) > 1 {
             let ext = if value < 0 { u64::MAX } else { 0 };
             v.words.resize(words_for(width), ext);
@@ -166,7 +175,11 @@ impl Bv {
     ///
     /// Panics if `i >= self.width()`.
     pub fn set_bit(&mut self, i: u32, b: bool) {
-        assert!(i < self.width.max(1), "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width.max(1),
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         let word = (i / WORD_BITS) as usize;
         let mask = 1u64 << (i % WORD_BITS);
         if b {
@@ -184,7 +197,11 @@ impl Bv {
     /// The low 128 bits of the value.
     pub fn to_u128(&self) -> u128 {
         let lo = self.words[0] as u128;
-        let hi = if self.words.len() > 1 { self.words[1] as u128 } else { 0 };
+        let hi = if self.words.len() > 1 {
+            self.words[1] as u128
+        } else {
+            0
+        };
         lo | (hi << 64)
     }
 
@@ -387,8 +404,16 @@ impl Bv {
         let w = self.width + other.width;
         let a_neg = self.sign_bit();
         let b_neg = other.sign_bit();
-        let a = if a_neg { self.negate_wrapping() } else { self.clone() };
-        let b = if b_neg { other.negate_wrapping() } else { other.clone() };
+        let a = if a_neg {
+            self.negate_wrapping()
+        } else {
+            self.clone()
+        };
+        let b = if b_neg {
+            other.negate_wrapping()
+        } else {
+            other.clone()
+        };
         let m = a.mul(&b);
         if a_neg != b_neg {
             m.negate_wrapping().resize_zext(w)
@@ -405,7 +430,9 @@ impl Bv {
 
     /// Unsigned remainder; remainder by zero yields zero.
     pub fn rem(&self, other: &Bv) -> Self {
-        self.divrem(other).1.resize_zext(self.width.min(other.width).max(1))
+        self.divrem(other)
+            .1
+            .resize_zext(self.width.min(other.width).max(1))
     }
 
     fn divrem(&self, other: &Bv) -> (Bv, Bv) {
@@ -538,7 +565,11 @@ impl Bv {
         let mut out = Bv::zero(new_w);
         for i in 0..new_w {
             let src = i + by;
-            let b = if src < self.width { self.bit(src) } else { sign };
+            let b = if src < self.width {
+                self.bit(src)
+            } else {
+                sign
+            };
             if b {
                 out.set_bit(i, true);
             }
@@ -570,7 +601,9 @@ impl Bv {
     /// Dynamic arithmetic right shift for signed values.
     pub fn dshr_signed(&self, amount: &Bv) -> Self {
         let shift = amount.to_u64().min(self.width as u64) as u32;
-        self.resize_sext(self.width + shift).shr_signed(shift).resize_zext(self.width)
+        self.resize_sext(self.width + shift)
+            .shr_signed(shift)
+            .resize_zext(self.width)
     }
 
     /// Concatenation: `self` becomes the high bits.
@@ -789,7 +822,11 @@ mod tests {
         assert_eq!(v.dshl(&Bv::from_u64(2, 2), 7).to_u64(), 0b101100);
         assert_eq!(v.dshr(&Bv::from_u64(2, 2)).to_u64(), 0b10);
         // shift amount larger than the width drains to zero
-        assert_eq!(v.dshr(&Bv::from_u64(3, 8).mul(&Bv::from_u64(100, 8))).to_u64(), 0);
+        assert_eq!(
+            v.dshr(&Bv::from_u64(3, 8).mul(&Bv::from_u64(100, 8)))
+                .to_u64(),
+            0
+        );
     }
 
     #[test]

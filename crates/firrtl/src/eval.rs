@@ -21,7 +21,10 @@ pub struct Value {
 impl Value {
     /// An unsigned value.
     pub fn uint(bits: Bv) -> Self {
-        Value { bits, signed: false }
+        Value {
+            bits,
+            signed: false,
+        }
     }
 
     /// A signed value.
@@ -82,10 +85,7 @@ impl std::error::Error for EvalError {}
 ///
 /// Returns [`EvalError`] when a reference cannot be resolved (including any
 /// `SubField`/`SubIndex` whose flattened name `lookup` does not know).
-pub fn eval(
-    expr: &Expr,
-    lookup: &dyn Fn(&str) -> Option<Value>,
-) -> Result<Value, EvalError> {
+pub fn eval(expr: &Expr, lookup: &dyn Fn(&str) -> Option<Value>) -> Result<Value, EvalError> {
     match expr {
         Expr::Ref(name) => {
             lookup(name).ok_or_else(|| EvalError(format!("unresolved reference `{name}`")))
@@ -105,7 +105,10 @@ pub fn eval(
             let w = tv.bits.width().max(ev.bits.width());
             let signed = tv.signed && ev.signed;
             let pick = if cond.is_true() { tv } else { ev };
-            Ok(Value { bits: pick.extend_to(w), signed })
+            Ok(Value {
+                bits: pick.extend_to(w),
+                signed,
+            })
         }
         Expr::ValidIf(c, v) => {
             let cond = eval(c, lookup)?;
@@ -114,12 +117,17 @@ pub fn eval(
                 Ok(val)
             } else {
                 // Chisel semantics: invalid reads as zero, no X propagation.
-                Ok(Value { bits: Bv::zero(val.bits.width()), signed: val.signed })
+                Ok(Value {
+                    bits: Bv::zero(val.bits.width()),
+                    signed: val.signed,
+                })
             }
         }
         Expr::Prim { op, args, consts } => {
-            let vals: Vec<Value> =
-                args.iter().map(|a| eval(a, lookup)).collect::<Result<_, _>>()?;
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(a, lookup))
+                .collect::<Result<_, _>>()?;
             Ok(eval_prim(*op, &vals, consts))
         }
     }
@@ -182,7 +190,11 @@ pub fn eval_prim(op: PrimOp, vals: &[Value], consts: &[u64]) -> Value {
                 let w = a.bits.width().min(b.bits.width()).max(1);
                 let an = a.bits.sign_bit();
                 let au = if an { neg(&a.bits) } else { a.bits.clone() };
-                let bu = if b.bits.sign_bit() { neg(&b.bits) } else { b.bits.clone() };
+                let bu = if b.bits.sign_bit() {
+                    neg(&b.bits)
+                } else {
+                    b.bits.clone()
+                };
                 let r = au.rem(&bu).resize_zext(w);
                 Value::sint(if an { neg(&r) } else { r })
             } else {
@@ -215,24 +227,51 @@ pub fn eval_prim(op: PrimOp, vals: &[Value], consts: &[u64]) -> Value {
         PrimOp::Xorr => Value::bool_value(a.bits.reduce_xor()),
         PrimOp::Pad => {
             let w = a.bits.width().max(c(0));
-            Value { bits: a.extend_to(w), signed: a.signed }
+            Value {
+                bits: a.extend_to(w),
+                signed: a.signed,
+            }
         }
-        PrimOp::Shl => Value { bits: a.bits.shl(c(0)), signed: a.signed },
+        PrimOp::Shl => Value {
+            bits: a.bits.shl(c(0)),
+            signed: a.signed,
+        },
         PrimOp::Shr => {
-            let bits = if a.signed { a.bits.shr_signed(c(0)) } else { a.bits.shr(c(0)) };
-            Value { bits, signed: a.signed }
+            let bits = if a.signed {
+                a.bits.shr_signed(c(0))
+            } else {
+                a.bits.shr(c(0))
+            };
+            Value {
+                bits,
+                signed: a.signed,
+            }
         }
         PrimOp::Dshl => {
             let b = &vals[1];
             let amt_w = b.bits.width();
-            let grow = if amt_w >= 17 { 1 << 16 } else { (1u32 << amt_w) - 1 };
+            let grow = if amt_w >= 17 {
+                1 << 16
+            } else {
+                (1u32 << amt_w) - 1
+            };
             let w = (a.bits.width() + grow).min(1 << 16);
-            Value { bits: a.bits.dshl(&b.bits, w), signed: a.signed }
+            Value {
+                bits: a.bits.dshl(&b.bits, w),
+                signed: a.signed,
+            }
         }
         PrimOp::Dshr => {
             let b = &vals[1];
-            let bits = if a.signed { a.bits.dshr_signed(&b.bits) } else { a.bits.dshr(&b.bits) };
-            Value { bits, signed: a.signed }
+            let bits = if a.signed {
+                a.bits.dshr_signed(&b.bits)
+            } else {
+                a.bits.dshr(&b.bits)
+            };
+            Value {
+                bits,
+                signed: a.signed,
+            }
         }
         PrimOp::Cat => Value::uint(a.bits.cat(&vals[1].bits)),
         PrimOp::Bits => Value::uint(a.bits.bits(c(0), c(1))),
@@ -365,8 +404,16 @@ mod tests {
     #[test]
     fn head_tail() {
         let x = Expr::u(0b1101_0011, 8);
-        assert_eq!(e(&Expr::prim(PrimOp::Head, vec![x.clone()], vec![4])).bits.to_u64(), 0b1101);
-        assert_eq!(e(&Expr::prim(PrimOp::Tail, vec![x], vec![4])).bits.to_u64(), 0b0011);
+        assert_eq!(
+            e(&Expr::prim(PrimOp::Head, vec![x.clone()], vec![4]))
+                .bits
+                .to_u64(),
+            0b1101
+        );
+        assert_eq!(
+            e(&Expr::prim(PrimOp::Tail, vec![x], vec![4])).bits.to_u64(),
+            0b0011
+        );
     }
 
     #[test]
@@ -389,9 +436,7 @@ mod tests {
 
     #[test]
     fn eval_with_lookup() {
-        let lookup = |name: &str| -> Option<Value> {
-            (name == "x").then(|| Value::from_u64(7, 4))
-        };
+        let lookup = |name: &str| -> Option<Value> { (name == "x").then(|| Value::from_u64(7, 4)) };
         let expr = Expr::prim(PrimOp::Add, vec![Expr::r("x"), Expr::u(1, 4)], vec![]);
         assert_eq!(eval(&expr, &lookup).unwrap().bits.to_u64(), 8);
         assert!(eval(&Expr::r("y"), &lookup).is_err());
@@ -399,9 +444,8 @@ mod tests {
 
     #[test]
     fn subfield_resolves_via_flat_name() {
-        let lookup = |name: &str| -> Option<Value> {
-            (name == "io_valid").then(|| Value::bool_value(true))
-        };
+        let lookup =
+            |name: &str| -> Option<Value> { (name == "io_valid").then(|| Value::bool_value(true)) };
         let expr = Expr::SubField(Box::new(Expr::r("io")), "valid".into());
         assert!(eval(&expr, &lookup).unwrap().is_true());
     }
@@ -409,9 +453,24 @@ mod tests {
     #[test]
     fn shift_semantics() {
         let x = Expr::u(0b1010, 4);
-        assert_eq!(e(&Expr::prim(PrimOp::Shl, vec![x.clone()], vec![2])).bits.to_u64(), 0b101000);
-        assert_eq!(e(&Expr::prim(PrimOp::Shr, vec![x.clone()], vec![1])).bits.to_u64(), 0b101);
+        assert_eq!(
+            e(&Expr::prim(PrimOp::Shl, vec![x.clone()], vec![2]))
+                .bits
+                .to_u64(),
+            0b101000
+        );
+        assert_eq!(
+            e(&Expr::prim(PrimOp::Shr, vec![x.clone()], vec![1]))
+                .bits
+                .to_u64(),
+            0b101
+        );
         let amt = Expr::u(2, 2);
-        assert_eq!(e(&Expr::prim(PrimOp::Dshr, vec![x, amt], vec![])).bits.to_u64(), 0b10);
+        assert_eq!(
+            e(&Expr::prim(PrimOp::Dshr, vec![x, amt], vec![]))
+                .bits
+                .to_u64(),
+            0b10
+        );
     }
 }

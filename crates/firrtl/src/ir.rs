@@ -28,7 +28,11 @@ pub struct Info {
 impl Info {
     /// A locator pointing at `file:line`.
     pub fn new(file: impl Into<Arc<str>>, line: u32, col: u32) -> Self {
-        Info { file: Some(file.into()), line, col }
+        Info {
+            file: Some(file.into()),
+            line,
+            col,
+        }
     }
 
     /// The "no information" locator.
@@ -432,6 +436,7 @@ impl Expr {
     }
 
     /// `not` of a 1-bit expression.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: Expr) -> Expr {
         Expr::prim(PrimOp::Not, vec![a], vec![])
     }
@@ -706,7 +711,12 @@ pub struct Module {
 impl Module {
     /// Create an empty module.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), ports: Vec::new(), body: Vec::new(), info: Info::none() }
+        Module {
+            name: name.into(),
+            ports: Vec::new(),
+            body: Vec::new(),
+            info: Info::none(),
+        }
     }
 
     /// Look up a port by name.
@@ -799,7 +809,11 @@ pub struct Circuit {
 impl Circuit {
     /// Create a circuit from a single module.
     pub fn new(top: Module) -> Self {
-        Circuit { top: top.name.clone(), modules: vec![top], annotations: Vec::new() }
+        Circuit {
+            top: top.name.clone(),
+            modules: vec![top],
+            annotations: Vec::new(),
+        }
     }
 
     /// Look up a module by name.
@@ -841,8 +855,16 @@ mod tests {
         assert_eq!(Type::Clock.width(), Some(1));
         assert_eq!(Type::UInt(None).width(), None);
         let b = Type::Bundle(vec![
-            Field { name: "a".into(), flip: false, ty: Type::uint(3) },
-            Field { name: "b".into(), flip: true, ty: Type::uint(5) },
+            Field {
+                name: "a".into(),
+                flip: false,
+                ty: Type::uint(3),
+            },
+            Field {
+                name: "b".into(),
+                flip: true,
+                ty: Type::uint(5),
+            },
         ]);
         assert_eq!(b.total_width(), Some(8));
         assert!(!b.is_ground());

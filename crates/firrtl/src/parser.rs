@@ -68,8 +68,8 @@ enum Tok {
     NegInt(i64),
     Str(String),
     Punct(char),
-    Arrow,    // =>
-    ConnOp,   // <=
+    Arrow,  // =>
+    ConnOp, // <=
 }
 
 #[derive(Debug)]
@@ -115,7 +115,13 @@ fn lex_lines(src: &str) -> Result<Vec<Line>, ParseError> {
         if toks.is_empty() {
             continue;
         }
-        out.push(Line { indent, toks, info, lineno, directive: None });
+        out.push(Line {
+            indent,
+            toks,
+            info,
+            lineno,
+            directive: None,
+        });
     }
     Ok(out)
 }
@@ -128,7 +134,11 @@ fn parse_info(loc: &str) -> Info {
         let mut parts = lc.splitn(2, ':');
         let line = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
         let col = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
-        Info { file: Some(Arc::from(file)), line, col }
+        Info {
+            file: Some(Arc::from(file)),
+            line,
+            col,
+        }
     } else {
         Info::none()
     }
@@ -157,9 +167,10 @@ fn lex_tokens(s: &str, lineno: u32) -> Result<Vec<Tok>, ParseError> {
                     i += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
-                let v = text
-                    .parse()
-                    .map_err(|_| ParseError { line: lineno, msg: format!("bad integer `{text}`") })?;
+                let v = text.parse().map_err(|_| ParseError {
+                    line: lineno,
+                    msg: format!("bad integer `{text}`"),
+                })?;
                 toks.push(Tok::Int(v));
             }
             '-' => {
@@ -169,12 +180,16 @@ fn lex_tokens(s: &str, lineno: u32) -> Result<Vec<Tok>, ParseError> {
                     i += 1;
                 }
                 if start == i {
-                    return Err(ParseError { line: lineno, msg: "lone `-`".into() });
+                    return Err(ParseError {
+                        line: lineno,
+                        msg: "lone `-`".into(),
+                    });
                 }
                 let text: String = bytes[start..i].iter().collect();
-                let v: i64 = text
-                    .parse()
-                    .map_err(|_| ParseError { line: lineno, msg: format!("bad integer `-{text}`") })?;
+                let v: i64 = text.parse().map_err(|_| ParseError {
+                    line: lineno,
+                    msg: format!("bad integer `-{text}`"),
+                })?;
                 toks.push(Tok::NegInt(-v));
             }
             '"' => {
@@ -184,7 +199,10 @@ fn lex_tokens(s: &str, lineno: u32) -> Result<Vec<Tok>, ParseError> {
                     i += 1;
                 }
                 if i == bytes.len() {
-                    return Err(ParseError { line: lineno, msg: "unterminated string".into() });
+                    return Err(ParseError {
+                        line: lineno,
+                        msg: "unterminated string".into(),
+                    });
                 }
                 toks.push(Tok::Str(bytes[start..i].iter().collect()));
                 i += 1;
@@ -212,7 +230,10 @@ fn lex_tokens(s: &str, lineno: u32) -> Result<Vec<Tok>, ParseError> {
                 i += 1;
             }
             other => {
-                return Err(ParseError { line: lineno, msg: format!("unexpected character `{other}`") })
+                return Err(ParseError {
+                    line: lineno,
+                    msg: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
@@ -235,7 +256,10 @@ struct LineCur<'a> {
 
 impl<'a> LineCur<'a> {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.lineno, msg: msg.into() }
+        ParseError {
+            line: self.lineno,
+            msg: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -340,7 +364,11 @@ impl<'a> LineCur<'a> {
                 } else {
                     None
                 };
-                Ok(if name == "UInt" { Type::UInt(width) } else { Type::SInt(width) })
+                Ok(if name == "UInt" {
+                    Type::UInt(width)
+                } else {
+                    Type::SInt(width)
+                })
             }
             other => Err(self.err(format!("unknown type `{other}`"))),
         }
@@ -372,37 +400,35 @@ impl<'a> LineCur<'a> {
     fn parse_primary(&mut self) -> Result<Expr, ParseError> {
         let tok = self.next().cloned();
         match tok {
-            Some(Tok::Ident(name)) => {
-                match name.as_str() {
-                    "UInt" | "SInt" => self.parse_literal(&name),
-                    "mux" => {
-                        self.expect_punct('(')?;
-                        let c = self.parse_expr()?;
-                        self.expect_punct(',')?;
-                        let t = self.parse_expr()?;
-                        self.expect_punct(',')?;
-                        let f = self.parse_expr()?;
-                        self.expect_punct(')')?;
-                        Ok(Expr::mux(c, t, f))
-                    }
-                    "validif" => {
-                        self.expect_punct('(')?;
-                        let c = self.parse_expr()?;
-                        self.expect_punct(',')?;
-                        let v = self.parse_expr()?;
-                        self.expect_punct(')')?;
-                        Ok(Expr::ValidIf(Box::new(c), Box::new(v)))
-                    }
-                    _ => {
-                        if let Some(op) = PrimOp::from_name(&name) {
-                            if matches!(self.peek(), Some(Tok::Punct('('))) {
-                                return self.parse_primop(op);
-                            }
-                        }
-                        Ok(Expr::Ref(name))
-                    }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "UInt" | "SInt" => self.parse_literal(&name),
+                "mux" => {
+                    self.expect_punct('(')?;
+                    let c = self.parse_expr()?;
+                    self.expect_punct(',')?;
+                    let t = self.parse_expr()?;
+                    self.expect_punct(',')?;
+                    let f = self.parse_expr()?;
+                    self.expect_punct(')')?;
+                    Ok(Expr::mux(c, t, f))
                 }
-            }
+                "validif" => {
+                    self.expect_punct('(')?;
+                    let c = self.parse_expr()?;
+                    self.expect_punct(',')?;
+                    let v = self.parse_expr()?;
+                    self.expect_punct(')')?;
+                    Ok(Expr::ValidIf(Box::new(c), Box::new(v)))
+                }
+                _ => {
+                    if let Some(op) = PrimOp::from_name(&name) {
+                        if matches!(self.peek(), Some(Tok::Punct('('))) {
+                            return self.parse_primop(op);
+                        }
+                    }
+                    Ok(Expr::Ref(name))
+                }
+            },
             other => Err(self.err(format!("expected expression, found {other:?}"))),
         }
     }
@@ -418,7 +444,7 @@ impl<'a> LineCur<'a> {
         self.expect_punct('(')?;
         let value = match self.next().cloned() {
             Some(Tok::Int(v)) => {
-                let w = width.unwrap_or_else(|| 64 - v.leading_zeros().max(0)).max(1);
+                let w = width.unwrap_or_else(|| 64 - v.leading_zeros()).max(1);
                 Bv::from_u64(v, w)
             }
             Some(Tok::NegInt(v)) => {
@@ -433,7 +459,11 @@ impl<'a> LineCur<'a> {
             other => return Err(self.err(format!("expected literal value, found {other:?}"))),
         };
         self.expect_punct(')')?;
-        Ok(if kind == "UInt" { Expr::UIntLit(value) } else { Expr::SIntLit(value) })
+        Ok(if kind == "UInt" {
+            Expr::UIntLit(value)
+        } else {
+            Expr::SIntLit(value)
+        })
     }
 
     fn parse_primop(&mut self, op: PrimOp) -> Result<Expr, ParseError> {
@@ -486,12 +516,16 @@ impl Parser {
                 break;
             }
         }
-        let header = self
-            .lines
-            .get(self.pos)
-            .ok_or(ParseError { line: 0, msg: "empty input".into() })?;
+        let header = self.lines.get(self.pos).ok_or(ParseError {
+            line: 0,
+            msg: "empty input".into(),
+        })?;
         let lineno = header.lineno;
-        let mut cur = LineCur { toks: &header.toks, i: 0, lineno };
+        let mut cur = LineCur {
+            toks: &header.toks,
+            i: 0,
+            lineno,
+        };
         let kw = cur.ident()?;
         if kw != "circuit" {
             return Err(cur.err("expected `circuit`"));
@@ -517,9 +551,16 @@ impl Parser {
             modules.push(self.parse_module()?);
         }
         if !modules.iter().any(|m| m.name == top) {
-            return Err(ParseError { line: lineno, msg: format!("top module `{top}` not defined") });
+            return Err(ParseError {
+                line: lineno,
+                msg: format!("top module `{top}` not defined"),
+            });
         }
-        Ok(Circuit { top, modules, annotations })
+        Ok(Circuit {
+            top,
+            modules,
+            annotations,
+        })
     }
 
     fn parse_module(&mut self) -> Result<Module, ParseError> {
@@ -527,7 +568,11 @@ impl Parser {
         let lineno = header.lineno;
         let indent = header.indent;
         let info = header.info.clone();
-        let mut cur = LineCur { toks: &header.toks, i: 0, lineno };
+        let mut cur = LineCur {
+            toks: &header.toks,
+            i: 0,
+            lineno,
+        };
         let kw = cur.ident()?;
         if kw != "module" {
             return Err(cur.err(format!("expected `module`, found `{kw}`")));
@@ -550,7 +595,11 @@ impl Parser {
             if first != "input" && first != "output" {
                 break;
             }
-            let mut cur = LineCur { toks: &line.toks, i: 0, lineno: line.lineno };
+            let mut cur = LineCur {
+                toks: &line.toks,
+                i: 0,
+                lineno: line.lineno,
+            };
             let dir_kw = cur.ident()?;
             let pname = cur.ident()?;
             cur.expect_punct(':')?;
@@ -558,7 +607,11 @@ impl Parser {
             cur.expect_end()?;
             ports.push(Port {
                 name: pname,
-                dir: if dir_kw == "input" { Direction::Input } else { Direction::Output },
+                dir: if dir_kw == "input" {
+                    Direction::Input
+                } else {
+                    Direction::Output
+                },
                 ty,
                 info: line.info.clone(),
             });
@@ -566,7 +619,12 @@ impl Parser {
         }
 
         let body = self.parse_block(indent)?;
-        Ok(Module { name, ports, body, info })
+        Ok(Module {
+            name,
+            ports,
+            body,
+            info,
+        })
     }
 
     /// Parse statements strictly deeper than `parent_indent`.
@@ -609,7 +667,11 @@ impl Parser {
         let lineno = self.lines[line_idx].lineno;
         let info = self.lines[line_idx].info.clone();
         let toks = std::mem::take(&mut self.lines[line_idx].toks);
-        let mut cur = LineCur { toks: &toks, i: 0, lineno };
+        let mut cur = LineCur {
+            toks: &toks,
+            i: 0,
+            lineno,
+        };
         self.pos += 1;
 
         let first = match cur.peek() {
@@ -662,7 +724,13 @@ impl Parser {
                     None
                 };
                 cur.expect_end()?;
-                Stmt::Reg { name, ty, clock, reset, info }
+                Stmt::Reg {
+                    name,
+                    ty,
+                    clock,
+                    reset,
+                    info,
+                }
             }
             "node" => {
                 cur.i += 1;
@@ -710,7 +778,14 @@ impl Parser {
                     cur.expect_punct(')')?;
                 }
                 cur.expect_end()?;
-                Stmt::Mem(Mem { name, data_ty, depth, readers, writers, info })
+                Stmt::Mem(Mem {
+                    name,
+                    data_ty,
+                    depth,
+                    readers,
+                    writers,
+                    info,
+                })
             }
             "when" => {
                 cur.i += 1;
@@ -719,7 +794,12 @@ impl Parser {
                 cur.expect_end()?;
                 let then = self.parse_block(indent)?;
                 let else_ = self.parse_else(indent)?;
-                Stmt::When { cond, then, else_, info }
+                Stmt::When {
+                    cond,
+                    then,
+                    else_,
+                    info,
+                }
             }
             "cover" | "cover_values" => {
                 cur.i += 1;
@@ -734,9 +814,21 @@ impl Parser {
                 let name = cur.ident()?;
                 cur.expect_end()?;
                 if first == "cover" {
-                    Stmt::Cover { name, clock, pred: mid, enable, info }
+                    Stmt::Cover {
+                        name,
+                        clock,
+                        pred: mid,
+                        enable,
+                        info,
+                    }
                 } else {
-                    Stmt::CoverValues { name, clock, signal: mid, enable, info }
+                    Stmt::CoverValues {
+                        name,
+                        clock,
+                        signal: mid,
+                        enable,
+                        info,
+                    }
                 }
             }
             "skip" => {
@@ -762,7 +854,9 @@ impl Parser {
                         Stmt::Invalid { loc, info }
                     }
                     other => {
-                        return Err(cur.err(format!("expected `<=` or `is invalid`, found {other:?}")))
+                        return Err(
+                            cur.err(format!("expected `<=` or `is invalid`, found {other:?}"))
+                        )
                     }
                 }
             }
@@ -784,7 +878,11 @@ impl Parser {
         let line_idx = self.pos;
         let info = self.lines[line_idx].info.clone();
         let toks = std::mem::take(&mut self.lines[line_idx].toks);
-        let mut cur = LineCur { toks: &toks, i: 1, lineno };
+        let mut cur = LineCur {
+            toks: &toks,
+            i: 1,
+            lineno,
+        };
         self.pos += 1;
         if matches!(cur.peek(), Some(Tok::Ident(s)) if s == "when") {
             // `else when c :` desugars to else { when c : ... }
@@ -794,7 +892,12 @@ impl Parser {
             cur.expect_end()?;
             let then = self.parse_block(indent)?;
             let else_ = self.parse_else(indent)?;
-            Ok(vec![Stmt::When { cond, then, else_, info }])
+            Ok(vec![Stmt::When {
+                cond,
+                then,
+                else_,
+                info,
+            }])
         } else {
             cur.expect_punct(':')?;
             cur.expect_end()?;
@@ -806,10 +909,16 @@ impl Parser {
 fn parse_directive(d: &str, lineno: u32) -> Result<Annotation, ParseError> {
     let mut parts = d.split_whitespace();
     let kind = parts.next().unwrap_or("");
-    let err = |msg: &str| ParseError { line: lineno, msg: msg.into() };
+    let err = |msg: &str| ParseError {
+        line: lineno,
+        msg: msg.into(),
+    };
     match kind {
         "enumdef" => {
-            let name = parts.next().ok_or_else(|| err("enumdef needs a name"))?.to_string();
+            let name = parts
+                .next()
+                .ok_or_else(|| err("enumdef needs a name"))?
+                .to_string();
             let rest: String = parts.collect::<Vec<_>>().join("");
             let mut variants = Vec::new();
             for pair in rest.split(',').filter(|s| !s.is_empty()) {
@@ -827,19 +936,34 @@ fn parse_directive(d: &str, lineno: u32) -> Result<Annotation, ParseError> {
             Ok(Annotation::EnumDef(EnumDef { name, variants }))
         }
         "enumreg" => {
-            let target = parts.next().ok_or_else(|| err("enumreg needs Module.reg"))?;
-            let enum_name = parts.next().ok_or_else(|| err("enumreg needs an enum name"))?;
+            let target = parts
+                .next()
+                .ok_or_else(|| err("enumreg needs Module.reg"))?;
+            let enum_name = parts
+                .next()
+                .ok_or_else(|| err("enumreg needs an enum name"))?;
             let mut mr = target.splitn(2, '.');
             let module = mr.next().unwrap_or("").to_string();
-            let reg = mr.next().ok_or_else(|| err("enumreg target must be Module.reg"))?.to_string();
-            Ok(Annotation::EnumReg { module, reg, enum_name: enum_name.to_string() })
+            let reg = mr
+                .next()
+                .ok_or_else(|| err("enumreg target must be Module.reg"))?
+                .to_string();
+            Ok(Annotation::EnumReg {
+                module,
+                reg,
+                enum_name: enum_name.to_string(),
+            })
         }
         "decoupled" => {
-            let target = parts.next().ok_or_else(|| err("decoupled needs Module.port"))?;
+            let target = parts
+                .next()
+                .ok_or_else(|| err("decoupled needs Module.port"))?;
             let mut mp = target.splitn(2, '.');
             let module = mp.next().unwrap_or("").to_string();
-            let port =
-                mp.next().ok_or_else(|| err("decoupled target must be Module.port"))?.to_string();
+            let port = mp
+                .next()
+                .ok_or_else(|| err("decoupled target must be Module.port"))?
+                .to_string();
             Ok(Annotation::Decoupled { module, port })
         }
         other => Err(err(&format!("unknown directive `@{other}`"))),
@@ -883,7 +1007,9 @@ circuit GCD :
         assert_eq!(m.ports.len(), 7);
         assert_eq!(m.body.len(), 6);
         match &m.body[3] {
-            Stmt::When { cond, then, else_, .. } => {
+            Stmt::When {
+                cond, then, else_, ..
+            } => {
                 assert_eq!(cond, &Expr::r("io_load"));
                 assert_eq!(then.len(), 2);
                 assert_eq!(else_.len(), 1);
@@ -893,7 +1019,10 @@ circuit GCD :
         }
         // reg with reset
         match &m.body[1] {
-            Stmt::Reg { reset: Some((rst, init)), .. } => {
+            Stmt::Reg {
+                reset: Some((rst, init)),
+                ..
+            } => {
                 assert_eq!(rst, &Expr::r("reset"));
                 assert_eq!(init, &Expr::u(0, 16));
             }
@@ -995,7 +1124,11 @@ circuit Ctrl :
             other => panic!("{other:?}"),
         }
         match &c.annotations[1] {
-            Annotation::EnumReg { module, reg, enum_name } => {
+            Annotation::EnumReg {
+                module,
+                reg,
+                enum_name,
+            } => {
                 assert_eq!(module, "Ctrl");
                 assert_eq!(reg, "state");
                 assert_eq!(enum_name, "S");
@@ -1133,7 +1266,11 @@ circuit T :
         let c = parse(src).unwrap();
         match &c.top_module().body[0] {
             Stmt::Connect { value, .. } => match value {
-                Expr::Prim { op: PrimOp::Bits, consts, .. } => assert_eq!(consts, &vec![5, 2]),
+                Expr::Prim {
+                    op: PrimOp::Bits,
+                    consts,
+                    ..
+                } => assert_eq!(consts, &vec![5, 2]),
                 other => panic!("{other:?}"),
             },
             other => panic!("{other:?}"),

@@ -68,7 +68,9 @@ impl AliasGroups {
     /// id iff their nets coincide in at least one instantiation. Signals
     /// in no multi-member group return `None`.
     pub fn module_group(&self, module: &str, signal: &str) -> Option<usize> {
-        self.module_group.get(&(module.to_string(), signal.to_string())).copied()
+        self.module_group
+            .get(&(module.to_string(), signal.to_string()))
+            .copied()
     }
 
     /// Number of signals that alias analysis allows us to skip.
@@ -88,7 +90,11 @@ struct UnionFind {
 
 impl UnionFind {
     fn new() -> Self {
-        UnionFind { parent: Vec::new(), keys: Vec::new(), index: HashMap::new() }
+        UnionFind {
+            parent: Vec::new(),
+            keys: Vec::new(),
+            index: HashMap::new(),
+        }
     }
 
     fn id(&mut self, key: GlobalRef) -> usize {
@@ -154,7 +160,11 @@ pub fn alias_analysis(circuit: &Circuit) -> Result<AliasGroups, PassError> {
             Stmt::Wire { name, .. } | Stmt::Node { name, .. } => {
                 all_signals.insert((mod_name.clone(), name.clone()));
             }
-            Stmt::Inst { name, module: target, .. } => {
+            Stmt::Inst {
+                name,
+                module: target,
+                ..
+            } => {
                 insts.insert(name.clone(), target.clone());
             }
             _ => {}
@@ -167,8 +177,11 @@ pub fn alias_analysis(circuit: &Circuit) -> Result<AliasGroups, PassError> {
         };
         let child_ref = |inst: &str, port: &str| -> Option<GlobalRef> {
             let target = insts.get(inst)?;
-            let child_path =
-                if path.is_empty() { inst.to_string() } else { format!("{path}.{inst}") };
+            let child_path = if path.is_empty() {
+                inst.to_string()
+            } else {
+                format!("{path}.{inst}")
+            };
             Some(GlobalRef {
                 path: child_path,
                 module: (*target).to_string(),
@@ -181,9 +194,7 @@ pub fn alias_analysis(circuit: &Circuit) -> Result<AliasGroups, PassError> {
             match e {
                 Expr::Ref(n) => Some(gref(n)),
                 Expr::SubField(inner, port) => match inner.as_ref() {
-                    Expr::Ref(inst) if insts.contains_key(inst.as_str()) => {
-                        child_ref(inst, port)
-                    }
+                    Expr::Ref(inst) if insts.contains_key(inst.as_str()) => child_ref(inst, port),
                     _ => None,
                 },
                 _ => None,
@@ -209,8 +220,11 @@ pub fn alias_analysis(circuit: &Circuit) -> Result<AliasGroups, PassError> {
         });
 
         for (inst, target) in &insts {
-            let child_path =
-                if path.is_empty() { inst.to_string() } else { format!("{path}.{inst}") };
+            let child_path = if path.is_empty() {
+                inst.to_string()
+            } else {
+                format!("{path}.{inst}")
+            };
             stack.push((child_path, (*target).to_string()));
         }
     }
@@ -219,7 +233,10 @@ pub fn alias_analysis(circuit: &Circuit) -> Result<AliasGroups, PassError> {
     let mut groups_by_root: HashMap<usize, Vec<GlobalRef>> = HashMap::new();
     for i in 0..uf.keys.len() {
         let root = uf.find(i);
-        groups_by_root.entry(root).or_default().push(uf.keys[i].clone());
+        groups_by_root
+            .entry(root)
+            .or_default()
+            .push(uf.keys[i].clone());
     }
     let mut groups = Vec::new();
     let mut representatives: HashSet<(String, String)> = HashSet::new();
@@ -280,7 +297,12 @@ pub fn alias_analysis(circuit: &Circuit) -> Result<AliasGroups, PassError> {
         }
     }
     groups.sort();
-    Ok(AliasGroups { groups, representatives, all_signals, module_group })
+    Ok(AliasGroups {
+        groups,
+        representatives,
+        all_signals,
+        module_group,
+    })
 }
 
 #[cfg(test)]

@@ -22,7 +22,10 @@ pub fn check(circuit: Circuit) -> Result<Circuit, PassError> {
         return Err(PassError::new(PASS, "duplicate module names"));
     }
     if !module_names.contains(circuit.top.as_str()) {
-        return Err(PassError::new(PASS, format!("top module `{}` not found", circuit.top)));
+        return Err(PassError::new(
+            PASS,
+            format!("top module `{}` not found", circuit.top),
+        ));
     }
 
     // instantiation graph for cycle detection
@@ -57,21 +60,19 @@ pub fn check(circuit: Circuit) -> Result<Circuit, PassError> {
                 }
             }
             match s {
-                Stmt::Inst { module, .. } => {
-                    if !module_names.contains(module.as_str()) {
-                        return Err(PassError::new(
-                            PASS,
-                            format!("instance of unknown module `{module}` in `{}`", m.name),
-                        ));
-                    }
+                Stmt::Inst { module, .. } if !module_names.contains(module.as_str()) => {
+                    return Err(PassError::new(
+                        PASS,
+                        format!("instance of unknown module `{module}` in `{}`", m.name),
+                    ));
                 }
-                Stmt::Cover { name, .. } | Stmt::CoverValues { name, .. } => {
-                    if !covers.insert(name.clone()) {
-                        return Err(PassError::new(
-                            PASS,
-                            format!("duplicate cover name `{name}` in module `{}`", m.name),
-                        ));
-                    }
+                Stmt::Cover { name, .. } | Stmt::CoverValues { name, .. }
+                    if !covers.insert(name.clone()) =>
+                {
+                    return Err(PassError::new(
+                        PASS,
+                        format!("duplicate cover name `{name}` in module `{}`", m.name),
+                    ));
                 }
                 Stmt::Mem(mem) => {
                     if mem.depth == 0 {
@@ -115,8 +116,18 @@ pub fn check(circuit: Circuit) -> Result<Circuit, PassError> {
                 Stmt::Connect { loc, value, .. } => vec![loc, value],
                 Stmt::Invalid { loc, .. } => vec![loc],
                 Stmt::When { cond, .. } => vec![cond],
-                Stmt::Cover { clock, pred, enable, .. } => vec![clock, pred, enable],
-                Stmt::CoverValues { clock, signal, enable, .. } => vec![clock, signal, enable],
+                Stmt::Cover {
+                    clock,
+                    pred,
+                    enable,
+                    ..
+                } => vec![clock, pred, enable],
+                Stmt::CoverValues {
+                    clock,
+                    signal,
+                    enable,
+                    ..
+                } => vec![clock, signal, enable],
                 Stmt::Reg { clock, reset, .. } => {
                     let mut v = vec![clock];
                     if let Some((r, i)) = reset {
@@ -165,7 +176,10 @@ pub fn check(circuit: Circuit) -> Result<Circuit, PassError> {
             return Ok(());
         }
         if !visiting.insert(node) {
-            return Err(PassError::new(PASS, format!("instantiation cycle through `{node}`")));
+            return Err(PassError::new(
+                PASS,
+                format!("instantiation cycle through `{node}`"),
+            ));
         }
         for c in children.get(node).into_iter().flatten() {
             let c: &str = c;

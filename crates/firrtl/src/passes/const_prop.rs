@@ -60,11 +60,12 @@ fn run_round(module: &mut Module, env: &TypeEnv) -> bool {
                 *signal = rewrite(std::mem::replace(signal, Expr::one()));
                 *enable = rewrite(std::mem::replace(enable, Expr::one()));
             }
-            Stmt::Reg { reset, .. } => {
-                if let Some((r, init)) = reset {
-                    *r = rewrite(std::mem::replace(r, Expr::one()));
-                    *init = rewrite(std::mem::replace(init, Expr::one()));
-                }
+            Stmt::Reg {
+                reset: Some((r, init)),
+                ..
+            } => {
+                *r = rewrite(std::mem::replace(r, Expr::one()));
+                *init = rewrite(std::mem::replace(init, Expr::one()));
             }
             _ => {}
         }
@@ -106,7 +107,11 @@ fn simplify(e: Expr, literal_nodes: &HashMap<String, Expr>, env: &TypeEnv) -> Ex
                 Some(cv) if !cv.is_zero() => *v,
                 _ => Expr::ValidIf(c, v),
             },
-            Expr::Prim { op: PrimOp::And, args, consts } => {
+            Expr::Prim {
+                op: PrimOp::And,
+                args,
+                consts,
+            } => {
                 let (a, b) = (&args[0], &args[1]);
                 if (is_zero_lit(a) || is_zero_lit(b)) && is_one_bit(a, env) && is_one_bit(b, env) {
                     Expr::zero_bit()
@@ -115,17 +120,29 @@ fn simplify(e: Expr, literal_nodes: &HashMap<String, Expr>, env: &TypeEnv) -> Ex
                 } else if is_one_lit_1bit(b) && is_one_bit(a, env) {
                     a.clone()
                 } else {
-                    Expr::Prim { op: PrimOp::And, args, consts }
+                    Expr::Prim {
+                        op: PrimOp::And,
+                        args,
+                        consts,
+                    }
                 }
             }
-            Expr::Prim { op: PrimOp::Or, args, consts } => {
+            Expr::Prim {
+                op: PrimOp::Or,
+                args,
+                consts,
+            } => {
                 let (a, b) = (&args[0], &args[1]);
                 if is_zero_lit(a) && is_one_bit(b, env) && is_one_bit(a, env) {
                     b.clone()
                 } else if is_zero_lit(b) && is_one_bit(a, env) && is_one_bit(b, env) {
                     a.clone()
                 } else {
-                    Expr::Prim { op: PrimOp::Or, args, consts }
+                    Expr::Prim {
+                        op: PrimOp::Or,
+                        args,
+                        consts,
+                    }
                 }
             }
             other => other,
@@ -171,7 +188,9 @@ fn collapse_mux_branch(branch: Expr, other: &Expr, env: &TypeEnv) -> Expr {
     let (Ok(bt), Ok(ot)) = (expr_type(&branch, env), expr_type(other, env)) else {
         return branch;
     };
-    let (Some(bw), Some(ow)) = (bt.width(), ot.width()) else { return branch };
+    let (Some(bw), Some(ow)) = (bt.width(), ot.width()) else {
+        return branch;
+    };
     let mux_width = bw.max(ow);
     let mux_signed = bt.is_signed() && ot.is_signed();
     let mut out = branch;
@@ -195,15 +214,13 @@ mod tests {
 
     #[test]
     fn folds_constant_nodes() {
-        let c = run(
-            "
+        let c = run("
 circuit T :
   module T :
     output o : UInt<9>
     node a = add(UInt<8>(3), UInt<8>(4))
     o <= a
-",
-        );
+");
         match &c.top_module().body[0] {
             Stmt::Node { value, .. } => assert_eq!(value.as_lit().unwrap().to_u64(), 7),
             other => panic!("{other:?}"),
@@ -217,16 +234,14 @@ circuit T :
 
     #[test]
     fn mux_with_constant_cond_collapses() {
-        let c = run(
-            "
+        let c = run("
 circuit T :
   module T :
     input x : UInt<4>
     input y : UInt<4>
     output o : UInt<4>
     o <= mux(UInt<1>(1), x, y)
-",
-        );
+");
         match &c.top_module().body[0] {
             Stmt::Connect { value, .. } => assert_eq!(value, &Expr::r("x")),
             other => panic!("{other:?}"),
@@ -235,16 +250,14 @@ circuit T :
 
     #[test]
     fn mux_same_branches_collapses() {
-        let c = run(
-            "
+        let c = run("
 circuit T :
   module T :
     input s : UInt<1>
     input x : UInt<4>
     output o : UInt<4>
     o <= mux(s, x, x)
-",
-        );
+");
         match &c.top_module().body[0] {
             Stmt::Connect { value, .. } => assert_eq!(value, &Expr::r("x")),
             other => panic!("{other:?}"),
@@ -253,15 +266,13 @@ circuit T :
 
     #[test]
     fn and_identity() {
-        let c = run(
-            "
+        let c = run("
 circuit T :
   module T :
     input p : UInt<1>
     input clock : Clock
     cover(clock, p, and(UInt<1>(1), p)) : c0
-",
-        );
+");
         match &c.top_module().body[0] {
             Stmt::Cover { enable, .. } => assert_eq!(enable, &Expr::r("p")),
             other => panic!("{other:?}"),
@@ -270,8 +281,7 @@ circuit T :
 
     #[test]
     fn chained_propagation() {
-        let c = run(
-            "
+        let c = run("
 circuit T :
   module T :
     output o : UInt<8>
@@ -279,8 +289,7 @@ circuit T :
     node b = add(a, a)
     node d = tail(b, 1)
     o <= d
-",
-        );
+");
         match &c.top_module().body[2] {
             Stmt::Node { value, .. } => assert_eq!(value.as_lit().unwrap().to_u64(), 10),
             other => panic!("{other:?}"),

@@ -71,7 +71,9 @@ fn dce_module(module: &mut Module) {
                     reads.entry(root.to_string()).or_default().extend(rs);
                 }
             }
-            Stmt::Reg { name, clock, reset, .. } => {
+            Stmt::Reg {
+                name, clock, reset, ..
+            } => {
                 let mut rs = Vec::new();
                 clock.refs(&mut rs);
                 if let Some((r, i)) = reset {
@@ -80,7 +82,12 @@ fn dce_module(module: &mut Module) {
                 }
                 reads.entry(name.clone()).or_default().extend(rs);
             }
-            Stmt::Cover { clock, pred, enable, .. } => {
+            Stmt::Cover {
+                clock,
+                pred,
+                enable,
+                ..
+            } => {
                 for e in [clock, pred, enable] {
                     let mut rs = Vec::new();
                     e.refs(&mut rs);
@@ -89,7 +96,12 @@ fn dce_module(module: &mut Module) {
                     }
                 }
             }
-            Stmt::CoverValues { clock, signal, enable, .. } => {
+            Stmt::CoverValues {
+                clock,
+                signal,
+                enable,
+                ..
+            } => {
                 for e in [clock, signal, enable] {
                     let mut rs = Vec::new();
                     e.refs(&mut rs);
@@ -123,11 +135,9 @@ fn dce_module(module: &mut Module) {
     let port_names: HashSet<&str> = module.ports.iter().map(|p| p.name.as_str()).collect();
     let is_live = |name: &str| live.contains(name) || port_names.contains(name);
     module.body.retain(|s| match s {
-        Stmt::Wire { name, .. } | Stmt::Reg { name, .. } | Stmt::Node { name, .. } => {
-            is_live(name)
-        }
-        Stmt::Connect { loc, .. } => root_name(loc).map_or(true, &is_live),
-        Stmt::Invalid { loc, .. } => root_name(loc).map_or(true, &is_live),
+        Stmt::Wire { name, .. } | Stmt::Reg { name, .. } | Stmt::Node { name, .. } => is_live(name),
+        Stmt::Connect { loc, .. } => root_name(loc).is_none_or(&is_live),
+        Stmt::Invalid { loc, .. } => root_name(loc).is_none_or(&is_live),
         Stmt::Skip => false,
         _ => true,
     });
@@ -155,23 +165,20 @@ mod tests {
 
     #[test]
     fn removes_dead_node() {
-        let c = run(
-            "
+        let c = run("
 circuit T :
   module T :
     input a : UInt<4>
     output o : UInt<4>
     node dead = add(a, a)
     o <= a
-",
-        );
+");
         assert!(names(&c).is_empty());
     }
 
     #[test]
     fn keeps_transitively_live_chain() {
-        let c = run(
-            "
+        let c = run("
 circuit T :
   module T :
     input a : UInt<4>
@@ -180,8 +187,7 @@ circuit T :
     node n2 = tail(n1, 1)
     node dead = not(a)
     o <= pad(n2, 5)
-",
-        );
+");
         let ns = names(&c);
         assert!(ns.contains(&"n1".to_string()));
         assert!(ns.contains(&"n2".to_string()));
@@ -190,23 +196,20 @@ circuit T :
 
     #[test]
     fn covers_keep_their_cone_alive() {
-        let c = run(
-            "
+        let c = run("
 circuit T :
   module T :
     input clock : Clock
     input a : UInt<1>
     node p = eq(a, UInt<1>(1))
     cover(clock, p, UInt<1>(1)) : c0
-",
-        );
+");
         assert_eq!(names(&c), vec!["p".to_string()]);
     }
 
     #[test]
     fn dead_register_and_connect_removed() {
-        let c = run(
-            "
+        let c = run("
 circuit T :
   module T :
     input clock : Clock
@@ -215,8 +218,7 @@ circuit T :
     reg r : UInt<4>, clock
     r <= a
     o <= a
-",
-        );
+");
         assert!(names(&c).is_empty());
         // its connect went away too
         let mut connects = 0;
@@ -230,8 +232,7 @@ circuit T :
 
     #[test]
     fn live_register_feedback_loop_kept() {
-        let c = run(
-            "
+        let c = run("
 circuit T :
   module T :
     input clock : Clock
@@ -239,15 +240,13 @@ circuit T :
     reg r : UInt<4>, clock
     r <= tail(add(r, UInt<4>(1)), 1)
     o <= r
-",
-        );
+");
         assert_eq!(names(&c), vec!["r".to_string()]);
     }
 
     #[test]
     fn instances_and_mems_survive() {
-        let c = run(
-            "
+        let c = run("
 circuit Top :
   module Child :
     input clock : Clock
@@ -260,8 +259,7 @@ circuit Top :
     mem m : UInt<8>[16], readers(r)
     m.r.addr <= addr
     m.r.en <= UInt<1>(1)
-",
-        );
+");
         let mut kinds = Vec::new();
         c.top_module().for_each_stmt(&mut |s| match s {
             Stmt::Inst { .. } => kinds.push("inst"),

@@ -59,7 +59,11 @@ impl Ctx {
         }
         let name = format!("_WHEN_{}", self.fresh);
         self.fresh += 1;
-        self.decls.push(Stmt::Node { name: name.clone(), value, info: info.clone() });
+        self.decls.push(Stmt::Node {
+            name: name.clone(),
+            value,
+            info: info.clone(),
+        });
         Expr::Ref(name)
     }
 }
@@ -87,12 +91,7 @@ fn expand_module(module: &mut Module, env: &TypeEnv) -> Result<(), PassError> {
     Ok(())
 }
 
-fn default_value(
-    sink: &str,
-    loc: &Expr,
-    ctx: &Ctx,
-    env: &TypeEnv,
-) -> Result<Expr, PassError> {
+fn default_value(sink: &str, loc: &Expr, ctx: &Ctx, env: &TypeEnv) -> Result<Expr, PassError> {
     if ctx.regs.contains_key(sink) {
         // Registers keep their previous value when not assigned.
         return Ok(loc.clone());
@@ -110,14 +109,23 @@ fn default_value(
 fn walk(stmts: Vec<Stmt>, ctx: &mut Ctx, pred: Expr, env: &TypeEnv) -> Result<(), PassError> {
     for s in stmts {
         match s {
-            Stmt::Reg { name, ty, clock, reset, info } => {
+            Stmt::Reg {
+                name,
+                ty,
+                clock,
+                reset,
+                info,
+            } => {
                 ctx.regs.insert(name.clone(), ());
-                ctx.decls.push(Stmt::Reg { name, ty, clock, reset, info });
+                ctx.decls.push(Stmt::Reg {
+                    name,
+                    ty,
+                    clock,
+                    reset,
+                    info,
+                });
             }
-            decl @ (Stmt::Wire { .. }
-            | Stmt::Node { .. }
-            | Stmt::Inst { .. }
-            | Stmt::Mem(_)) => {
+            decl @ (Stmt::Wire { .. } | Stmt::Node { .. } | Stmt::Inst { .. } | Stmt::Mem(_)) => {
                 ctx.decls.push(decl);
             }
             Stmt::Skip => {}
@@ -132,25 +140,52 @@ fn walk(stmts: Vec<Stmt>, ctx: &mut Ctx, pred: Expr, env: &TypeEnv) -> Result<()
                 connect(ctx, env, loc, zero, &pred, &info, true)?;
                 let _ = sink;
             }
-            Stmt::When { cond, then, else_, info } => {
+            Stmt::When {
+                cond,
+                then,
+                else_,
+                info,
+            } => {
                 let cond = ctx.fresh_pred(cond, &info);
-                let then_pred =
-                    ctx.fresh_pred(Expr::and(pred.clone(), cond.clone()), &info);
+                let then_pred = ctx.fresh_pred(Expr::and(pred.clone(), cond.clone()), &info);
                 walk(then, ctx, then_pred, env)?;
                 if !else_.is_empty() {
                     let not_cond = Expr::not(cond);
-                    let else_pred =
-                        ctx.fresh_pred(Expr::and(pred.clone(), not_cond), &info);
+                    let else_pred = ctx.fresh_pred(Expr::and(pred.clone(), not_cond), &info);
                     walk(else_, ctx, else_pred, env)?;
                 }
             }
-            Stmt::Cover { name, clock, pred: cover_pred, enable, info } => {
+            Stmt::Cover {
+                name,
+                clock,
+                pred: cover_pred,
+                enable,
+                info,
+            } => {
                 let enable = Expr::and(enable, pred.clone());
-                ctx.decls.push(Stmt::Cover { name, clock, pred: cover_pred, enable, info });
+                ctx.decls.push(Stmt::Cover {
+                    name,
+                    clock,
+                    pred: cover_pred,
+                    enable,
+                    info,
+                });
             }
-            Stmt::CoverValues { name, clock, signal, enable, info } => {
+            Stmt::CoverValues {
+                name,
+                clock,
+                signal,
+                enable,
+                info,
+            } => {
                 let enable = Expr::and(enable, pred.clone());
-                ctx.decls.push(Stmt::CoverValues { name, clock, signal, enable, info });
+                ctx.decls.push(Stmt::CoverValues {
+                    name,
+                    clock,
+                    signal,
+                    enable,
+                    info,
+                });
             }
         }
     }
@@ -194,7 +229,13 @@ fn connect(
     if !ctx.drivers.contains_key(&sink) {
         ctx.order.push(sink.clone());
     }
-    ctx.drivers.insert(sink, Driver { loc, value: new_value });
+    ctx.drivers.insert(
+        sink,
+        Driver {
+            loc,
+            value: new_value,
+        },
+    );
     Ok(())
 }
 
@@ -315,7 +356,10 @@ circuit T :
         );
         let m = c.top_module();
         match m.body.last().unwrap() {
-            Stmt::Connect { value: Expr::Mux(_, _, e), .. } => {
+            Stmt::Connect {
+                value: Expr::Mux(_, _, e),
+                ..
+            } => {
                 assert_eq!(e.as_ref().as_lit().unwrap().to_u64(), 0);
             }
             other => panic!("{other:?}"),
@@ -383,7 +427,10 @@ circuit T :
         let m = c.top_module();
         // outer mux: mux(else_pred, y, mux(then_pred, x, 0))
         match m.body.last().unwrap() {
-            Stmt::Connect { value: Expr::Mux(_, t, _), .. } => {
+            Stmt::Connect {
+                value: Expr::Mux(_, t, _),
+                ..
+            } => {
                 assert_eq!(t.as_ref(), &Expr::r("y"));
             }
             other => panic!("{other:?}"),
@@ -436,9 +483,7 @@ circuit Top :
             .body
             .iter()
             .find_map(|s| match s {
-                Stmt::Connect { loc, value, .. }
-                    if loc.flat_name().as_deref() == Some("c_in") =>
-                {
+                Stmt::Connect { loc, value, .. } if loc.flat_name().as_deref() == Some("c_in") => {
                     Some(value.clone())
                 }
                 _ => None,

@@ -27,7 +27,10 @@ pub fn infer_widths(mut circuit: Circuit) -> Result<Circuit, PassError> {
             if has_unknown(&p.ty) {
                 return Err(PassError::new(
                     PASS,
-                    format!("port `{}` of module `{}` must have an explicit width", p.name, module.name),
+                    format!(
+                        "port `{}` of module `{}` must have an explicit width",
+                        p.name, module.name
+                    ),
                 ));
             }
         }
@@ -37,7 +40,10 @@ pub fn infer_widths(mut circuit: Circuit) -> Result<Circuit, PassError> {
             if rounds > MAX_ROUNDS {
                 return Err(PassError::new(
                     PASS,
-                    format!("width inference did not converge in module `{}`", circuit.modules[idx].name),
+                    format!(
+                        "width inference did not converge in module `{}`",
+                        circuit.modules[idx].name
+                    ),
                 ));
             }
             let module = circuit.modules[idx].clone();
@@ -62,7 +68,12 @@ pub fn infer_widths(mut circuit: Circuit) -> Result<Circuit, PassError> {
                                 }
                             }
                         }
-                        if let Stmt::Reg { name: rn, reset: Some((_, init)), .. } = s {
+                        if let Stmt::Reg {
+                            name: rn,
+                            reset: Some((_, init)),
+                            ..
+                        } = s
+                        {
                             if rn == name {
                                 if let Ok(t) = expr_type(init, &env) {
                                     if let Some(w) = t.width() {

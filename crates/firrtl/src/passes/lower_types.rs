@@ -47,7 +47,11 @@ fn leaves(ty: &Type) -> Vec<Leaf> {
                     path.pop();
                 }
             }
-            ground => out.push(Leaf { accessors: path.clone(), ty: ground.clone(), flip }),
+            ground => out.push(Leaf {
+                accessors: path.clone(),
+                ty: ground.clone(),
+                flip,
+            }),
         }
     }
     let mut out = Vec::new();
@@ -151,7 +155,10 @@ impl Lowerer {
             RootKind::Flat => Ok(Expr::Ref(format!("{root}{}", suffix(&accs)))),
             RootKind::Instance => {
                 // first accessor is the port; the rest flatten into it
-                Ok(Expr::SubField(Box::new(Expr::Ref(root)), suffix(&accs)[1..].to_string()))
+                Ok(Expr::SubField(
+                    Box::new(Expr::Ref(root)),
+                    suffix(&accs)[1..].to_string(),
+                ))
             }
             RootKind::Memory => {
                 if accs.len() == 2 {
@@ -159,7 +166,10 @@ impl Lowerer {
                 } else {
                     Err(PassError::new(
                         PASS,
-                        format!("memory access must be `mem.port.field`, got {} accessors", accs.len()),
+                        format!(
+                            "memory access must be `mem.port.field`, got {} accessors",
+                            accs.len()
+                        ),
                     ))
                 }
             }
@@ -230,24 +240,34 @@ fn lower_stmts(stmts: Vec<Stmt>, lw: &Lowerer, env: &TypeEnv) -> Result<Vec<Stmt
                     }
                 }
             }
-            Stmt::Reg { name, ty, clock, reset, info } => {
+            Stmt::Reg {
+                name,
+                ty,
+                clock,
+                reset,
+                info,
+            } => {
                 let clock = lw.rewrite(clock)?;
                 if ty.is_ground() {
                     let reset = reset
                         .map(|(r, i)| Ok::<_, PassError>((lw.rewrite(r)?, lw.rewrite(i)?)))
                         .transpose()?;
-                    out.push(Stmt::Reg { name, ty, clock, reset, info });
+                    out.push(Stmt::Reg {
+                        name,
+                        ty,
+                        clock,
+                        reset,
+                        info,
+                    });
                 } else {
                     for leaf in leaves(&ty) {
                         let leaf_reset = match &reset {
                             None => None,
                             Some((r, init)) => {
                                 let init_leaf = match init {
-                                    Expr::UIntLit(v) if v.is_zero() => {
-                                        Expr::UIntLit(crate::bv::Bv::zero(
-                                            leaf.ty.width().unwrap_or(1),
-                                        ))
-                                    }
+                                    Expr::UIntLit(v) if v.is_zero() => Expr::UIntLit(
+                                        crate::bv::Bv::zero(leaf.ty.width().unwrap_or(1)),
+                                    ),
                                     chain => lw.rewrite(extend(chain.clone(), &leaf.accessors))?,
                                 };
                                 Some((lw.rewrite(r.clone())?, init_leaf))
@@ -276,7 +296,11 @@ fn lower_stmts(stmts: Vec<Stmt>, lw: &Lowerer, env: &TypeEnv) -> Result<Vec<Stmt
                         });
                     }
                 } else {
-                    out.push(Stmt::Node { name, value: lw.rewrite(value)?, info });
+                    out.push(Stmt::Node {
+                        name,
+                        value: lw.rewrite(value)?,
+                        info,
+                    });
                 }
             }
             Stmt::Connect { loc, value, info } => {
@@ -292,22 +316,37 @@ fn lower_stmts(stmts: Vec<Stmt>, lw: &Lowerer, env: &TypeEnv) -> Result<Vec<Stmt
                         let l = lw.rewrite(extend(loc.clone(), &leaf.accessors))?;
                         let r = lw.rewrite(extend(value.clone(), &leaf.accessors))?;
                         let (l, r) = if leaf.flip { (r, l) } else { (l, r) };
-                        out.push(Stmt::Connect { loc: l, value: r, info: info.clone() });
+                        out.push(Stmt::Connect {
+                            loc: l,
+                            value: r,
+                            info: info.clone(),
+                        });
                     }
                 }
             }
             Stmt::Invalid { loc, info } => {
                 let ty = expr_type(&loc, env).map_err(PassError::from)?;
                 if ty.is_ground() {
-                    out.push(Stmt::Invalid { loc: lw.rewrite(loc)?, info });
+                    out.push(Stmt::Invalid {
+                        loc: lw.rewrite(loc)?,
+                        info,
+                    });
                 } else {
                     for leaf in leaves(&ty) {
                         let l = lw.rewrite(extend(loc.clone(), &leaf.accessors))?;
-                        out.push(Stmt::Invalid { loc: l, info: info.clone() });
+                        out.push(Stmt::Invalid {
+                            loc: l,
+                            info: info.clone(),
+                        });
                     }
                 }
             }
-            Stmt::When { cond, then, else_, info } => {
+            Stmt::When {
+                cond,
+                then,
+                else_,
+                info,
+            } => {
                 out.push(Stmt::When {
                     cond: lw.rewrite(cond)?,
                     then: lower_stmts(then, lw, env)?,
@@ -315,7 +354,13 @@ fn lower_stmts(stmts: Vec<Stmt>, lw: &Lowerer, env: &TypeEnv) -> Result<Vec<Stmt
                     info,
                 });
             }
-            Stmt::Cover { name, clock, pred, enable, info } => {
+            Stmt::Cover {
+                name,
+                clock,
+                pred,
+                enable,
+                info,
+            } => {
                 out.push(Stmt::Cover {
                     name,
                     clock: lw.rewrite(clock)?,
@@ -324,7 +369,13 @@ fn lower_stmts(stmts: Vec<Stmt>, lw: &Lowerer, env: &TypeEnv) -> Result<Vec<Stmt
                     info,
                 });
             }
-            Stmt::CoverValues { name, clock, signal, enable, info } => {
+            Stmt::CoverValues {
+                name,
+                clock,
+                signal,
+                enable,
+                info,
+            } => {
                 out.push(Stmt::CoverValues {
                     name,
                     clock: lw.rewrite(clock)?,
@@ -451,7 +502,10 @@ circuit Top :
         let m = c.top_module();
         match &m.body[1] {
             Stmt::Connect { loc, .. } => {
-                assert_eq!(loc, &Expr::SubField(Box::new(Expr::r("c")), "io_valid".into()));
+                assert_eq!(
+                    loc,
+                    &Expr::SubField(Box::new(Expr::r("c")), "io_valid".into())
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -475,7 +529,12 @@ circuit T :
         );
         let m = c.top_module();
         match &m.body[0] {
-            Stmt::Reg { name, ty, reset: Some((_, init)), .. } => {
+            Stmt::Reg {
+                name,
+                ty,
+                reset: Some((_, init)),
+                ..
+            } => {
                 assert_eq!(name, "r_a");
                 assert_eq!(ty, &Type::uint(8));
                 assert_eq!(init.as_lit().unwrap().width(), 8);

@@ -37,7 +37,10 @@ pub struct PassError {
 impl PassError {
     /// Construct an error for `pass`.
     pub fn new(pass: &'static str, msg: impl Into<String>) -> Self {
-        PassError { pass, msg: msg.into() }
+        PassError {
+            pass,
+            msg: msg.into(),
+        }
     }
 }
 

@@ -12,11 +12,18 @@ pub fn print_circuit(c: &Circuit) -> String {
     for a in &c.annotations {
         match a {
             Annotation::EnumDef(def) => {
-                let vars: Vec<String> =
-                    def.variants.iter().map(|(n, v)| format!("{n}={v}")).collect();
+                let vars: Vec<String> = def
+                    .variants
+                    .iter()
+                    .map(|(n, v)| format!("{n}={v}"))
+                    .collect();
                 let _ = writeln!(out, "; @enumdef {} {}", def.name, vars.join(","));
             }
-            Annotation::EnumReg { module, reg, enum_name } => {
+            Annotation::EnumReg {
+                module,
+                reg,
+                enum_name,
+            } => {
                 let _ = writeln!(out, "; @enumreg {module}.{reg} {enum_name}");
             }
             Annotation::Decoupled { module, port } => {
@@ -39,7 +46,13 @@ fn print_module(m: &Module, out: &mut String) {
             Direction::Input => "input",
             Direction::Output => "output",
         };
-        let _ = writeln!(out, "    {dir} {} : {}{}", p.name, print_type(&p.ty), p.info);
+        let _ = writeln!(
+            out,
+            "    {dir} {} : {}{}",
+            p.name,
+            print_type(&p.ty),
+            p.info
+        );
     }
     if m.body.is_empty() {
         let _ = writeln!(out, "    skip");
@@ -85,7 +98,12 @@ pub fn print_expr(e: &Expr) -> String {
         Expr::UIntLit(v) => format!("UInt<{}>(\"h{:x}\")", v.width(), v),
         Expr::SIntLit(v) => format!("SInt<{}>(\"h{:x}\")", v.width(), v),
         Expr::Mux(c, t, f) => {
-            format!("mux({}, {}, {})", print_expr(c), print_expr(t), print_expr(f))
+            format!(
+                "mux({}, {}, {})",
+                print_expr(c),
+                print_expr(t),
+                print_expr(f)
+            )
         }
         Expr::ValidIf(c, v) => format!("validif({}, {})", print_expr(c), print_expr(v)),
         Expr::Prim { op, args, consts } => {
@@ -102,8 +120,18 @@ fn print_stmt(s: &Stmt, indent: usize, out: &mut String) {
         Stmt::Wire { name, ty, info } => {
             let _ = writeln!(out, "{pad}wire {name} : {}{info}", print_type(ty));
         }
-        Stmt::Reg { name, ty, clock, reset, info } => {
-            let base = format!("{pad}reg {name} : {}, {}", print_type(ty), print_expr(clock));
+        Stmt::Reg {
+            name,
+            ty,
+            clock,
+            reset,
+            info,
+        } => {
+            let base = format!(
+                "{pad}reg {name} : {}, {}",
+                print_type(ty),
+                print_expr(clock)
+            );
             match reset {
                 Some((rst, init)) => {
                     let _ = writeln!(
@@ -122,7 +150,12 @@ fn print_stmt(s: &Stmt, indent: usize, out: &mut String) {
             let _ = writeln!(out, "{pad}node {name} = {}{info}", print_expr(value));
         }
         Stmt::Connect { loc, value, info } => {
-            let _ = writeln!(out, "{pad}{} <= {}{info}", print_expr(loc), print_expr(value));
+            let _ = writeln!(
+                out,
+                "{pad}{} <= {}{info}",
+                print_expr(loc),
+                print_expr(value)
+            );
         }
         Stmt::Invalid { loc, info } => {
             let _ = writeln!(out, "{pad}{} is invalid{info}", print_expr(loc));
@@ -145,7 +178,12 @@ fn print_stmt(s: &Stmt, indent: usize, out: &mut String) {
             }
             let _ = writeln!(out, "{line}{}", mem.info);
         }
-        Stmt::When { cond, then, else_, info } => {
+        Stmt::When {
+            cond,
+            then,
+            else_,
+            info,
+        } => {
             let _ = writeln!(out, "{pad}when {} :{info}", print_expr(cond));
             if then.is_empty() {
                 let _ = writeln!(out, "{pad}  skip");
@@ -160,7 +198,13 @@ fn print_stmt(s: &Stmt, indent: usize, out: &mut String) {
                 }
             }
         }
-        Stmt::Cover { name, clock, pred, enable, info } => {
+        Stmt::Cover {
+            name,
+            clock,
+            pred,
+            enable,
+            info,
+        } => {
             let _ = writeln!(
                 out,
                 "{pad}cover({}, {}, {}) : {name}{info}",
@@ -169,7 +213,13 @@ fn print_stmt(s: &Stmt, indent: usize, out: &mut String) {
                 print_expr(enable)
             );
         }
-        Stmt::CoverValues { name, clock, signal, enable, info } => {
+        Stmt::CoverValues {
+            name,
+            clock,
+            signal,
+            enable,
+            info,
+        } => {
             let _ = writeln!(
                 out,
                 "{pad}cover_values({}, {}, {}) : {name}{info}",

@@ -29,7 +29,8 @@ impl std::error::Error for TypeError {}
 pub type TypeEnv = HashMap<String, Type>;
 
 fn ground_width(ty: &Type, what: &str) -> Result<u32, TypeError> {
-    ty.width().ok_or_else(|| TypeError(format!("{what} has unknown or aggregate width: {ty}")))
+    ty.width()
+        .ok_or_else(|| TypeError(format!("{what} has unknown or aggregate width: {ty}")))
 }
 
 /// Compute the type of `expr` in `env`.
@@ -52,7 +53,9 @@ pub fn expr_type(expr: &Expr, env: &TypeEnv) -> Result<Type, TypeError> {
                     .find(|f| &f.name == field)
                     .map(|f| f.ty.clone())
                     .ok_or_else(|| TypeError(format!("no field `{field}` in {ty:?}"))),
-                other => Err(TypeError(format!("subfield `{field}` of non-bundle {other}"))),
+                other => Err(TypeError(format!(
+                    "subfield `{field}` of non-bundle {other}"
+                ))),
             }
         }
         Expr::SubIndex(e, i) => {
@@ -62,7 +65,9 @@ pub fn expr_type(expr: &Expr, env: &TypeEnv) -> Result<Type, TypeError> {
                     if *i < n {
                         Ok(*elem)
                     } else {
-                        Err(TypeError(format!("index {i} out of bounds for vector of {n}")))
+                        Err(TypeError(format!(
+                            "index {i} out of bounds for vector of {n}"
+                        )))
                     }
                 }
                 other => Err(TypeError(format!("subindex of non-vector {other}"))),
@@ -91,7 +96,10 @@ pub fn expr_type(expr: &Expr, env: &TypeEnv) -> Result<Type, TypeError> {
 }
 
 fn prim_type(op: PrimOp, args: &[Expr], consts: &[u64], env: &TypeEnv) -> Result<Type, TypeError> {
-    let tys: Vec<Type> = args.iter().map(|a| expr_type(a, env)).collect::<Result<_, _>>()?;
+    let tys: Vec<Type> = args
+        .iter()
+        .map(|a| expr_type(a, env))
+        .collect::<Result<_, _>>()?;
     let w = |i: usize| -> Result<u32, TypeError> { ground_width(&tys[i], op.name()) };
     let signed = |i: usize| tys[i].is_signed();
     let c = |i: usize| consts[i] as u32;
@@ -142,7 +150,11 @@ fn prim_type(op: PrimOp, args: &[Expr], consts: &[u64], env: &TypeEnv) -> Result
         PrimOp::Shr => tys[0].with_width(w(0)?.saturating_sub(c(0)).max(1)),
         PrimOp::Dshl => {
             let amt_w = w(1)?;
-            let grow = if amt_w >= 17 { MAX_DSHL_WIDTH } else { (1u32 << amt_w) - 1 };
+            let grow = if amt_w >= 17 {
+                MAX_DSHL_WIDTH
+            } else {
+                (1u32 << amt_w) - 1
+            };
             tys[0].with_width((w(0)? + grow).min(MAX_DSHL_WIDTH))
         }
         PrimOp::Dshr => tys[0].with_width(w(0)?),
@@ -240,9 +252,21 @@ pub fn module_env(
                             name: r.clone(),
                             flip: false,
                             ty: Type::Bundle(vec![
-                                Field { name: "addr".into(), flip: true, ty: Type::uint(addr_w) },
-                                Field { name: "en".into(), flip: true, ty: Type::bool() },
-                                Field { name: "data".into(), flip: false, ty: mem.data_ty.clone() },
+                                Field {
+                                    name: "addr".into(),
+                                    flip: true,
+                                    ty: Type::uint(addr_w),
+                                },
+                                Field {
+                                    name: "en".into(),
+                                    flip: true,
+                                    ty: Type::bool(),
+                                },
+                                Field {
+                                    name: "data".into(),
+                                    flip: false,
+                                    ty: mem.data_ty.clone(),
+                                },
                             ]),
                         });
                     }
@@ -251,10 +275,26 @@ pub fn module_env(
                             name: wr.clone(),
                             flip: false,
                             ty: Type::Bundle(vec![
-                                Field { name: "addr".into(), flip: true, ty: Type::uint(addr_w) },
-                                Field { name: "en".into(), flip: true, ty: Type::bool() },
-                                Field { name: "data".into(), flip: true, ty: mem.data_ty.clone() },
-                                Field { name: "mask".into(), flip: true, ty: Type::bool() },
+                                Field {
+                                    name: "addr".into(),
+                                    flip: true,
+                                    ty: Type::uint(addr_w),
+                                },
+                                Field {
+                                    name: "en".into(),
+                                    flip: true,
+                                    ty: Type::bool(),
+                                },
+                                Field {
+                                    name: "data".into(),
+                                    flip: true,
+                                    ty: mem.data_ty.clone(),
+                                },
+                                Field {
+                                    name: "mask".into(),
+                                    flip: true,
+                                    ty: Type::bool(),
+                                },
                             ]),
                         });
                     }
@@ -291,8 +331,16 @@ mod tests {
         e.insert(
             "io".into(),
             Type::Bundle(vec![
-                Field { name: "valid".into(), flip: false, ty: Type::bool() },
-                Field { name: "bits".into(), flip: false, ty: Type::uint(16) },
+                Field {
+                    name: "valid".into(),
+                    flip: false,
+                    ty: Type::bool(),
+                },
+                Field {
+                    name: "bits".into(),
+                    flip: false,
+                    ty: Type::uint(16),
+                },
             ]),
         );
         e.insert("v".into(), Type::Vector(Box::new(Type::uint(4)), 3));
@@ -305,28 +353,83 @@ mod tests {
 
     #[test]
     fn arithmetic_widths() {
-        assert_eq!(t(&Expr::prim(PrimOp::Add, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::uint(9));
-        assert_eq!(t(&Expr::prim(PrimOp::Mul, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::uint(12));
-        assert_eq!(t(&Expr::prim(PrimOp::Div, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::uint(8));
-        assert_eq!(t(&Expr::prim(PrimOp::Rem, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::uint(4));
         assert_eq!(
-            t(&Expr::prim(PrimOp::Add, vec![Expr::r("s"), Expr::r("s")], vec![])),
+            t(&Expr::prim(
+                PrimOp::Add,
+                vec![Expr::r("a"), Expr::r("b")],
+                vec![]
+            )),
+            Type::uint(9)
+        );
+        assert_eq!(
+            t(&Expr::prim(
+                PrimOp::Mul,
+                vec![Expr::r("a"), Expr::r("b")],
+                vec![]
+            )),
+            Type::uint(12)
+        );
+        assert_eq!(
+            t(&Expr::prim(
+                PrimOp::Div,
+                vec![Expr::r("a"), Expr::r("b")],
+                vec![]
+            )),
+            Type::uint(8)
+        );
+        assert_eq!(
+            t(&Expr::prim(
+                PrimOp::Rem,
+                vec![Expr::r("a"), Expr::r("b")],
+                vec![]
+            )),
+            Type::uint(4)
+        );
+        assert_eq!(
+            t(&Expr::prim(
+                PrimOp::Add,
+                vec![Expr::r("s"), Expr::r("s")],
+                vec![]
+            )),
             Type::sint(9)
         );
     }
 
     #[test]
     fn comparison_is_bool() {
-        assert_eq!(t(&Expr::prim(PrimOp::Lt, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::bool());
+        assert_eq!(
+            t(&Expr::prim(
+                PrimOp::Lt,
+                vec![Expr::r("a"), Expr::r("b")],
+                vec![]
+            )),
+            Type::bool()
+        );
         assert_eq!(t(&Expr::eq(Expr::r("a"), Expr::r("b"))), Type::bool());
     }
 
     #[test]
     fn slicing() {
-        assert_eq!(t(&Expr::prim(PrimOp::Bits, vec![Expr::r("a")], vec![5, 2])), Type::uint(4));
-        assert_eq!(t(&Expr::prim(PrimOp::Tail, vec![Expr::r("a")], vec![3])), Type::uint(5));
-        assert_eq!(t(&Expr::prim(PrimOp::Head, vec![Expr::r("a")], vec![3])), Type::uint(3));
-        assert_eq!(t(&Expr::prim(PrimOp::Cat, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::uint(12));
+        assert_eq!(
+            t(&Expr::prim(PrimOp::Bits, vec![Expr::r("a")], vec![5, 2])),
+            Type::uint(4)
+        );
+        assert_eq!(
+            t(&Expr::prim(PrimOp::Tail, vec![Expr::r("a")], vec![3])),
+            Type::uint(5)
+        );
+        assert_eq!(
+            t(&Expr::prim(PrimOp::Head, vec![Expr::r("a")], vec![3])),
+            Type::uint(3)
+        );
+        assert_eq!(
+            t(&Expr::prim(
+                PrimOp::Cat,
+                vec![Expr::r("a"), Expr::r("b")],
+                vec![]
+            )),
+            Type::uint(12)
+        );
     }
 
     #[test]
@@ -337,13 +440,30 @@ mod tests {
 
     #[test]
     fn shifts() {
-        assert_eq!(t(&Expr::prim(PrimOp::Shl, vec![Expr::r("a")], vec![4])), Type::uint(12));
-        assert_eq!(t(&Expr::prim(PrimOp::Shr, vec![Expr::r("a")], vec![20])), Type::uint(1));
         assert_eq!(
-            t(&Expr::prim(PrimOp::Dshl, vec![Expr::r("a"), Expr::r("b")], vec![])),
+            t(&Expr::prim(PrimOp::Shl, vec![Expr::r("a")], vec![4])),
+            Type::uint(12)
+        );
+        assert_eq!(
+            t(&Expr::prim(PrimOp::Shr, vec![Expr::r("a")], vec![20])),
+            Type::uint(1)
+        );
+        assert_eq!(
+            t(&Expr::prim(
+                PrimOp::Dshl,
+                vec![Expr::r("a"), Expr::r("b")],
+                vec![]
+            )),
             Type::uint(8 + 15)
         );
-        assert_eq!(t(&Expr::prim(PrimOp::Dshr, vec![Expr::r("a"), Expr::r("b")], vec![])), Type::uint(8));
+        assert_eq!(
+            t(&Expr::prim(
+                PrimOp::Dshr,
+                vec![Expr::r("a"), Expr::r("b")],
+                vec![]
+            )),
+            Type::uint(8)
+        );
     }
 
     #[test]
@@ -366,10 +486,22 @@ mod tests {
 
     #[test]
     fn casts() {
-        assert_eq!(t(&Expr::prim(PrimOp::AsSInt, vec![Expr::r("a")], vec![])), Type::sint(8));
-        assert_eq!(t(&Expr::prim(PrimOp::AsUInt, vec![Expr::r("s")], vec![])), Type::uint(8));
-        assert_eq!(t(&Expr::prim(PrimOp::Cvt, vec![Expr::r("a")], vec![])), Type::sint(9));
-        assert_eq!(t(&Expr::prim(PrimOp::Cvt, vec![Expr::r("s")], vec![])), Type::sint(8));
+        assert_eq!(
+            t(&Expr::prim(PrimOp::AsSInt, vec![Expr::r("a")], vec![])),
+            Type::sint(8)
+        );
+        assert_eq!(
+            t(&Expr::prim(PrimOp::AsUInt, vec![Expr::r("s")], vec![])),
+            Type::uint(8)
+        );
+        assert_eq!(
+            t(&Expr::prim(PrimOp::Cvt, vec![Expr::r("a")], vec![])),
+            Type::sint(9)
+        );
+        assert_eq!(
+            t(&Expr::prim(PrimOp::Cvt, vec![Expr::r("s")], vec![])),
+            Type::sint(8)
+        );
     }
 
     #[test]

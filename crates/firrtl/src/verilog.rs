@@ -52,7 +52,9 @@ fn emit_module(module: &Module, out: &mut String) {
     let _ = writeln!(out, "{}", port_lines.join(",\n"));
     let _ = writeln!(out, ");");
 
-    let mut regs: Vec<(String, Expr, Option<(Expr, Expr)>)> = Vec::new();
+    // (name, next, Option<(reset, init)>)
+    type RegSlot = (String, Expr, Option<(Expr, Expr)>);
+    let mut regs: Vec<RegSlot> = Vec::new();
     let mut covers: Vec<(String, Expr, Expr, Expr)> = Vec::new();
 
     for s in &module.body {
@@ -63,14 +65,20 @@ fn emit_module(module: &Module, out: &mut String) {
             Stmt::Node { name, value, .. } => {
                 let _ = writeln!(out, "  wire {name} = {};", emit_expr(value));
             }
-            Stmt::Reg { name, ty, clock, reset, .. } => {
+            Stmt::Reg {
+                name,
+                ty,
+                clock,
+                reset,
+                ..
+            } => {
                 let _ = writeln!(out, "  reg {}{name};", width_decl(ty));
                 regs.push((name.clone(), clock.clone(), reset.clone()));
             }
-            Stmt::Connect { loc, value, .. } =>
-
- {
-                let sink = loc.flat_name().expect("lowered connect sinks are references");
+            Stmt::Connect { loc, value, .. } => {
+                let sink = loc
+                    .flat_name()
+                    .expect("lowered connect sinks are references");
                 let is_reg = regs.iter().any(|(r, _, _)| r == &sink);
                 if !is_reg {
                     let _ = writeln!(out, "  assign {} = {};", emit_lhs(loc), emit_expr(value));
@@ -88,7 +96,13 @@ fn emit_module(module: &Module, out: &mut String) {
                     mem.depth - 1
                 );
             }
-            Stmt::Cover { name, clock, pred, enable, .. } => {
+            Stmt::Cover {
+                name,
+                clock,
+                pred,
+                enable,
+                ..
+            } => {
                 covers.push((name.clone(), clock.clone(), pred.clone(), enable.clone()));
             }
             Stmt::CoverValues { .. } | Stmt::Invalid { .. } | Stmt::Skip => {}
@@ -107,11 +121,21 @@ fn emit_module(module: &Module, out: &mut String) {
         let _ = writeln!(out, "  always @(posedge {}) begin", emit_expr(clock));
         match (reset, next) {
             (Some((rst, init)), Some(next)) => {
-                let _ = writeln!(out, "    if ({}) {name} <= {};", emit_expr(rst), emit_expr(init));
+                let _ = writeln!(
+                    out,
+                    "    if ({}) {name} <= {};",
+                    emit_expr(rst),
+                    emit_expr(init)
+                );
                 let _ = writeln!(out, "    else {name} <= {};", emit_expr(&next));
             }
             (Some((rst, init)), None) => {
-                let _ = writeln!(out, "    if ({}) {name} <= {};", emit_expr(rst), emit_expr(init));
+                let _ = writeln!(
+                    out,
+                    "    if ({}) {name} <= {};",
+                    emit_expr(rst),
+                    emit_expr(init)
+                );
             }
             (None, Some(next)) => {
                 let _ = writeln!(out, "    {name} <= {};", emit_expr(&next));
@@ -194,7 +218,11 @@ fn emit_prim(op: PrimOp, args: &[Expr], consts: &[u64]) -> String {
 
 /// Emit the FIRRTL-side description of a cover for debugging reports.
 pub fn describe_cover(name: &str, pred: &Expr, enable: &Expr) -> String {
-    format!("cover {name}: pred={} enable={}", print_expr(pred), print_expr(enable))
+    format!(
+        "cover {name}: pred={} enable={}",
+        print_expr(pred),
+        print_expr(enable)
+    )
 }
 
 #[cfg(test)]

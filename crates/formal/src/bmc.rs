@@ -29,7 +29,11 @@ pub struct BmcOptions {
 
 impl Default for BmcOptions {
     fn default() -> Self {
-        BmcOptions { max_steps: 40, conflict_budget: 2_000_000, symbolic_mem_init: true }
+        BmcOptions {
+            max_steps: 40,
+            conflict_budget: 2_000_000,
+            symbolic_mem_init: true,
+        }
     }
 }
 
@@ -76,7 +80,8 @@ impl Trace {
     pub fn replay(&self, sim: &mut dyn rtlcov_sim::Simulator) -> rtlcov_core::CoverageMap {
         for (mem, words) in &self.mem_init {
             for (addr, value) in words.iter().enumerate() {
-                sim.write_mem(mem, addr as u64, *value).expect("trace memories fit");
+                sim.write_mem(mem, addr as u64, *value)
+                    .expect("trace memories fit");
             }
         }
         for step in &self.inputs {
@@ -132,16 +137,16 @@ struct Unrolling {
 ///
 /// Fails if the circuit uses operations the encoder does not support or
 /// memories too large for the chosen initialization mode.
-pub fn check_covers(
-    flat: &FlatCircuit,
-    options: BmcOptions,
-) -> Result<Vec<CoverResult>, BmcError> {
+pub fn check_covers(flat: &FlatCircuit, options: BmcOptions) -> Result<Vec<CoverResult>, BmcError> {
     let mut unrolled = unroll(flat, options)?;
-    unrolled.enc.solver.set_conflict_budget(if options.conflict_budget == 0 {
-        u64::MAX
-    } else {
-        options.conflict_budget
-    });
+    unrolled
+        .enc
+        .solver
+        .set_conflict_budget(if options.conflict_budget == 0 {
+            u64::MAX
+        } else {
+            options.conflict_budget
+        });
 
     let mut results = Vec::new();
     for ci in 0..unrolled.cover_any.len() {
@@ -163,17 +168,45 @@ pub fn check_covers(
                 name,
                 outcome: CoverOutcome::UnreachableWithin(options.max_steps),
             }),
-            SatResult::Unknown => {
-                results.push(CoverResult { name, outcome: CoverOutcome::Unknown })
-            }
+            SatResult::Unknown => results.push(CoverResult {
+                name,
+                outcome: CoverOutcome::Unknown,
+            }),
         }
     }
     Ok(results)
 }
 
+/// Run [`check_covers`] and flatten the outcomes into the uniform
+/// [`CoverageMap`](rtlcov_core::CoverageMap) interchange format, so the
+/// BMC engine plugs into campaign merges like any simulator backend:
+/// a reached cover records one hit (the witness proves reachability, the
+/// count is not a frequency), while unreachable-within-bound and unknown
+/// covers stay declared at zero.
+///
+/// # Errors
+///
+/// See [`check_covers`].
+pub fn cover_map(
+    flat: &FlatCircuit,
+    options: BmcOptions,
+) -> Result<rtlcov_core::CoverageMap, BmcError> {
+    let mut map = rtlcov_core::CoverageMap::new();
+    for result in check_covers(flat, options)? {
+        map.declare(&result.name);
+        if matches!(result.outcome, CoverOutcome::Reached { .. }) {
+            map.record(&result.name, 1);
+        }
+    }
+    Ok(map)
+}
+
 fn extract_trace(u: &Unrolling, _flat: &FlatCircuit) -> Trace {
-    let input_names: Vec<String> =
-        u.input_words.first().map(|v| v.iter().map(|(n, _)| n.clone()).collect()).unwrap_or_default();
+    let input_names: Vec<String> = u
+        .input_words
+        .first()
+        .map(|v| v.iter().map(|(n, _)| n.clone()).collect())
+        .unwrap_or_default();
     let inputs = u
         .input_words
         .iter()
@@ -183,10 +216,17 @@ fn extract_trace(u: &Unrolling, _flat: &FlatCircuit) -> Trace {
         .mem_init_words
         .iter()
         .map(|(name, words)| {
-            (name.clone(), words.iter().map(|w| u.enc.word_value(w)).collect())
+            (
+                name.clone(),
+                words.iter().map(|w| u.enc.word_value(w)).collect(),
+            )
         })
         .collect();
-    Trace { inputs, input_names, mem_init }
+    Trace {
+        inputs,
+        input_names,
+        mem_init,
+    }
 }
 
 const MAX_SYMBOLIC_MEM: usize = 64;
@@ -345,7 +385,13 @@ fn unroll(flat: &FlatCircuit, options: BmcOptions) -> Result<Unrolling, BmcError
         cover_any.push((cover.name.clone(), any));
     }
 
-    Ok(Unrolling { enc, input_words, mem_init_words, cover_any, cover_hits })
+    Ok(Unrolling {
+        enc,
+        input_words,
+        mem_init_words,
+        cover_any,
+        cover_hits,
+    })
 }
 
 #[cfg(test)]
@@ -370,16 +416,46 @@ circuit T :
     cover(clock, eq(a, UInt<8>(42)), UInt<1>(1)) : magic
 ",
         );
-        let results = check_covers(&f, BmcOptions { max_steps: 1, ..Default::default() }).unwrap();
+        let results = check_covers(
+            &f,
+            BmcOptions {
+                max_steps: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         match &results[0].outcome {
             CoverOutcome::Reached { step, trace } => {
                 assert_eq!(*step, 0);
-                let idx =
-                    trace.input_names.iter().position(|n| n == "a").unwrap();
+                let idx = trace.input_names.iter().position(|n| n == "a").unwrap();
                 assert_eq!(trace.inputs[0][idx], 42);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn cover_map_flattens_outcomes() {
+        let f = flat(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<8>
+    cover(clock, eq(a, UInt<8>(42)), UInt<1>(1)) : magic
+    cover(clock, gt(a, UInt<8>(255)), UInt<1>(1)) : never
+",
+        );
+        let map = cover_map(
+            &f,
+            BmcOptions {
+                max_steps: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(map.count("magic"), Some(1));
+        assert_eq!(map.count("never"), Some(0));
     }
 
     #[test]
@@ -397,11 +473,23 @@ circuit T :
     cover(clock, eq(r, UInt<4>(3)), UInt<1>(1)) : r3
 ";
         let f = flat(src);
-        let shallow =
-            check_covers(&f, BmcOptions { max_steps: 3, ..Default::default() }).unwrap();
+        let shallow = check_covers(
+            &f,
+            BmcOptions {
+                max_steps: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(shallow[0].outcome, CoverOutcome::UnreachableWithin(3));
-        let deep =
-            check_covers(&f, BmcOptions { max_steps: 6, ..Default::default() }).unwrap();
+        let deep = check_covers(
+            &f,
+            BmcOptions {
+                max_steps: 6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         match &deep[0].outcome {
             // 4 post-reset increments are required; the solver may idle
             // extra steps (en is free), so 4 is a lower bound
@@ -422,8 +510,14 @@ circuit T :
     cover(clock, both, UInt<1>(1)) : impossible
 ",
         );
-        let results =
-            check_covers(&f, BmcOptions { max_steps: 5, ..Default::default() }).unwrap();
+        let results = check_covers(
+            &f,
+            BmcOptions {
+                max_steps: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(results[0].outcome, CoverOutcome::UnreachableWithin(5));
     }
 
@@ -442,8 +536,14 @@ circuit T :
     cover(clock, seen, UInt<1>(1)) : latched
 ";
         let f = flat(src);
-        let results =
-            check_covers(&f, BmcOptions { max_steps: 4, ..Default::default() }).unwrap();
+        let results = check_covers(
+            &f,
+            BmcOptions {
+                max_steps: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let CoverOutcome::Reached { trace, .. } = &results[0].outcome else {
             panic!("expected reached: {:?}", results[0].outcome);
         };
@@ -466,8 +566,14 @@ circuit T :
     cover(clock, eq(m.r.data, UInt<4>(7)), UInt<1>(1)) : lucky
 ";
         let f = flat(src);
-        let results =
-            check_covers(&f, BmcOptions { max_steps: 2, ..Default::default() }).unwrap();
+        let results = check_covers(
+            &f,
+            BmcOptions {
+                max_steps: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let CoverOutcome::Reached { trace, .. } = &results[0].outcome else {
             panic!("{:?}", results[0].outcome);
         };
@@ -475,7 +581,11 @@ circuit T :
         // with zero-initialized memories the same cover is unreachable
         let zeroed = check_covers(
             &f,
-            BmcOptions { max_steps: 2, symbolic_mem_init: false, ..Default::default() },
+            BmcOptions {
+                max_steps: 2,
+                symbolic_mem_init: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(zeroed[0].outcome, CoverOutcome::UnreachableWithin(2));
@@ -503,15 +613,27 @@ circuit T :
         // zero-init: solver must WRITE 9 to address 1 first, needing 2 steps
         let r1 = check_covers(
             &f,
-            BmcOptions { max_steps: 1, symbolic_mem_init: false, ..Default::default() },
+            BmcOptions {
+                max_steps: 1,
+                symbolic_mem_init: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(r1[0].outcome, CoverOutcome::UnreachableWithin(1));
         let r2 = check_covers(
             &f,
-            BmcOptions { max_steps: 3, symbolic_mem_init: false, ..Default::default() },
+            BmcOptions {
+                max_steps: 3,
+                symbolic_mem_init: false,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert!(matches!(r2[0].outcome, CoverOutcome::Reached { .. }), "{:?}", r2[0].outcome);
+        assert!(
+            matches!(r2[0].outcome, CoverOutcome::Reached { .. }),
+            "{:?}",
+            r2[0].outcome
+        );
     }
 }

@@ -34,7 +34,9 @@ pub struct Encoder {
 
 impl fmt::Debug for Encoder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Encoder").field("solver", &self.solver).finish()
+        f.debug_struct("Encoder")
+            .field("solver", &self.solver)
+            .finish()
     }
 }
 
@@ -50,7 +52,10 @@ impl Encoder {
         let mut solver = Solver::new();
         let t = Lit::pos(solver.new_var());
         solver.add_clause(vec![t]);
-        Encoder { solver, true_lit: t }
+        Encoder {
+            solver,
+            true_lit: t,
+        }
     }
 
     /// The constant-true literal.
@@ -255,11 +260,10 @@ impl Encoder {
         let ax = self.extend(a, w, signed);
         let bx = self.extend(b, w, signed);
         let mut acc = self.const_word(0, w);
-        for i in 0..w as usize {
-            let bit = bx[i];
+        for (i, &bit) in bx.iter().enumerate() {
             let mut partial: Word = vec![self.fls(); i];
-            for k in 0..(w as usize - i) {
-                partial.push(self.and(ax[k], bit));
+            for &abit in &ax[..w as usize - i] {
+                partial.push(self.and(abit, bit));
             }
             let f = self.fls();
             acc = self.adder(&acc, &partial, f);
@@ -313,7 +317,10 @@ impl Encoder {
         let w = a.len().max(b.len()) as u32;
         let ax = self.extend(a, w, signed);
         let bx = self.extend(b, w, signed);
-        ax.iter().zip(bx.iter()).map(|(&x, &y)| self.mux(s, x, y)).collect()
+        ax.iter()
+            .zip(bx.iter())
+            .map(|(&x, &y)| self.mux(s, x, y))
+            .collect()
     }
 
     /// Dynamic left shift by `amount`, result width `w`.
@@ -322,7 +329,13 @@ impl Encoder {
         for (i, &abit) in amount.iter().enumerate() {
             let shift = 1usize << i.min(20);
             let shifted: Word = (0..w as usize)
-                .map(|k| if k >= shift { cur[k - shift] } else { self.fls() })
+                .map(|k| {
+                    if k >= shift {
+                        cur[k - shift]
+                    } else {
+                        self.fls()
+                    }
+                })
                 .collect();
             cur = cur
                 .iter()
@@ -336,12 +349,17 @@ impl Encoder {
     /// Dynamic right shift, logical or arithmetic; result width = input.
     pub fn dshr(&mut self, a: &Word, amount: &Word, arithmetic: bool) -> Word {
         let w = a.len();
-        let fill = if arithmetic { *a.last().expect("non-empty") } else { self.fls() };
+        let fill = if arithmetic {
+            *a.last().expect("non-empty")
+        } else {
+            self.fls()
+        };
         let mut cur = a.clone();
         for (i, &abit) in amount.iter().enumerate() {
             let shift = 1usize << i.min(20);
-            let shifted: Word =
-                (0..w).map(|k| if k + shift < w { cur[k + shift] } else { fill }).collect();
+            let shifted: Word = (0..w)
+                .map(|k| if k + shift < w { cur[k + shift] } else { fill })
+                .collect();
             cur = cur
                 .iter()
                 .zip(shifted.iter())
@@ -377,9 +395,10 @@ pub fn encode_expr(
     env: &HashMap<String, (Word, bool)>,
 ) -> Result<(Word, bool), EncodeError> {
     match e {
-        Expr::Ref(n) => {
-            env.get(n).cloned().ok_or_else(|| EncodeError(format!("unbound signal `{n}`")))
-        }
+        Expr::Ref(n) => env
+            .get(n)
+            .cloned()
+            .ok_or_else(|| EncodeError(format!("unbound signal `{n}`"))),
         Expr::UIntLit(v) => Ok((enc.const_word(v.to_u64(), v.width().max(1)), false)),
         Expr::SIntLit(v) => Ok((enc.const_word(v.to_u64(), v.width().max(1)), true)),
         Expr::Mux(c, t, f) => {
@@ -393,8 +412,11 @@ pub fn encode_expr(
             let w = tw.len().max(fw.len()) as u32;
             let tx = enc.extend_pub(&tw, w, tsg);
             let fx = enc.extend_pub(&fw, w, fsg);
-            let out: Word =
-                tx.iter().zip(fx.iter()).map(|(&x, &y)| enc.mux(cbit, x, y)).collect();
+            let out: Word = tx
+                .iter()
+                .zip(fx.iter())
+                .map(|(&x, &y)| enc.mux(cbit, x, y))
+                .collect();
             Ok((out, signed))
         }
         Expr::ValidIf(c, v) => {
@@ -429,8 +451,11 @@ fn encode_prim(
             let w = a.len().max(b.len()) as u32 + 1;
             let ax = enc.extend_pub(&a, w, asg);
             let bx = enc.extend_pub(&b, w, bsg);
-            let full =
-                if op == P::Add { enc.add(&ax, &bx, false) } else { enc.sub(&ax, &bx, false) };
+            let full = if op == P::Add {
+                enc.add(&ax, &bx, false)
+            } else {
+                enc.sub(&ax, &bx, false)
+            };
             Ok((full[..w as usize].to_vec(), signed))
         }
         P::Mul => {
@@ -443,9 +468,10 @@ fn encode_prim(
             let prod = enc.mul(&ax, &bx, false);
             Ok((prod[..w as usize].to_vec(), signed))
         }
-        P::Div | P::Rem => {
-            Err(EncodeError(format!("`{}` is not supported by the formal backend", op.name())))
-        }
+        P::Div | P::Rem => Err(EncodeError(format!(
+            "`{}` is not supported by the formal backend",
+            op.name()
+        ))),
         P::Lt | P::Leq | P::Gt | P::Geq => {
             let (a, asg) = encode_expr(enc, &args[0], env)?;
             let (b, bsg) = encode_expr(enc, &args[1], env)?;
@@ -533,7 +559,11 @@ fn encode_prim(
             let n = c(0) as usize;
             if n >= a.len() {
                 // all bits shifted out: zero (unsigned) or the sign (signed)
-                let bit = if asg { *a.last().expect("non-empty") } else { enc.fls() };
+                let bit = if asg {
+                    *a.last().expect("non-empty")
+                } else {
+                    enc.fls()
+                };
                 Ok((vec![bit], asg))
             } else {
                 Ok((a[n..].to_vec(), asg))
@@ -542,7 +572,11 @@ fn encode_prim(
         P::Dshl => {
             let (a, asg) = encode_expr(enc, &args[0], env)?;
             let (b, _) = encode_expr(enc, &args[1], env)?;
-            let grow = if b.len() >= 7 { 64 } else { (1usize << b.len()) - 1 };
+            let grow = if b.len() >= 7 {
+                64
+            } else {
+                (1usize << b.len()) - 1
+            };
             let w = (a.len() + grow) as u32;
             if w > 128 {
                 return Err(EncodeError("dshl result too wide for encoding".into()));
@@ -623,7 +657,11 @@ mod tests {
             expect.bits.to_u64(),
             "value mismatch for {e:?}"
         );
-        assert_eq!(word.len() as u32, expect.bits.width().max(1), "width of {e:?}");
+        assert_eq!(
+            word.len() as u32,
+            expect.bits.width().max(1),
+            "width of {e:?}"
+        );
     }
 
     #[test]
@@ -689,7 +727,10 @@ mod tests {
     fn mux_and_validif_match() {
         for c in [0u64, 1] {
             check_closed(&Expr::mux(Expr::u(c, 1), Expr::u(9, 4), Expr::u(3, 4)));
-            check_closed(&Expr::ValidIf(Box::new(Expr::u(c, 1)), Box::new(Expr::u(7, 4))));
+            check_closed(&Expr::ValidIf(
+                Box::new(Expr::u(c, 1)),
+                Box::new(Expr::u(7, 4)),
+            ));
         }
     }
 

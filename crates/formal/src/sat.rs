@@ -208,8 +208,14 @@ impl Solver {
                 // conflict at root: encode as two contradictory units on a
                 // fresh variable so solve() reports unsat
                 let v = self.new_var();
-                self.clauses.push(Clause { lits: vec![Lit::pos(v)], learned: false });
-                self.clauses.push(Clause { lits: vec![Lit::neg(v)], learned: false });
+                self.clauses.push(Clause {
+                    lits: vec![Lit::pos(v)],
+                    learned: false,
+                });
+                self.clauses.push(Clause {
+                    lits: vec![Lit::neg(v)],
+                    learned: false,
+                });
                 let last = self.clauses.len();
                 self.attach(last as u32 - 2);
                 self.attach(last as u32 - 1);
@@ -218,7 +224,10 @@ impl Solver {
                 let _ = self.enqueue(filtered[0], NO_REASON);
             }
             _ => {
-                self.clauses.push(Clause { lits: filtered, learned: false });
+                self.clauses.push(Clause {
+                    lits: filtered,
+                    learned: false,
+                });
                 self.attach(self.clauses.len() as u32 - 1);
             }
         }
@@ -267,7 +276,11 @@ impl Solver {
             Assign::False => false,
             Assign::Unassigned => {
                 let v = l.var().0 as usize;
-                self.assigns[v] = if l.is_neg() { Assign::False } else { Assign::True };
+                self.assigns[v] = if l.is_neg() {
+                    Assign::False
+                } else {
+                    Assign::True
+                };
                 self.level[v] = self.decision_level();
                 self.reason[v] = reason;
                 self.trail.push(l);
@@ -383,9 +396,7 @@ impl Solver {
             debug_assert_ne!(ci, NO_REASON);
             // put the resolved-on literal first for the skip logic above
             let clause = &mut self.clauses[ci as usize];
-            if let Some(pos) =
-                clause.lits.iter().position(|l| l.var() == pv)
-            {
+            if let Some(pos) = clause.lits.iter().position(|l| l.var() == pv) {
                 clause.lits.swap(0, pos);
             }
         }
@@ -426,7 +437,7 @@ impl Solver {
         for v in 0..self.num_vars() {
             if self.assigns[v] == Assign::Unassigned {
                 let a = self.activity[v];
-                if best.map_or(true, |(_, ba)| a > ba) {
+                if best.is_none_or(|(_, ba)| a > ba) {
                     best = Some((Var(v as u32), a));
                 }
             }
@@ -491,7 +502,10 @@ impl Solver {
                             return SatResult::Unsat;
                         }
                     } else {
-                        self.clauses.push(Clause { lits: learned, learned: true });
+                        self.clauses.push(Clause {
+                            lits: learned,
+                            learned: true,
+                        });
                         let ci = self.clauses.len() as u32 - 1;
                         self.attach(ci);
                         if !self.enqueue(unit, ci) {
@@ -610,7 +624,11 @@ mod tests {
         xor1(&mut s, v[1], v[2]);
         xor0(&mut s, v[0], v[2]);
         assert_eq!(s.solve(), SatResult::Sat);
-        let (x, y, z) = (s.lit_is_true(v[0]), s.lit_is_true(v[1]), s.lit_is_true(v[2]));
+        let (x, y, z) = (
+            s.lit_is_true(v[0]),
+            s.lit_is_true(v[1]),
+            s.lit_is_true(v[2]),
+        );
         assert!(x ^ y);
         assert!(y ^ z);
         assert!(!(x ^ z));

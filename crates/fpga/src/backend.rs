@@ -1,0 +1,150 @@
+//! [`FpgaBackend`]: the FPGA host behind the uniform [`Simulator`]
+//! interface, so campaign runners can schedule FPGA-accelerated jobs
+//! interchangeably with the software backends.
+//!
+//! The adapter owns the whole flow: clone the lowered circuit, run the
+//! scan-chain transform, and drive the emulated host. `cover_counts`
+//! pauses the target and scans the chain out — non-destructive, so the
+//! workload can keep running afterwards.
+
+use crate::host::FpgaHost;
+use crate::scan_chain::insert_scan_chain;
+use rtlcov_core::CoverageMap;
+use rtlcov_firrtl::ir::Circuit;
+use rtlcov_sim::{SimError, Simulator};
+use std::cell::RefCell;
+
+/// Default counter width for campaign-launched FPGA jobs: wide enough
+/// that realistic workloads never saturate, still cheap to scan.
+pub const DEFAULT_COUNTER_WIDTH: u32 = 32;
+
+/// The emulated FPGA flow as a [`Simulator`].
+///
+/// The host lives in a [`RefCell`] because [`Simulator::cover_counts`]
+/// takes `&self` while scanning the chain out requires clocking the
+/// target (`&mut`). The borrow is confined to each method call, so the
+/// usual single-threaded driver pattern never conflicts.
+#[derive(Debug)]
+pub struct FpgaBackend {
+    host: RefCell<FpgaHost>,
+}
+
+impl FpgaBackend {
+    /// Transform `circuit` (already lowered) with a scan chain of
+    /// `counter_width`-bit counters and build the emulated host.
+    ///
+    /// # Errors
+    ///
+    /// Scan-chain insertion failures (bad width, missing clock) and
+    /// simulator construction failures, both flattened to [`SimError`].
+    pub fn new(circuit: &Circuit, counter_width: u32) -> Result<Self, SimError> {
+        let mut transformed = circuit.clone();
+        let info = insert_scan_chain(&mut transformed, counter_width)
+            .map_err(|e| SimError(format!("scan chain insertion failed: {e}")))?;
+        let host = FpgaHost::new(&transformed, info)?;
+        Ok(FpgaBackend {
+            host: RefCell::new(host),
+        })
+    }
+
+    /// Like [`FpgaBackend::new`] with [`DEFAULT_COUNTER_WIDTH`].
+    ///
+    /// # Errors
+    ///
+    /// See [`FpgaBackend::new`].
+    pub fn with_default_width(circuit: &Circuit) -> Result<Self, SimError> {
+        Self::new(circuit, DEFAULT_COUNTER_WIDTH)
+    }
+
+    /// Target cycles executed so far.
+    pub fn target_cycles(&self) -> u64 {
+        self.host.borrow().target_cycles()
+    }
+
+    /// FPGA cycles spent scanning so far.
+    pub fn scan_cycles(&self) -> u64 {
+        self.host.borrow().scan_cycles()
+    }
+}
+
+impl Simulator for FpgaBackend {
+    fn poke(&mut self, signal: &str, value: u64) {
+        self.host.get_mut().poke(signal, value);
+    }
+
+    fn peek(&mut self, signal: &str) -> u64 {
+        self.host.get_mut().peek(signal)
+    }
+
+    fn step(&mut self) {
+        self.host.get_mut().run(1);
+    }
+
+    fn cover_counts(&self) -> CoverageMap {
+        self.host.borrow_mut().scan_out_counts().0
+    }
+
+    fn write_mem(&mut self, mem: &str, addr: u64, value: u64) -> Result<(), SimError> {
+        self.host.get_mut().write_mem(mem, addr, value)
+    }
+
+    fn read_mem(&self, mem: &str, addr: u64) -> Result<u64, SimError> {
+        self.host.borrow().read_mem(mem, addr)
+    }
+
+    fn signals(&self) -> Vec<String> {
+        self.host.borrow().signals()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcov_firrtl::parser::parse;
+    use rtlcov_firrtl::passes;
+    use rtlcov_sim::compiled::CompiledSim;
+
+    fn lowered() -> Circuit {
+        let src = "
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    reg r : UInt<4>, clock with : (reset => (reset, UInt<4>(0)))
+    when en :
+      r <= tail(add(r, UInt<4>(1)), 1)
+    cover(clock, eq(r, UInt<4>(3)), UInt<1>(1)) : r3
+    cover(clock, en, UInt<1>(1)) : en_hit
+";
+        passes::lower(parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn behaves_like_a_software_simulator() {
+        let low = lowered();
+        let drive = |sim: &mut dyn Simulator| {
+            sim.reset(1);
+            sim.poke("en", 1);
+            sim.step_n(10);
+            sim.cover_counts()
+        };
+        let mut sw = CompiledSim::new(&low).unwrap();
+        let mut fpga = FpgaBackend::with_default_width(&low).unwrap();
+        assert_eq!(drive(&mut sw), drive(&mut fpga));
+    }
+
+    #[test]
+    fn cover_counts_is_nondestructive() {
+        let low = lowered();
+        let mut fpga = FpgaBackend::new(&low, 16).unwrap();
+        fpga.reset(1);
+        fpga.poke("en", 1);
+        fpga.step_n(4);
+        let first = fpga.cover_counts();
+        fpga.step_n(3);
+        let second = fpga.cover_counts();
+        assert_eq!(first.count("en_hit"), Some(4));
+        assert_eq!(second.count("en_hit"), Some(7));
+    }
+}

@@ -35,7 +35,12 @@ impl FpgaHost {
         let mut sim = CompiledSim::new(circuit)?;
         sim.poke("scan_en", 0);
         sim.poke("scan_in", 0);
-        Ok(FpgaHost { sim, info, target_cycles: 0, scan_cycles: 0 })
+        Ok(FpgaHost {
+            sim,
+            info,
+            target_cycles: 0,
+            scan_cycles: 0,
+        })
     }
 
     /// Drive a target input.
@@ -55,6 +60,21 @@ impl FpgaHost {
     /// Unknown memory or out-of-range address.
     pub fn write_mem(&mut self, mem: &str, addr: u64, value: u64) -> Result<(), SimError> {
         self.sim.write_mem(mem, addr, value)
+    }
+
+    /// Backdoor memory read.
+    ///
+    /// # Errors
+    ///
+    /// Unknown memory or out-of-range address.
+    pub fn read_mem(&self, mem: &str, addr: u64) -> Result<u64, SimError> {
+        self.sim.read_mem(mem, addr)
+    }
+
+    /// All signal names of the transformed circuit, sorted (includes the
+    /// scan-chain controls and counter registers).
+    pub fn signals(&self) -> Vec<String> {
+        self.sim.signals()
     }
 
     /// Run `n` target cycles.

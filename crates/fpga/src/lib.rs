@@ -3,15 +3,19 @@
 //! The FireSim analog (§3.3/§5.2/§5.3): a compiler pass that replaces
 //! `cover` statements with saturating counters on a scan chain
 //! ([`scan_chain`]), an emulated FPGA host with a run/pause/scan driver
-//! ([`host`]), and an analytical resource + timing model for the Figure
-//! 9/10 sweeps ([`resources`]).
+//! ([`host`]), an analytical resource + timing model for the Figure
+//! 9/10 sweeps ([`resources`]), and a [`Simulator`](rtlcov_sim::Simulator)
+//! adapter over the whole flow ([`backend`]) so campaigns can schedule
+//! FPGA jobs like any software backend.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod host;
 pub mod resources;
 pub mod scan_chain;
 
+pub use backend::FpgaBackend;
 pub use host::FpgaHost;
 pub use resources::{estimate, place_and_route, Device, PlaceResult, Resources};
 pub use scan_chain::{insert_scan_chain, ScanChainInfo};

@@ -30,7 +30,12 @@ impl Default for Device {
     fn default() -> Self {
         // scaled so that the boom-like SoC with 48-bit counters exceeds
         // capacity, per Figure 10's failed placement
-        Device { luts: 45_000, ffs: 120_000, brams: 1_000, base_mhz: 90.0 }
+        Device {
+            luts: 45_000,
+            ffs: 120_000,
+            brams: 1_000,
+            base_mhz: 90.0,
+        }
     }
 }
 
@@ -190,8 +195,17 @@ fn expr_cost(e: &Expr, width_of: &impl Fn(&Expr) -> u64) -> (u64, u64) {
                 // barrel shifters: log2 levels of w-bit muxes
                 P::Dshl | P::Dshr => (w * 3, 3),
                 // rewiring ops are free
-                P::Bits | P::Head | P::Tail | P::Shl | P::Shr | P::Pad | P::Cat
-                | P::AsUInt | P::AsSInt | P::AsClock | P::Cvt => (0, 0),
+                P::Bits
+                | P::Head
+                | P::Tail
+                | P::Shl
+                | P::Shr
+                | P::Pad
+                | P::Cat
+                | P::AsUInt
+                | P::AsSInt
+                | P::AsClock
+                | P::Cvt => (0, 0),
             };
             (luts + own, depth + own_depth)
         }
@@ -209,11 +223,18 @@ pub fn place_and_route(resources: &Resources, device: &Device) -> PlaceResult {
     }
     let util = resources.lut_utilization(device);
     // congestion penalty kicks in past ~50 % utilization
-    let congestion = if util > 0.5 { 1.0 + (util - 0.5) * 1.2 } else { 1.0 };
+    let congestion = if util > 0.5 {
+        1.0 + (util - 0.5) * 1.2
+    } else {
+        1.0
+    };
     let depth_penalty = 1.0 + resources.depth as f64 / 60.0;
     let mut fmax = device.base_mhz / (congestion * depth_penalty);
     // deterministic placement noise: ±3 %
-    let h = resources.luts.wrapping_mul(0x9e37_79b9).wrapping_add(resources.ffs);
+    let h = resources
+        .luts
+        .wrapping_mul(0x9e37_79b9)
+        .wrapping_add(resources.ffs);
     let noise = ((h % 61) as f64 - 30.0) / 1000.0;
     fmax *= 1.0 + noise;
     PlaceResult::Placed { fmax_mhz: fmax }
@@ -296,7 +317,12 @@ circuit T :
 
     #[test]
     fn oversized_design_fails_placement() {
-        let device = Device { luts: 10, ffs: 10, brams: 0, base_mhz: 90.0 };
+        let device = Device {
+            luts: 10,
+            ffs: 10,
+            brams: 0,
+            base_mhz: 90.0,
+        };
         let r = estimate(&counter_circuit());
         assert_eq!(place_and_route(&r, &device), PlaceResult::FailedPlacement);
     }
@@ -319,8 +345,18 @@ circuit T :
     #[test]
     fn utilization_reduces_fmax() {
         let device = Device::default();
-        let small = Resources { luts: 1_000, ffs: 1_000, brams: 0, depth: 10 };
-        let big = Resources { luts: 42_000, ffs: 100_000, brams: 0, depth: 10 };
+        let small = Resources {
+            luts: 1_000,
+            ffs: 1_000,
+            brams: 0,
+            depth: 10,
+        };
+        let big = Resources {
+            luts: 42_000,
+            ffs: 100_000,
+            brams: 0,
+            depth: 10,
+        };
         let f = |r: &Resources| match place_and_route(r, &device) {
             PlaceResult::Placed { fmax_mhz } => fmax_mhz,
             _ => panic!("fits"),

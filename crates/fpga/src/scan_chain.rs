@@ -93,9 +93,9 @@ pub fn insert_scan_chain(
         }
         let child_orders = order_per_module.clone();
         let module = circuit.module_mut(name).expect("module exists");
-        let clock = module
-            .clock()
-            .ok_or_else(|| PassError::new(PASS, format!("module `{name}` has covers but no clock")))?;
+        let clock = module.clock().ok_or_else(|| {
+            PassError::new(PASS, format!("module `{name}` has covers but no clock"))
+        })?;
 
         module.ports.push(Port {
             name: "scan_en".into(),
@@ -124,7 +124,12 @@ pub fn insert_scan_chain(
         // instance order for chaining children
         for stmt in body {
             match stmt {
-                Stmt::Cover { name: cname, pred, enable, .. } => {
+                Stmt::Cover {
+                    name: cname,
+                    pred,
+                    enable,
+                    ..
+                } => {
                     let cnt = format!("_scan_cnt_{counter_idx}");
                     counter_idx += 1;
                     new_body.push(Stmt::Reg {
@@ -140,11 +145,8 @@ pub fn insert_scan_chain(
                     let max = Expr::UIntLit(rtlcov_firrtl::bv::Bv::ones(w));
                     let saturated = cnt_e.eq_(&max);
                     let inc = cnt_e.addw(&Expr::u(1, w));
-                    let count_next = Expr::mux(
-                        Expr::and(fire, Expr::not(saturated)),
-                        inc,
-                        cnt_e.clone(),
-                    );
+                    let count_next =
+                        Expr::mux(Expr::and(fire, Expr::not(saturated)), inc, cnt_e.clone());
                     // shift: LSB goes out; link bit enters at the MSB
                     let shifted = if w == 1 {
                         link.clone()
@@ -160,7 +162,11 @@ pub fn insert_scan_chain(
                     link = cnt_e.bit(0);
                     order.push(cname);
                 }
-                Stmt::Inst { name: iname, module: target, info } => {
+                Stmt::Inst {
+                    name: iname,
+                    module: target,
+                    info,
+                } => {
                     let child_has = has_covers.contains(&target);
                     new_body.push(Stmt::Inst {
                         name: iname.clone(),
@@ -201,7 +207,10 @@ pub fn insert_scan_chain(
     // stream order is the reverse of the thread order
     let mut top_order = order_per_module.remove(&circuit.top).unwrap_or_default();
     top_order.reverse();
-    Ok(ScanChainInfo { counter_width, order: top_order })
+    Ok(ScanChainInfo {
+        counter_width,
+        order: top_order,
+    })
 }
 
 fn modules_with_covers(circuit: &Circuit) -> std::collections::HashSet<String> {
@@ -348,7 +357,10 @@ circuit Top :
             sim.step();
         }
         let count = |range: std::ops::Range<usize>| -> u64 {
-            bits[range].iter().enumerate().fold(0, |acc, (i, b)| acc | (b << i))
+            bits[range]
+                .iter()
+                .enumerate()
+                .fold(0, |acc, (i, b)| acc | (b << i))
         };
         // first counter out is the first in `order`
         assert_eq!(count(0..4), 3, "outer");

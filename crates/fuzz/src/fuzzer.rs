@@ -241,7 +241,9 @@ circuit Lock :
         stage <= UInt<2>(0)
 ";
         let circuit = rtlcov_firrtl::parser::parse(src).unwrap();
-        let inst = CoverageCompiler::new(Metrics::line_only()).run(circuit).unwrap();
+        let inst = CoverageCompiler::new(Metrics::line_only())
+            .run(circuit)
+            .unwrap();
         FuzzHarness::new(&inst.circuit, 32).unwrap()
     }
 
@@ -284,13 +286,7 @@ circuit Lock :
 
     #[test]
     fn averaged_campaign_shape() {
-        let curve = averaged_campaign(
-            lock_harness,
-            Feedback::InstrumentedCovers,
-            200,
-            2,
-            10,
-        );
+        let curve = averaged_campaign(lock_harness, Feedback::InstrumentedCovers, 200, 2, 10);
         assert_eq!(curve.len(), 10);
         assert_eq!(curve.last().unwrap().0, 200);
         for w in curve.windows(2) {

@@ -6,9 +6,9 @@
 //! The input buffer length determines the run length.
 
 use rtlcov_core::CoverageMap;
+use rtlcov_firrtl::ir::Circuit;
 use rtlcov_sim::compiled::CompiledSim;
 use rtlcov_sim::{SimError, Simulator};
-use rtlcov_firrtl::ir::Circuit;
 
 /// A reusable fuzz harness around a compiled simulator.
 #[derive(Debug, Clone)]
@@ -49,8 +49,18 @@ impl FuzzHarness {
             .filter(|n| n.as_str() != "reset")
             .map(|n| (n.clone(), flat.signals[n].width))
             .collect();
-        let bits_per_cycle = inputs.iter().map(|(_, w)| *w as usize).sum::<usize>().max(1);
-        Ok(FuzzHarness { base, inputs, bits_per_cycle, max_cycles, native_feedback: false })
+        let bits_per_cycle = inputs
+            .iter()
+            .map(|(_, w)| *w as usize)
+            .sum::<usize>()
+            .max(1);
+        Ok(FuzzHarness {
+            base,
+            inputs,
+            bits_per_cycle,
+            max_cycles,
+            native_feedback: false,
+        })
     }
 
     /// Also collect native mux-branch coverage (the rfuzz feedback metric).
@@ -61,7 +71,7 @@ impl FuzzHarness {
 
     /// Bytes consumed per simulated cycle.
     pub fn bytes_per_cycle(&self) -> usize {
-        (self.bits_per_cycle + 7) / 8
+        self.bits_per_cycle.div_ceil(8)
     }
 
     /// Driven inputs (name, width).

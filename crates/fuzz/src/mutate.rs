@@ -171,7 +171,10 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed > 90, "only {changed} of 100 mutations changed the input");
+        assert!(
+            changed > 90,
+            "only {changed} of 100 mutations changed the input"
+        );
     }
 
     #[test]

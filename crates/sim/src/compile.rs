@@ -326,7 +326,9 @@ impl Compiler {
             return Ok(dst);
         }
         if to > 64 {
-            return Err(CompileError(format!("width {to} exceeds the 64-bit fast path")));
+            return Err(CompileError(format!(
+                "width {to} exceeds the 64-bit fast path"
+            )));
         }
         let dst = self.new_slot(to, 0);
         let op = if signed { MicroOp::Sext } else { MicroOp::Copy };
@@ -638,7 +640,9 @@ impl Compiler {
                 let (as_, aw, _) = self.emit(&args[0])?;
                 let (hi, lo) = (consts[0] as u32, consts[1] as u32);
                 if hi >= aw || hi < lo {
-                    return Err(CompileError(format!("bits({hi},{lo}) out of range for {aw}")));
+                    return Err(CompileError(format!(
+                        "bits({hi},{lo}) out of range for {aw}"
+                    )));
                 }
                 let w = hi - lo + 1;
                 let dst = self.new_slot(w, 0);
@@ -866,7 +870,11 @@ pub fn compile(flat: &FlatCircuit) -> Result<Program, CompileError> {
             aw: r.width,
             mask: mask_for(r.width),
         });
-        c.prog.regs.push(RegSlots { value, next: dedicated, name: r.name.clone() });
+        c.prog.regs.push(RegSlots {
+            value,
+            next: dedicated,
+            name: r.name.clone(),
+        });
     }
 
     // 5. memories
@@ -893,7 +901,11 @@ pub fn compile(flat: &FlatCircuit) -> Result<Program, CompileError> {
     for cov in &flat.covers {
         let (p, _, _) = c.emit(&cov.pred)?;
         let (e, _, _) = c.emit(&cov.enable)?;
-        c.prog.covers.push(CoverSlots { name: cov.name.clone(), pred: p, enable: e });
+        c.prog.covers.push(CoverSlots {
+            name: cov.name.clone(),
+            pred: p,
+            enable: e,
+        });
     }
     for cv in &flat.cover_values {
         let (s, _, _) = c.emit(&cv.signal)?;

@@ -162,13 +162,7 @@ pub(crate) fn exec_instr(i: &Instr, slots: &mut [u64], mems: &[Vec<u64>]) {
         MicroOp::Add => a.wrapping_add(b),
         MicroOp::Sub => a.wrapping_sub(b),
         MicroOp::Mul => ((a as u128).wrapping_mul(b as u128)) as u64,
-        MicroOp::Div => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
+        MicroOp::Div => a.checked_div(b).unwrap_or(0),
         MicroOp::DivS => {
             let (sa, sb) = (sext(a, i.aw), sext(b, i.aw));
             if sb == 0 {
@@ -177,13 +171,7 @@ pub(crate) fn exec_instr(i: &Instr, slots: &mut [u64], mems: &[Vec<u64>]) {
                 sa.wrapping_div(sb) as u64
             }
         }
-        MicroOp::Rem => {
-            if b == 0 {
-                0
-            } else {
-                a % b
-            }
-        }
+        MicroOp::Rem => a.checked_rem(b).unwrap_or(0),
         MicroOp::RemS => {
             let (sa, sb) = (sext(a, i.aw), sext(b, i.aw));
             if sb == 0 {
@@ -208,7 +196,11 @@ pub(crate) fn exec_instr(i: &Instr, slots: &mut [u64], mems: &[Vec<u64>]) {
         MicroOp::Not => !a,
         MicroOp::Neg => (a as i64).wrapping_neg() as u64,
         MicroOp::Andr => {
-            let mask = if i.aw >= 64 { u64::MAX } else { (1u64 << i.aw) - 1 };
+            let mask = if i.aw >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << i.aw) - 1
+            };
             (a & mask == mask) as u64
         }
         MicroOp::Orr => (a != 0) as u64,
@@ -340,16 +332,14 @@ mod tests {
 
     #[test]
     fn combinational_add() {
-        let mut s = sim(
-            "
+        let mut s = sim("
 circuit T :
   module T :
     input a : UInt<4>
     input b : UInt<4>
     output o : UInt<5>
     o <= add(a, b)
-",
-        );
+");
         s.poke("a", 9);
         s.poke("b", 8);
         assert_eq!(s.peek("o"), 17);
@@ -357,8 +347,7 @@ circuit T :
 
     #[test]
     fn register_counts() {
-        let mut s = sim(
-            "
+        let mut s = sim("
 circuit T :
   module T :
     input clock : Clock
@@ -367,8 +356,7 @@ circuit T :
     reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
     r <= tail(add(r, UInt<8>(1)), 1)
     o <= r
-",
-        );
+");
         s.poke("reset", 1);
         s.step();
         s.poke("reset", 0);
@@ -380,15 +368,13 @@ circuit T :
 
     #[test]
     fn cover_counting() {
-        let mut s = sim(
-            "
+        let mut s = sim("
 circuit T :
   module T :
     input clock : Clock
     input a : UInt<1>
     cover(clock, a, UInt<1>(1)) : hit
-",
-        );
+");
         s.poke("a", 1);
         s.step();
         s.step();
@@ -399,8 +385,7 @@ circuit T :
 
     #[test]
     fn memory_write_read() {
-        let mut s = sim(
-            "
+        let mut s = sim("
 circuit T :
   module T :
     input clock : Clock
@@ -416,8 +401,7 @@ circuit T :
     m.w.data <= wdata
     m.w.mask <= UInt<1>(1)
     o <= m.r.data
-",
-        );
+");
         s.poke("addr", 3);
         s.poke("wdata", 42);
         s.poke("wen", 1);
@@ -432,8 +416,7 @@ circuit T :
 
     #[test]
     fn hierarchy_executes() {
-        let mut s = sim(
-            "
+        let mut s = sim("
 circuit Top :
   module Inv :
     input in : UInt<4>
@@ -447,8 +430,7 @@ circuit Top :
     i1.in <= x
     i2.in <= i1.out
     o <= i2.out
-",
-        );
+");
         s.poke("x", 0b1010);
         assert_eq!(s.peek("o"), 0b1010);
         assert_eq!(s.peek("i1.out"), 0b0101);
@@ -456,8 +438,7 @@ circuit Top :
 
     #[test]
     fn native_mux_coverage() {
-        let mut s = sim(
-            "
+        let mut s = sim("
 circuit T :
   module T :
     input s : UInt<1>
@@ -465,8 +446,7 @@ circuit T :
     input b : UInt<4>
     output o : UInt<4>
     o <= mux(s, a, b)
-",
-        );
+");
         s.enable_native_coverage();
         s.poke("s", 1);
         s.step();
@@ -480,8 +460,7 @@ circuit T :
 
     #[test]
     fn signed_arithmetic() {
-        let mut s = sim(
-            "
+        let mut s = sim("
 circuit T :
   module T :
     input a : SInt<8>
@@ -490,8 +469,7 @@ circuit T :
     output d : SInt<9>
     lt <= lt(a, b)
     d <= div(a, b)
-",
-        );
+");
         s.poke("a", 0xF8); // -8
         s.poke("b", 3);
         assert_eq!(s.peek("lt"), 1);
@@ -501,16 +479,14 @@ circuit T :
 
     #[test]
     fn validif_reads_zero_when_invalid() {
-        let mut s = sim(
-            "
+        let mut s = sim("
 circuit T :
   module T :
     input c : UInt<1>
     input v : UInt<8>
     output o : UInt<8>
     o <= validif(c, v)
-",
-        );
+");
         s.poke("v", 99);
         s.poke("c", 0);
         assert_eq!(s.peek("o"), 0);

@@ -226,7 +226,11 @@ fn elaborate_module(
     let mut insts: HashMap<String, String> = HashMap::new();
     let mut mems: HashMap<String, Mem> = HashMap::new();
     module.for_each_stmt(&mut |s| match s {
-        Stmt::Inst { name, module: target, .. } => {
+        Stmt::Inst {
+            name,
+            module: target,
+            ..
+        } => {
             insts.insert(name.clone(), target.clone());
         }
         Stmt::Mem(m) => {
@@ -269,7 +273,10 @@ fn elaborate_module(
     for p in &module.ports {
         let flat_name = prefixed(path, &p.name);
         let width = p.ty.width().ok_or_else(|| {
-            ElabError(format!("port `{}` of `{mod_name}` has unknown width", p.name))
+            ElabError(format!(
+                "port `{}` of `{mod_name}` has unknown width",
+                p.name
+            ))
         })?;
         let is_clock = matches!(p.ty, Type::Clock);
         let def = if path.is_empty() {
@@ -282,7 +289,12 @@ fn elaborate_module(
         };
         flat.signals.insert(
             flat_name.clone(),
-            FlatSignal { name: flat_name.clone(), width, signed: p.ty.is_signed(), def },
+            FlatSignal {
+                name: flat_name.clone(),
+                width,
+                signed: p.ty.is_signed(),
+                def,
+            },
         );
         if path.is_empty() && !is_clock {
             match p.dir {
@@ -296,32 +308,49 @@ fn elaborate_module(
     for s in &module.body {
         match s {
             Stmt::When { .. } => {
-                return Err(ElabError("circuit still contains `when`; run lower() first".into()))
+                return Err(ElabError(
+                    "circuit still contains `when`; run lower() first".into(),
+                ))
             }
             Stmt::Wire { name, ty, .. } => {
                 let flat_name = prefixed(path, name);
-                let width =
-                    ty.width().ok_or_else(|| ElabError(format!("wire `{name}` unknown width")))?;
+                let width = ty
+                    .width()
+                    .ok_or_else(|| ElabError(format!("wire `{name}` unknown width")))?;
                 flat.signals.insert(
                     flat_name.clone(),
-                    FlatSignal { name: flat_name, width, signed: ty.is_signed(), def: Def::Zero },
+                    FlatSignal {
+                        name: flat_name,
+                        width,
+                        signed: ty.is_signed(),
+                        def: Def::Zero,
+                    },
                 );
             }
             Stmt::Node { name, value, .. } => {
                 let flat_name = prefixed(path, name);
                 let ty = expr_type(value, &env).map_err(|e| ElabError(e.0))?;
-                let width =
-                    ty.width().ok_or_else(|| ElabError(format!("node `{name}` unknown width")))?;
+                let width = ty
+                    .width()
+                    .ok_or_else(|| ElabError(format!("node `{name}` unknown width")))?;
                 let def = Def::Expr(flatten_expr(value)?);
                 flat.signals.insert(
                     flat_name.clone(),
-                    FlatSignal { name: flat_name, width, signed: ty.is_signed(), def },
+                    FlatSignal {
+                        name: flat_name,
+                        width,
+                        signed: ty.is_signed(),
+                        def,
+                    },
                 );
             }
-            Stmt::Reg { name, ty, reset, .. } => {
+            Stmt::Reg {
+                name, ty, reset, ..
+            } => {
                 let flat_name = prefixed(path, name);
-                let width =
-                    ty.width().ok_or_else(|| ElabError(format!("reg `{name}` unknown width")))?;
+                let width = ty
+                    .width()
+                    .ok_or_else(|| ElabError(format!("reg `{name}` unknown width")))?;
                 let reset = reset
                     .as_ref()
                     .map(|(r, i)| Ok::<_, ElabError>((flatten_expr(r)?, flatten_expr(i)?)))
@@ -355,7 +384,12 @@ fn elaborate_module(
                         let n = format!("{flat_name}.{port}.{field}");
                         flat.signals.insert(
                             n.clone(),
-                            FlatSignal { name: n, width: w, signed: false, def },
+                            FlatSignal {
+                                name: n,
+                                width: w,
+                                signed: false,
+                                def,
+                            },
                         );
                     };
                 for r in &mem.readers {
@@ -386,9 +420,18 @@ fn elaborate_module(
                         mask: format!("{flat_name}.{w}.mask"),
                     });
                 }
-                flat.mems.push(FlatMem { name: flat_name, width, depth: mem.depth, writers });
+                flat.mems.push(FlatMem {
+                    name: flat_name,
+                    width,
+                    depth: mem.depth,
+                    writers,
+                });
             }
-            Stmt::Inst { name, module: target, .. } => {
+            Stmt::Inst {
+                name,
+                module: target,
+                ..
+            } => {
                 let child_path = prefixed(path, name);
                 elaborate_module(circuit, target, &child_path, flat)?;
             }
@@ -411,14 +454,21 @@ fn elaborate_module(
                     sig.def = Def::Zero;
                 }
             }
-            Stmt::Cover { name, pred, enable, .. } => {
+            Stmt::Cover {
+                name, pred, enable, ..
+            } => {
                 flat.covers.push(FlatCover {
                     name: prefixed(path, name),
                     pred: flatten_expr(pred)?,
                     enable: flatten_expr(enable)?,
                 });
             }
-            Stmt::CoverValues { name, signal, enable, .. } => {
+            Stmt::CoverValues {
+                name,
+                signal,
+                enable,
+                ..
+            } => {
                 let ty = expr_type(signal, &env).map_err(|e| ElabError(e.0))?;
                 let width = ty
                     .width()

@@ -259,20 +259,22 @@ circuit T :
         s.poke("en", 0);
         // after settling, nothing changes: activity drops
         s.step_n(100);
-        assert!(s.activity_factor() < 0.5, "activity {}", s.activity_factor());
+        assert!(
+            s.activity_factor() < 0.5,
+            "activity {}",
+            s.activity_factor()
+        );
     }
 
     #[test]
     fn covers_still_counted_when_quiescent() {
-        let mut s = sim(
-            "
+        let mut s = sim("
 circuit T :
   module T :
     input clock : Clock
     input a : UInt<1>
     cover(clock, a, UInt<1>(1)) : hit
-",
-        );
+");
         s.poke("a", 1);
         s.step_n(10);
         assert_eq!(s.cover_counts().count("hit"), Some(10));

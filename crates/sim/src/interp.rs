@@ -38,9 +38,7 @@ impl InterpSim {
         let order = topo_order(&flat).map_err(|e| SimError(e.0))?;
         let schedule: Vec<(String, Def, u32, bool)> = order
             .iter()
-            .filter(|n| {
-                matches!(flat.signals[*n].def, Def::Expr(_) | Def::MemRead { .. })
-            })
+            .filter(|n| matches!(flat.signals[*n].def, Def::Expr(_) | Def::MemRead { .. }))
             .map(|n| {
                 let s = &flat.signals[n];
                 (n.clone(), s.def.clone(), s.width, s.signed)
@@ -50,7 +48,10 @@ impl InterpSim {
         for (name, sig) in &flat.signals {
             values.insert(
                 name.clone(),
-                Value { bits: Bv::zero(sig.width), signed: sig.signed },
+                Value {
+                    bits: Bv::zero(sig.width),
+                    signed: sig.signed,
+                },
             );
         }
         let mems = flat
@@ -86,13 +87,20 @@ impl InterpSim {
         // the borrow: values/mems are read through a shared lookup while
         // each result is written back after evaluation
         for i in 0..self.schedule.len() {
-            let (name, def, width, signed) =
-                (&self.schedule[i].0, &self.schedule[i].1, self.schedule[i].2, self.schedule[i].3);
+            let (name, def, width, signed) = (
+                &self.schedule[i].0,
+                &self.schedule[i].1,
+                self.schedule[i].2,
+                self.schedule[i].3,
+            );
             let value = match def {
                 Def::Expr(e) => {
                     let lookup = |n: &str| self.values.get(n).cloned();
                     let v = eval(e, &lookup).expect("elaboration guarantees bound references");
-                    Value { bits: v.extend_to(width).resize_zext(width), signed }
+                    Value {
+                        bits: v.extend_to(width).resize_zext(width),
+                        signed,
+                    }
                 }
                 Def::MemRead { mem, addr, en } => {
                     let en_v = self.values[en].is_true();
@@ -103,7 +111,10 @@ impl InterpSim {
                     } else {
                         Bv::zero(width)
                     };
-                    Value { bits, signed: false }
+                    Value {
+                        bits,
+                        signed: false,
+                    }
                 }
                 _ => continue,
             };
@@ -167,7 +178,13 @@ impl InterpSim {
                     value = self.eval_expr(init).extend_to(r.width).resize_zext(r.width);
                 }
             }
-            updates.push((r.name.clone(), Value { bits: value, signed: r.signed }));
+            updates.push((
+                r.name.clone(),
+                Value {
+                    bits: value,
+                    signed: r.signed,
+                },
+            ));
         }
         for (name, value) in updates {
             self.values.insert(name, value);
@@ -183,7 +200,10 @@ impl InterpSim {
     /// Drive a wide input.
     pub fn poke_bv(&mut self, signal: &str, value: Bv) {
         let sig = &self.flat.signals[signal];
-        let v = Value { bits: value.resize_zext(sig.width), signed: sig.signed };
+        let v = Value {
+            bits: value.resize_zext(sig.width),
+            signed: sig.signed,
+        };
         self.values.insert(signal.to_string(), v);
     }
 }
@@ -227,8 +247,10 @@ impl Simulator for InterpSim {
             .find(|m| m.name == mem)
             .map(|m| m.width)
             .ok_or_else(|| SimError(format!("unknown memory `{mem}`")))?;
-        let storage =
-            self.mems.get_mut(mem).ok_or_else(|| SimError(format!("unknown memory `{mem}`")))?;
+        let storage = self
+            .mems
+            .get_mut(mem)
+            .ok_or_else(|| SimError(format!("unknown memory `{mem}`")))?;
         let slot = storage
             .get_mut(addr as usize)
             .ok_or_else(|| SimError(format!("address {addr} out of range for `{mem}`")))?;
@@ -263,8 +285,7 @@ mod tests {
 
     #[test]
     fn counter_with_reset() {
-        let mut s = sim(
-            "
+        let mut s = sim("
 circuit T :
   module T :
     input clock : Clock
@@ -273,8 +294,7 @@ circuit T :
     reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
     r <= tail(add(r, UInt<8>(1)), 1)
     o <= r
-",
-        );
+");
         s.reset(2);
         s.step_n(7);
         assert_eq!(s.peek("o"), 7);
@@ -282,31 +302,27 @@ circuit T :
 
     #[test]
     fn wide_signals_work() {
-        let mut s = sim(
-            "
+        let mut s = sim("
 circuit T :
   module T :
     input a : UInt<100>
     output o : UInt<100>
     o <= not(a)
-",
-        );
+");
         s.poke_bv("a", Bv::zero(100));
         assert_eq!(s.peek_bv("o"), Bv::ones(100));
     }
 
     #[test]
     fn covers_match_semantics() {
-        let mut s = sim(
-            "
+        let mut s = sim("
 circuit T :
   module T :
     input clock : Clock
     input a : UInt<1>
     input b : UInt<1>
     cover(clock, and(a, b), UInt<1>(1)) : both
-",
-        );
+");
         s.poke("a", 1);
         s.poke("b", 0);
         s.step();
@@ -317,15 +333,13 @@ circuit T :
 
     #[test]
     fn cover_values_bins() {
-        let mut s = sim(
-            "
+        let mut s = sim("
 circuit T :
   module T :
     input clock : Clock
     input v : UInt<2>
     cover_values(clock, v, UInt<1>(1)) : vals
-",
-        );
+");
         for v in [0u64, 1, 1, 3] {
             s.poke("v", v);
             s.step();

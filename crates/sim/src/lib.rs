@@ -27,6 +27,7 @@ pub mod testbench;
 pub mod vcd;
 
 use rtlcov_core::CoverageMap;
+use rtlcov_firrtl::ir::Circuit;
 use std::fmt;
 
 /// Error raised by simulator construction or memory access.
@@ -91,4 +92,50 @@ pub trait Simulator {
 
     /// All signal names, sorted.
     fn signals(&self) -> Vec<String>;
+}
+
+/// The software simulator backends as selectable values — the uniform
+/// construction entry point campaign runners fan jobs out over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimKind {
+    /// Tree-walking interpreter ([`interp::InterpSim`], Treadle analog).
+    Interp,
+    /// Dense compiled evaluation ([`compiled::CompiledSim`], Verilator
+    /// analog).
+    Compiled,
+    /// Activity-driven evaluation ([`essent::EssentSim`], ESSENT analog).
+    Essent,
+}
+
+impl SimKind {
+    /// Every software backend, in a stable order.
+    pub const ALL: [SimKind; 3] = [SimKind::Interp, SimKind::Compiled, SimKind::Essent];
+
+    /// Stable lower-case name (CLI/report identifier).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimKind::Interp => "interp",
+            SimKind::Compiled => "compiled",
+            SimKind::Essent => "essent",
+        }
+    }
+
+    /// Parse a [`SimKind::name`] back into a kind.
+    pub fn parse(name: &str) -> Option<SimKind> {
+        SimKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Build this backend for a lowered circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures (elaboration errors,
+    /// combinational loops).
+    pub fn build(&self, circuit: &Circuit) -> Result<Box<dyn Simulator>, SimError> {
+        Ok(match self {
+            SimKind::Interp => Box::new(interp::InterpSim::new(circuit)?),
+            SimKind::Compiled => Box::new(compiled::CompiledSim::new(circuit)?),
+            SimKind::Essent => Box::new(essent::EssentSim::new(circuit)?),
+        })
+    }
 }

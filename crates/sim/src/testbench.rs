@@ -19,7 +19,10 @@ pub struct InputTrace {
 impl InputTrace {
     /// An empty trace over the given inputs.
     pub fn new(inputs: Vec<String>) -> Self {
-        InputTrace { inputs, values: Vec::new() }
+        InputTrace {
+            inputs,
+            values: Vec::new(),
+        }
     }
 
     /// Number of recorded cycles.
@@ -90,11 +93,9 @@ circuit T :
     #[test]
     fn replay_equivalence_across_backends() {
         let low = passes::lower(parse(SRC).unwrap()).unwrap();
-        let trace = InputTrace::record(
-            vec!["reset".into(), "en".into()],
-            50,
-            |cycle| vec![(cycle < 2) as u64, (cycle % 3 == 0) as u64],
-        );
+        let trace = InputTrace::record(vec!["reset".into(), "en".into()], 50, |cycle| {
+            vec![(cycle < 2) as u64, (cycle % 3 == 0) as u64]
+        });
         let mut compiled = CompiledSim::new(&low).unwrap();
         let mut interp = InterpSim::new(&low).unwrap();
         let mut essent = EssentSim::new(&low).unwrap();

@@ -41,7 +41,12 @@ impl VcdRecorder {
             .map(|(i, (n, w))| (n, w, vcd_id(i)))
             .collect();
         let last = vec![None; signals.len()];
-        VcdRecorder { signals, last, body: String::new(), time: 0 }
+        VcdRecorder {
+            signals,
+            last,
+            body: String::new(),
+            time: 0,
+        }
     }
 
     /// Sample the simulator's current values; emits only changes.

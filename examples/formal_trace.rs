@@ -31,8 +31,14 @@ fn main() {
     );
 
     let flat = elaborate(&instrumented.circuit).expect("elaborates");
-    let results = check_covers(&flat, BmcOptions { max_steps: 10, ..Default::default() })
-        .expect("bmc runs");
+    let results = check_covers(
+        &flat,
+        BmcOptions {
+            max_steps: 10,
+            ..Default::default()
+        },
+    )
+    .expect("bmc runs");
 
     for r in &results {
         match &r.outcome {

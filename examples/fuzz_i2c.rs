@@ -36,7 +36,10 @@ fn main() {
         2024,
     );
 
-    println!("{:>10}  {:>16}  {:>16}", "execs", "guided covered", "random covered");
+    println!(
+        "{:>10}  {:>16}  {:>16}",
+        "execs", "guided covered", "random covered"
+    );
     let chunk = iterations / 10;
     for i in 0..10 {
         guided.run(chunk);

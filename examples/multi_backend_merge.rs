@@ -25,7 +25,9 @@ fn run_software(
     program: &rtlcov::designs::programs::Program,
     cycles: usize,
 ) -> CoverageMap {
-    program.load(sim, "icache.mem", "dcache.mem").expect("program fits");
+    program
+        .load(sim, "icache.mem", "dcache.mem")
+        .expect("program fits");
     sim.reset(2);
     for _ in 0..cycles {
         if sim.peek("halted") == 1 {
@@ -48,19 +50,34 @@ fn main() {
     // backend 1: compiled simulator runs the arithmetic test
     let mut compiled = CompiledSim::new(circuit).expect("compiles");
     let m = run_software(&mut compiled, &suite[0].1, 3000);
-    println!("compiled   ran `{}`: {}/{} covers", suite[0].0, m.covered(), m.len());
+    println!(
+        "compiled   ran `{}`: {}/{} covers",
+        suite[0].0,
+        m.covered(),
+        m.len()
+    );
     merged.merge(&m);
 
     // backend 2: interpreter runs the memory test
     let mut interp = InterpSim::new(circuit).expect("interprets");
     let m = run_software(&mut interp, &suite[4].1, 3000);
-    println!("interp     ran `{}`: {}/{} covers", suite[4].0, m.covered(), m.len());
+    println!(
+        "interp     ran `{}`: {}/{} covers",
+        suite[4].0,
+        m.covered(),
+        m.len()
+    );
     merged.merge(&m);
 
     // backend 3: activity-driven simulator runs the branch test
     let mut essent = EssentSim::new(circuit).expect("compiles");
     let m = run_software(&mut essent, &suite[3].1, 5000);
-    println!("essent     ran `{}`: {}/{} covers", suite[3].0, m.covered(), m.len());
+    println!(
+        "essent     ran `{}`: {}/{} covers",
+        suite[3].0,
+        m.covered(),
+        m.len()
+    );
     merged.merge(&m);
 
     // backend 4: the FPGA host (scan-chain counters) runs the jump test
@@ -68,7 +85,8 @@ fn main() {
     let info = insert_scan_chain(&mut fpga_circuit, 16).expect("scan chain");
     let mut host = FpgaHost::new(&fpga_circuit, info).expect("host builds");
     for (addr, word) in suite[5].1.text.iter().enumerate() {
-        host.write_mem("icache.mem", addr as u64, *word as u64).expect("fits");
+        host.write_mem("icache.mem", addr as u64, *word as u64)
+            .expect("fits");
     }
     host.reset(2);
     host.run(3000);

@@ -5,8 +5,13 @@
 //! rtlcov run <file.fir> [--metrics ...] [--cycles N] [--seed S]      simulate with random inputs, print reports
 //! rtlcov bmc <file.fir> [--metrics ...] [--steps K]                  formal cover reachability
 //! rtlcov verilog <file.fir>                                          emit structural Verilog
+//! rtlcov campaign [--designs a,b] [--backends ...] [--metrics ...]   parallel multi-backend coverage campaign
+//!                 [--shards N] [--scale N] [--workers N] [--plateau K]
+//!                 [--shard-dir DIR] [--format json|bin] [--bmc-steps K]
 //! ```
 
+use rtlcov::campaign::runner::{run_campaign, CampaignConfig};
+use rtlcov::campaign::{report as campaign_report, Backend, ShardFormat};
 use rtlcov::core::instrument::{CoverageCompiler, Instrumented, Metrics};
 use rtlcov::core::passes::toggle::ToggleOptions;
 use rtlcov::core::report::{
@@ -20,7 +25,10 @@ fn usage() -> ExitCode {
         "usage:\n  rtlcov instrument <file.fir> [--metrics line,toggle,fsm,rv]\n  \
          rtlcov run <file.fir> [--metrics ...] [--cycles N] [--seed S]\n  \
          rtlcov bmc <file.fir> [--metrics ...] [--steps K]\n  \
-         rtlcov verilog <file.fir>"
+         rtlcov verilog <file.fir>\n  \
+         rtlcov campaign [--designs gcd,queue,...] [--backends interp,compiled,essent,fpga,formal]\n                  \
+         [--metrics ...] [--shards N] [--scale N] [--workers N] [--plateau K]\n                  \
+         [--shard-dir DIR] [--format json|bin] [--bmc-steps K]"
     );
     ExitCode::from(2)
 }
@@ -48,30 +56,80 @@ struct Args {
     cycles: usize,
     steps: usize,
     seed: u64,
+    campaign: CampaignConfig,
+}
+
+fn parse_list(spec: &str) -> Vec<String> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn parse_backends(spec: &str) -> Result<Vec<Backend>, String> {
+    parse_list(spec)
+        .iter()
+        .map(|name| Backend::parse(name).ok_or_else(|| format!("unknown backend `{name}`")))
+        .collect()
 }
 
 fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.len() < 2 {
+    if argv.is_empty() {
+        return Err("missing command".into());
+    }
+    let command = argv[0].clone();
+    // `campaign` builds its designs in-process; every other command reads
+    // a FIRRTL file as its second argument
+    let takes_file = command != "campaign";
+    if takes_file && argv.len() < 2 {
         return Err("missing command or file".into());
     }
     let mut args = Args {
-        command: argv[0].clone(),
-        file: argv[1].clone(),
+        command,
+        file: if takes_file {
+            argv[1].clone()
+        } else {
+            String::new()
+        },
         metrics: Metrics::line_only(),
         cycles: 1000,
         steps: 20,
         seed: 0,
+        campaign: CampaignConfig::default(),
     };
-    let mut i = 2;
+    args.campaign.metrics = args.metrics;
+    let mut i = if takes_file { 2 } else { 1 };
     while i < argv.len() {
         let flag = argv[i].as_str();
-        let value = argv.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
         match flag {
-            "--metrics" => args.metrics = parse_metrics(value)?,
+            "--metrics" => {
+                args.metrics = parse_metrics(value)?;
+                args.campaign.metrics = args.metrics;
+            }
             "--cycles" => args.cycles = value.parse().map_err(|_| "bad --cycles")?,
             "--steps" => args.steps = value.parse().map_err(|_| "bad --steps")?,
             "--seed" => args.seed = value.parse().map_err(|_| "bad --seed")?,
+            "--designs" => args.campaign.designs = parse_list(value),
+            "--backends" => args.campaign.backends = parse_backends(value)?,
+            "--shards" => args.campaign.shards = value.parse().map_err(|_| "bad --shards")?,
+            "--scale" => args.campaign.scale = value.parse().map_err(|_| "bad --scale")?,
+            "--workers" => args.campaign.workers = value.parse().map_err(|_| "bad --workers")?,
+            "--plateau" => args.campaign.plateau = value.parse().map_err(|_| "bad --plateau")?,
+            "--shard-dir" => args.campaign.shard_dir = Some(value.into()),
+            "--format" => {
+                args.campaign.format = match value.as_str() {
+                    "json" => ShardFormat::Json,
+                    "bin" | "binary" => ShardFormat::Binary,
+                    other => return Err(format!("unknown shard format `{other}`")),
+                }
+            }
+            "--bmc-steps" => {
+                args.campaign.bmc_steps = value.parse().map_err(|_| "bad --bmc-steps")?
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 2;
@@ -83,10 +141,21 @@ fn instrument(args: &Args) -> Result<Instrumented, String> {
     let src = std::fs::read_to_string(&args.file)
         .map_err(|e| format!("cannot read `{}`: {e}", args.file))?;
     let circuit = rtlcov::firrtl::parser::parse(&src).map_err(|e| e.to_string())?;
-    CoverageCompiler::new(args.metrics).run(circuit).map_err(|e| e.to_string())
+    CoverageCompiler::new(args.metrics)
+        .run(circuit)
+        .map_err(|e| e.to_string())
 }
 
 fn run(args: &Args) -> Result<(), String> {
+    if args.command == "campaign" {
+        let result = run_campaign(&args.campaign).map_err(|e| e.to_string())?;
+        print!("{}", campaign_report::summary(&result));
+        print!(
+            "{}",
+            campaign_report::render(&result, args.campaign.metrics)
+        );
+        return Ok(());
+    }
     let inst = instrument(args)?;
     match args.command.as_str() {
         "instrument" => {
@@ -113,13 +182,22 @@ fn run(args: &Args) -> Result<(), String> {
             let counts = sim.cover_counts();
             println!("== raw counts ==\n{counts}");
             if args.metrics.line {
-                println!("{}", LineReport::build(&inst.circuit, &inst.artifacts.line, &counts).render());
+                println!(
+                    "{}",
+                    LineReport::build(&inst.circuit, &inst.artifacts.line, &counts).render()
+                );
             }
             if args.metrics.toggle.is_some() {
-                println!("{}", ToggleReport::build(&inst.circuit, &inst.artifacts.toggle, &counts).render());
+                println!(
+                    "{}",
+                    ToggleReport::build(&inst.circuit, &inst.artifacts.toggle, &counts).render()
+                );
             }
             if args.metrics.fsm {
-                println!("{}", FsmReport::build(&inst.circuit, &inst.artifacts.fsm, &counts).render());
+                println!(
+                    "{}",
+                    FsmReport::build(&inst.circuit, &inst.artifacts.fsm, &counts).render()
+                );
             }
             if args.metrics.ready_valid {
                 println!(

@@ -16,12 +16,15 @@
 //! * [`fpga`] — scan-chain pass, emulated FPGA host, resource model;
 //! * [`formal`] — CDCL SAT solver + bounded model checking;
 //! * [`fuzz`] — AFL-style coverage-guided fuzzing;
-//! * [`designs`] — the benchmark circuits (riscv-mini analog, TLRAM, ...).
+//! * [`designs`] — the benchmark circuits (riscv-mini analog, TLRAM, ...);
+//! * [`campaign`] — parallel multi-backend coverage campaigns with
+//!   sharded merging and saturation-aware scheduling.
 //!
 //! Start with `examples/quickstart.rs`.
 
 #![warn(missing_docs)]
 
+pub use rtlcov_campaign as campaign;
 pub use rtlcov_core as core;
 pub use rtlcov_designs as designs;
 pub use rtlcov_firrtl as firrtl;

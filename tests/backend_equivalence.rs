@@ -22,7 +22,9 @@ fn run_program(sim: &mut dyn Simulator, p: &Program) -> CoverageMap {
 
 #[test]
 fn software_backends_agree_on_riscv_mini() {
-    let inst = CoverageCompiler::new(Metrics::all()).run(riscv_mini_with(256)).unwrap();
+    let inst = CoverageCompiler::new(Metrics::all())
+        .run(riscv_mini_with(256))
+        .unwrap();
     for (name, program) in isa_suite() {
         let mut compiled = CompiledSim::new(&inst.circuit).unwrap();
         let mut interp = InterpSim::new(&inst.circuit).unwrap();
@@ -39,8 +41,9 @@ fn software_backends_agree_on_riscv_mini() {
 #[test]
 fn fpga_host_agrees_with_software() {
     // wide counters so no saturation differences
-    let inst =
-        CoverageCompiler::new(Metrics::line_only()).run(riscv_mini_with(256)).unwrap();
+    let inst = CoverageCompiler::new(Metrics::line_only())
+        .run(riscv_mini_with(256))
+        .unwrap();
     let (_, program) = isa_suite().remove(0);
 
     let mut sw = CompiledSim::new(&inst.circuit).unwrap();
@@ -50,7 +53,8 @@ fn fpga_host_agrees_with_software() {
     let info = insert_scan_chain(&mut fpga_circuit, 32).unwrap();
     let mut host = FpgaHost::new(&fpga_circuit, info).unwrap();
     for (addr, word) in program.text.iter().enumerate() {
-        host.write_mem("icache.mem", addr as u64, *word as u64).unwrap();
+        host.write_mem("icache.mem", addr as u64, *word as u64)
+            .unwrap();
     }
     host.reset(2);
     host.run(CYCLES as u64);
@@ -61,8 +65,9 @@ fn fpga_host_agrees_with_software() {
 
 #[test]
 fn narrow_fpga_counters_saturate_but_preserve_coverage_set() {
-    let inst =
-        CoverageCompiler::new(Metrics::line_only()).run(riscv_mini_with(256)).unwrap();
+    let inst = CoverageCompiler::new(Metrics::line_only())
+        .run(riscv_mini_with(256))
+        .unwrap();
     let (_, program) = isa_suite().remove(4); // memory test
     let mut sw = CompiledSim::new(&inst.circuit).unwrap();
     let sw_counts = run_program(&mut sw, &program);
@@ -71,7 +76,8 @@ fn narrow_fpga_counters_saturate_but_preserve_coverage_set() {
     let info = insert_scan_chain(&mut fpga_circuit, 2).unwrap();
     let mut host = FpgaHost::new(&fpga_circuit, info).unwrap();
     for (addr, word) in program.text.iter().enumerate() {
-        host.write_mem("icache.mem", addr as u64, *word as u64).unwrap();
+        host.write_mem("icache.mem", addr as u64, *word as u64)
+            .unwrap();
     }
     host.reset(2);
     host.run(CYCLES as u64);
@@ -89,8 +95,9 @@ fn narrow_fpga_counters_saturate_but_preserve_coverage_set() {
 
 #[test]
 fn merging_across_backends_is_exact() {
-    let inst =
-        CoverageCompiler::new(Metrics::line_only()).run(riscv_mini_with(256)).unwrap();
+    let inst = CoverageCompiler::new(Metrics::line_only())
+        .run(riscv_mini_with(256))
+        .unwrap();
     let suite = isa_suite();
     // union of per-backend runs equals a union of same-backend runs
     let mut merged_mixed = CoverageMap::new();

@@ -1,0 +1,145 @@
+//! End-to-end campaign smoke test: a two-design, three-backend campaign
+//! must produce exactly the union of the coverage each backend produces
+//! on its own, the parallel schedule must be bit-identical to the
+//! sequential one, and the saturation scheduler must actually cancel
+//! redundant work.
+
+use rtlcov::campaign::runner::{run_campaign, CampaignConfig};
+use rtlcov::campaign::{job_list, Backend, JobOutcome};
+use rtlcov::core::instrument::{CoverageCompiler, Metrics};
+use rtlcov::core::CoverageMap;
+use rtlcov::designs::workloads::campaign_workload;
+use rtlcov::sim::SimKind;
+
+const DESIGNS: [&str; 2] = ["gcd", "queue"];
+const BACKENDS: [Backend; 3] = [
+    Backend::Sim(SimKind::Interp),
+    Backend::Sim(SimKind::Compiled),
+    Backend::Sim(SimKind::Essent),
+];
+
+fn config(workers: usize) -> CampaignConfig {
+    CampaignConfig {
+        designs: DESIGNS.iter().map(|s| s.to_string()).collect(),
+        backends: BACKENDS.to_vec(),
+        metrics: Metrics::all(),
+        shards: 2,
+        scale: 1,
+        workers,
+        plateau: 0,
+        shard_dir: None,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Run the same job list with no scheduler at all: one thread, one job at
+/// a time, folding maps left to right.
+fn sequential_reference() -> CoverageMap {
+    let cfg = config(1);
+    let mut merged = CoverageMap::new();
+    for design in DESIGNS {
+        let workload = campaign_workload(design, 0, 1).unwrap();
+        let inst = CoverageCompiler::new(cfg.metrics)
+            .run(workload.circuit)
+            .unwrap();
+        for job in job_list(&cfg).iter().filter(|j| j.design == design) {
+            let Backend::Sim(kind) = job.backend else {
+                unreachable!("software-only")
+            };
+            let mut sim = kind.build(&inst.circuit).unwrap();
+            let map = campaign_workload(design, job.shard, cfg.scale)
+                .unwrap()
+                .run(&mut *sim);
+            for (name, count) in map.iter() {
+                let key = format!("{design}::{name}");
+                merged.declare(key.clone());
+                merged.record(key, count);
+            }
+        }
+    }
+    merged
+}
+
+#[test]
+fn parallel_campaign_is_bit_identical_to_sequential() {
+    let reference = sequential_reference();
+    let single = run_campaign(&config(1)).unwrap();
+    let parallel = run_campaign(&config(4)).unwrap();
+    assert_eq!(single.completed(), job_list(&config(1)).len());
+    assert_eq!(parallel.completed(), single.completed());
+    // the acceptance criterion: >= 4 workers, bit-identical merge
+    assert_eq!(single.merged, reference);
+    assert_eq!(parallel.merged, reference);
+}
+
+#[test]
+fn merged_map_is_union_of_per_backend_maps() {
+    let campaign = run_campaign(&config(4)).unwrap();
+    for design in DESIGNS {
+        // per-backend maps produced sequentially outside the scheduler
+        let workload = campaign_workload(design, 0, 1).unwrap();
+        let inst = CoverageCompiler::new(Metrics::all())
+            .run(workload.circuit)
+            .unwrap();
+        let mut per_backend: Vec<CoverageMap> = Vec::new();
+        for backend in BACKENDS {
+            let Backend::Sim(kind) = backend else {
+                unreachable!("software-only")
+            };
+            for shard in 0..2 {
+                let mut sim = kind.build(&inst.circuit).unwrap();
+                per_backend.push(campaign_workload(design, shard, 1).unwrap().run(&mut *sim));
+            }
+        }
+        let refs: Vec<&CoverageMap> = per_backend.iter().collect();
+        let union = CoverageMap::merge_many(&refs);
+        assert_eq!(campaign.per_design[design], union, "design {design}");
+    }
+}
+
+#[test]
+fn saturation_scheduler_cancels_redundant_jobs() {
+    // gcd saturates its cover points within the first shards; with many
+    // shards, a single worker (deterministic order), and a plateau of 2,
+    // the tail of the job list must be cancelled, not run
+    // line coverage saturates on the first shard for both designs, so
+    // the no-coverage-loss check below is exact
+    let cfg = CampaignConfig {
+        shards: 10,
+        workers: 1,
+        plateau: 2,
+        metrics: Metrics::line_only(),
+        ..config(1)
+    };
+    let result = run_campaign(&cfg).unwrap();
+    let cancelled = result.cancelled();
+    assert!(
+        cancelled >= 1,
+        "no job was cancelled: {:?}",
+        result.outcomes
+    );
+    // cancellation must not cost coverage: every point the full run hits
+    // is already hit before the plateau triggers
+    let full = run_campaign(&CampaignConfig {
+        plateau: 0,
+        ..cfg.clone()
+    })
+    .unwrap();
+    for (key, count) in full.merged.iter() {
+        if count > 0 {
+            assert!(
+                result.merged.count(key).unwrap_or(0) > 0,
+                "cancelled campaign lost cover point {key}"
+            );
+        }
+    }
+    // and cancelled jobs really are design-tail jobs
+    for (job, outcome) in &result.outcomes {
+        if matches!(outcome, JobOutcome::Cancelled) {
+            assert!(
+                job.shard > 0,
+                "shard 0 should never be cancelled first: {job}"
+            );
+        }
+    }
+}

@@ -19,13 +19,21 @@ fn random_run(
     sim.reset(1);
     for _ in 0..cycles {
         for (name, width) in inputs {
-            let mask = if *width >= 64 { u64::MAX } else { (1 << width) - 1 };
+            let mask = if *width >= 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
             sim.poke(name, rng.gen::<u64>() & mask);
         }
         sim.step();
     }
-    let outputs: Vec<u64> =
-        sim.signals().iter().filter(|s| !s.contains('.')).map(|s| sim.peek(s)).collect();
+    let outputs: Vec<u64> = sim
+        .signals()
+        .iter()
+        .filter(|s| !s.contains('.'))
+        .map(|s| sim.peek(s))
+        .collect();
     (sim.cover_counts(), outputs)
 }
 

@@ -21,7 +21,10 @@ fn env() -> TypeEnv {
     INPUTS
         .iter()
         .map(|(n, w, s)| {
-            (n.to_string(), if *s { Type::sint(*w) } else { Type::uint(*w) })
+            (
+                n.to_string(),
+                if *s { Type::sint(*w) } else { Type::uint(*w) },
+            )
         })
         .collect()
 }
@@ -83,7 +86,10 @@ fn build_expr(script: &[u8], pos: &mut usize, depth: u32) -> Expr {
         14 => Expr::prim(PrimOp::Andr, vec![a], vec![]),
         15 => Expr::prim(PrimOp::Xorr, vec![a], vec![]),
         16 => {
-            let w = expr_type(&a, &env).ok().and_then(|t| t.width()).unwrap_or(1);
+            let w = expr_type(&a, &env)
+                .ok()
+                .and_then(|t| t.width())
+                .unwrap_or(1);
             let hi = u64::from((w - 1).min(12));
             Expr::prim(PrimOp::Bits, vec![a], vec![hi, 0])
         }

@@ -12,7 +12,9 @@ use rtlcov::sim::Simulator;
 
 fn instrumented(src: &str) -> rtlcov::core::instrument::Instrumented {
     let circuit = rtlcov::firrtl::parser::parse(src).unwrap();
-    CoverageCompiler::new(Metrics::line_only()).run(circuit).unwrap()
+    CoverageCompiler::new(Metrics::line_only())
+        .run(circuit)
+        .unwrap()
 }
 
 const MAZE: &str = "
@@ -41,8 +43,14 @@ circuit Maze :
 fn every_reached_cover_replays_on_the_simulator() {
     let inst = instrumented(MAZE);
     let flat = elaborate(&inst.circuit).unwrap();
-    let results =
-        check_covers(&flat, BmcOptions { max_steps: 10, ..Default::default() }).unwrap();
+    let results = check_covers(
+        &flat,
+        BmcOptions {
+            max_steps: 10,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let mut reached = 0;
     for r in &results {
         if let CoverOutcome::Reached { trace, .. } = &r.outcome {
@@ -63,8 +71,14 @@ fn every_reached_cover_replays_on_the_simulator() {
 fn unreachable_verdicts_agree_with_random_simulation() {
     let inst = instrumented(MAZE);
     let flat = elaborate(&inst.circuit).unwrap();
-    let results =
-        check_covers(&flat, BmcOptions { max_steps: 12, ..Default::default() }).unwrap();
+    let results = check_covers(
+        &flat,
+        BmcOptions {
+            max_steps: 12,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let unreachable: Vec<&str> = results
         .iter()
         .filter(|r| matches!(r.outcome, CoverOutcome::UnreachableWithin(_)))
@@ -91,11 +105,17 @@ fn deeper_bounds_reach_monotonically_more() {
     let inst = instrumented(MAZE);
     let flat = elaborate(&inst.circuit).unwrap();
     let count_reached = |k: usize| -> usize {
-        check_covers(&flat, BmcOptions { max_steps: k, ..Default::default() })
-            .unwrap()
-            .iter()
-            .filter(|r| matches!(r.outcome, CoverOutcome::Reached { .. }))
-            .count()
+        check_covers(
+            &flat,
+            BmcOptions {
+                max_steps: k,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .iter()
+        .filter(|r| matches!(r.outcome, CoverOutcome::Reached { .. }))
+        .count()
     };
     let shallow = count_reached(2);
     let deep = count_reached(8);
@@ -112,8 +132,14 @@ fn fsm_transitions_and_formal_agree_on_figure7() {
         .unwrap();
     assert!(!inst.artifacts.fsm.fsms[0].over_approximated);
     let flat = elaborate(&inst.circuit).unwrap();
-    let results =
-        check_covers(&flat, BmcOptions { max_steps: 10, ..Default::default() }).unwrap();
+    let results = check_covers(
+        &flat,
+        BmcOptions {
+            max_steps: 10,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     for r in &results {
         assert!(
             matches!(r.outcome, CoverOutcome::Reached { .. }),

@@ -25,7 +25,9 @@ fn run_suite(circuit: &rtlcov::firrtl::Circuit) -> CoverageMap {
 
 #[test]
 fn all_reports_render_from_one_run() {
-    let inst = CoverageCompiler::new(Metrics::all()).run(riscv_mini_with(256)).unwrap();
+    let inst = CoverageCompiler::new(Metrics::all())
+        .run(riscv_mini_with(256))
+        .unwrap();
     let counts = run_suite(&inst.circuit);
 
     let line = LineReport::build(&inst.circuit, &inst.artifacts.line, &counts);
@@ -34,9 +36,16 @@ fn all_reports_render_from_one_run() {
     assert!(line.render().contains("line coverage"));
 
     let toggle = ToggleReport::build(&inst.circuit, &inst.artifacts.toggle, &counts);
-    assert!(toggle.summary.total > 200, "toggle total {}", toggle.summary.total);
+    assert!(
+        toggle.summary.total > 200,
+        "toggle total {}",
+        toggle.summary.total
+    );
     assert!(toggle.summary.covered > 0);
-    assert!(!toggle.stuck_signals().is_empty(), "some bits should be stuck");
+    assert!(
+        !toggle.stuck_signals().is_empty(),
+        "some bits should be stuck"
+    );
 
     let fsm = FsmReport::build(&inst.circuit, &inst.artifacts.fsm, &counts);
     // core FSM + two cache FSM instances
@@ -56,7 +65,9 @@ fn all_reports_render_from_one_run() {
 
 #[test]
 fn removal_then_rerun_covers_nothing_removed() {
-    let inst = CoverageCompiler::new(Metrics::line_only()).run(riscv_mini_with(256)).unwrap();
+    let inst = CoverageCompiler::new(Metrics::line_only())
+        .run(riscv_mini_with(256))
+        .unwrap();
     let counts = run_suite(&inst.circuit);
     let mut reduced = inst.circuit.clone();
     let stats = remove_covered(&mut reduced, &counts, 10);
@@ -84,7 +95,8 @@ circuit T :
       r <= tail(add(r, UInt<2>(1)), 1)
     o <= r
 ";
-    let lowered = || rtlcov::firrtl::passes::lower(rtlcov::firrtl::parser::parse(src).unwrap()).unwrap();
+    let lowered =
+        || rtlcov::firrtl::passes::lower(rtlcov::firrtl::parser::parse(src).unwrap()).unwrap();
     let run = |circuit: &rtlcov::firrtl::Circuit| {
         let mut sim = CompiledSim::new(circuit).unwrap();
         sim.reset(1);
@@ -93,8 +105,7 @@ circuit T :
         sim.cover_counts()
     };
     let mut split = lowered();
-    instrument_toggle_coverage(&mut split, ToggleOptions::regs_only().with_split_edges())
-        .unwrap();
+    instrument_toggle_coverage(&mut split, ToggleOptions::regs_only().with_split_edges()).unwrap();
     let split_counts = run(&split);
     let mut single = lowered();
     instrument_toggle_coverage(&mut single, ToggleOptions::regs_only()).unwrap();
@@ -103,7 +114,10 @@ circuit T :
         let rises = split_counts.count(&format!("tr_r_{bit}")).unwrap();
         let falls = split_counts.count(&format!("tf_r_{bit}")).unwrap();
         assert!(rises > 0 && falls > 0, "bit {bit}");
-        assert!(rises.abs_diff(falls) <= 1, "bit {bit}: rises {rises} falls {falls}");
+        assert!(
+            rises.abs_diff(falls) <= 1,
+            "bit {bit}: rises {rises} falls {falls}"
+        );
         assert_eq!(
             single_counts.count(&format!("t_r_{bit}")).unwrap(),
             rises + falls,
@@ -114,17 +128,25 @@ circuit T :
 
 #[test]
 fn verilog_emission_carries_covers() {
-    let inst = CoverageCompiler::new(Metrics::line_only()).run(riscv_mini_with(64)).unwrap();
+    let inst = CoverageCompiler::new(Metrics::line_only())
+        .run(riscv_mini_with(64))
+        .unwrap();
     let verilog = rtlcov::firrtl::verilog::emit_verilog(&inst.circuit);
     // covers become immediate assertions (the Verilator/SymbiYosys form)
-    assert!(verilog.contains(": cover ("), "{}", &verilog[..500.min(verilog.len())]);
+    assert!(
+        verilog.contains(": cover ("),
+        "{}",
+        &verilog[..500.min(verilog.len())]
+    );
     assert!(verilog.contains("module Cache("));
     assert!(verilog.contains("module Core("));
 }
 
 #[test]
 fn coverage_map_json_roundtrip_across_process_boundary() {
-    let inst = CoverageCompiler::new(Metrics::line_only()).run(riscv_mini_with(256)).unwrap();
+    let inst = CoverageCompiler::new(Metrics::line_only())
+        .run(riscv_mini_with(256))
+        .unwrap();
     let counts = run_suite(&inst.circuit);
     // the interchange format survives serialization (how real backends in
     // separate processes would hand results to the report generator)

@@ -44,8 +44,9 @@ fn random_program(rng: &mut StdRng, len: usize) -> Vec<u32> {
             }
             _ => {
                 // short forward branch (skips at most 2 instructions,
-                // always lands inside the program)
-                let skip = rng.gen_range(1..=2).min((len - i) as i32);
+                // always lands inside the program — the furthest legal
+                // target is the trailing ecall at index `len`)
+                let skip = rng.gen_range(1..=2).min((len - 1 - i) as i32);
                 let offset = (skip + 1) * 4;
                 match rng.gen_range(0..4) {
                     0 => asm::beq(rs1, rs2, offset),
@@ -73,7 +74,9 @@ fn random_programs_match_the_golden_model() {
         assert!(iss.halted, "round {round}: ISS did not halt");
         // RTL core
         let mut sim = CompiledSim::new(&low).unwrap();
-        Program::new(text.clone()).load(&mut sim, "icache.mem", "dcache.mem").unwrap();
+        Program::new(text.clone())
+            .load(&mut sim, "icache.mem", "dcache.mem")
+            .unwrap();
         sim.reset(2);
         for _ in 0..4000 {
             if sim.peek("halted") == 1 {
@@ -97,7 +100,11 @@ fn random_programs_match_the_golden_model() {
                 "round {round}: dmem[{w}] mismatch"
             );
         }
-        assert_eq!(sim.peek("retired"), iss.retired, "round {round}: retired mismatch");
+        assert_eq!(
+            sim.peek("retired"),
+            iss.retired,
+            "round {round}: retired mismatch"
+        );
     }
 }
 
@@ -110,7 +117,9 @@ fn differential_across_backends() {
     let mut rng = StdRng::seed_from_u64(0xbeef);
     let text = random_program(&mut rng, 25);
     let run = |sim: &mut dyn Simulator| -> Vec<u64> {
-        Program::new(text.clone()).load(sim, "icache.mem", "dcache.mem").unwrap();
+        Program::new(text.clone())
+            .load(sim, "icache.mem", "dcache.mem")
+            .unwrap();
         sim.reset(2);
         for _ in 0..4000 {
             if sim.peek("halted") == 1 {
@@ -118,7 +127,9 @@ fn differential_across_backends() {
             }
             sim.step();
         }
-        (0..8).map(|r| sim.read_mem("core.rf", r).unwrap()).collect()
+        (0..8)
+            .map(|r| sim.read_mem("core.rf", r).unwrap())
+            .collect()
     };
     let mut compiled = CompiledSim::new(&low).unwrap();
     let mut interp = InterpSim::new(&low).unwrap();

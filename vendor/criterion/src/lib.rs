@@ -1,0 +1,141 @@
+//! Vendored drop-in subset of the `criterion` API.
+//!
+//! This environment has no network access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: [`Criterion`],
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`, the
+//! [`criterion_group!`] / [`criterion_main!`] macros, and [`black_box`].
+//! Timing is a plain mean over the sample count — enough to compare the
+//! paper's configurations against each other, with none of criterion's
+//! statistics.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("\n== {} ==", name.into());
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 100,
+        }
+    }
+
+    /// Run a standalone benchmark (ungrouped).
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        self.benchmark_group(name.to_string())
+            .bench_function("run", f);
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // one untimed warm-up pass, then the timed samples
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / bencher.samples.len().max(1) as u32;
+        println!(
+            "{name:<40} {mean:>12.2?} / iter ({} samples)",
+            bencher.samples.len()
+        );
+        self
+    }
+
+    /// End the group (printing is already done incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `routine`.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group produced by [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_sampled_benchmarks() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut group = c.benchmark_group("test-group");
+            group.sample_size(5);
+            group.bench_function("counting", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        // one warm-up call plus five samples
+        assert_eq!(calls, 6);
+    }
+
+    criterion_group!(example_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.benchmark_group("noop")
+            .sample_size(1)
+            .bench_function("nothing", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn macros_compose() {
+        example_group();
+    }
+}

@@ -1,0 +1,441 @@
+//! Vendored drop-in subset of the `proptest` API.
+//!
+//! This environment has no network access to crates.io, so the workspace
+//! vendors the slice of proptest its tests use: the [`proptest!`] macro
+//! over named `arg in strategy` bindings, integer-range and `any::<T>()`
+//! strategies, a small regex-subset string strategy, tuple and
+//! `prop::collection::vec` combinators, and the `prop_assert*` /
+//! [`prop_assume!`] macros. Cases are generated deterministically; there
+//! is no shrinking — a failing case panics with the generated inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Outcome of one case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic per-case generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Build the RNG for one case of one property.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test name so distinct properties see distinct streams
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+/// A value generator (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy for any value of a type (the `Standard` distribution).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A strategy producing uniformly random values of `T`.
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+// ---------------------------------------------------------------- regex --
+
+/// One parsed atom of the regex subset: a set of candidate chars plus a
+/// repetition range.
+struct RegexAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_regex(pattern: &str) -> Vec<RegexAtom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match it.next() {
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && it.peek() != Some(&']') => {
+                            let lo = prev.take().expect("checked");
+                            let hi = it.next().expect("checked peek");
+                            for x in lo as u32 + 1..=hi as u32 {
+                                set.push(char::from_u32(x).expect("ascii class"));
+                            }
+                        }
+                        Some(ch) => {
+                            prev = Some(ch);
+                            set.push(ch);
+                        }
+                        None => panic!("unterminated char class in `{pattern}`"),
+                    }
+                }
+                set
+            }
+            '\\' => vec![it.next().expect("dangling escape")],
+            ch => vec![ch],
+        };
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let spec: String = it.by_ref().take_while(|&c| c != '}').collect();
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("regex repeat bound"),
+                    hi.parse().expect("regex repeat bound"),
+                ),
+                None => {
+                    let n = spec.parse().expect("regex repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(RegexAtom { chars, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_regex(self) {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+// --------------------------------------------------------------- tuples --
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng);)+
+                ($($v,)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+
+// ---------------------------------------------------------- collections --
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A size specification for [`vec`].
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors of `element` with a length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.min..=self.size.max);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace used inside `proptest!` bodies.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Drive one property: generate `cases` inputs and run the body on each.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) when the body reports a
+/// failed `prop_assert*!`.
+pub fn run_property(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> (String, TestCaseResult),
+) {
+    let mut rejected = 0u32;
+    for i in 0..config.cases {
+        let mut rng = case_rng(test_name, i);
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => {}
+            Err(TestCaseError::Reject) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{test_name}` failed at case {i}: {msg}\n  inputs: {inputs}")
+            }
+        }
+    }
+    if rejected == config.cases && config.cases > 0 {
+        panic!("property `{test_name}` rejected every generated case");
+    }
+}
+
+/// The property-test entry macro (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_property(stringify!($name), &config, |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), rng);)*
+                let inputs = {
+                    let parts: Vec<String> = vec![
+                        $(format!("{} = {:?}", stringify!($arg), &$arg)),*
+                    ];
+                    parts.join(", ")
+                };
+                let case_body = || -> $crate::TestCaseResult {
+                    $body
+                    Ok(())
+                };
+                (inputs, case_body())
+            });
+        }
+    )*};
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::Fail(format!(
+                        "assertion `left == right` failed\n  left: {:?}\n right: {:?}",
+                        l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::Fail(format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        format!($($fmt)*), l, r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Skip cases that do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_inclusive_and_exclusive(a in 1u32..=8, b in 0usize..4) {
+            prop_assert!((1..=8).contains(&a));
+            prop_assert!(b < 4);
+        }
+
+        #[test]
+        fn regex_subset_shapes(s in "[a-d]", t in "[a-f]{1,3}") {
+            prop_assert_eq!(s.len(), 1);
+            prop_assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+            prop_assert!((1..=3).contains(&t.len()));
+            prop_assert!(t.chars().all(|c| ('a'..='f').contains(&c)));
+        }
+
+        #[test]
+        fn tuples_and_vecs(pairs in prop::collection::vec(("[a-b]", 0u64..10), 0..5)) {
+            prop_assert!(pairs.len() < 5);
+            for (s, n) in &pairs {
+                prop_assert!(s == "a" || s == "b");
+                prop_assert!(*n < 10);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_inputs() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn config_with_cases_is_honored() {
+        let mut runs = 0;
+        crate::run_property("counting", &ProptestConfig::with_cases(17), |_| {
+            runs += 1;
+            (String::new(), Ok(()))
+        });
+        assert_eq!(runs, 17);
+    }
+}
