@@ -40,6 +40,7 @@ fn main() {
                 max_steps: steps,
                 conflict_budget: 400_000,
                 symbolic_mem_init: true,
+                ..BmcOptions::default()
             },
         )
         .expect("bmc runs")
@@ -95,6 +96,7 @@ fn main() {
                 max_steps: steps,
                 conflict_budget: 400_000,
                 symbolic_mem_init: true,
+                ..BmcOptions::default()
             },
         )
         .expect("bmc runs")

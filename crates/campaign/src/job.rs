@@ -5,7 +5,7 @@ use rtlcov_sim::SimKind;
 use std::fmt;
 
 /// A coverage-producing backend a campaign can schedule jobs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Backend {
     /// One of the software simulators.
     Sim(SimKind),
@@ -44,6 +44,21 @@ impl Backend {
     /// whole input space symbolically, so extra shards add nothing.
     pub fn is_sharded(&self) -> bool {
         !matches!(self, Backend::Formal)
+    }
+
+    /// The next backend down the degradation chain when this one is
+    /// quarantined for a design: Fpga → Compiled → Interp, Essent →
+    /// Interp. The interpreter is the chain's floor (fewest moving
+    /// parts), and formal has no replacement — no simulator reproduces
+    /// a symbolic result.
+    pub fn fallback(&self) -> Option<Backend> {
+        match self {
+            Backend::Fpga => Some(Backend::Sim(SimKind::Compiled)),
+            Backend::Sim(SimKind::Compiled) | Backend::Sim(SimKind::Essent) => {
+                Some(Backend::Sim(SimKind::Interp))
+            }
+            Backend::Sim(SimKind::Interp) | Backend::Formal => None,
+        }
     }
 }
 
@@ -87,6 +102,31 @@ mod tests {
             assert_eq!(Backend::parse(b.name()), Some(b));
         }
         assert_eq!(Backend::parse("vcs"), None);
+    }
+
+    #[test]
+    fn fallback_chain_terminates_at_the_interpreter() {
+        use rtlcov_sim::SimKind;
+        for backend in Backend::ALL {
+            // every chain is finite and ends at a backend with no fallback
+            let mut b = backend;
+            let mut hops = 0;
+            while let Some(next) = b.fallback() {
+                b = next;
+                hops += 1;
+                assert!(hops <= Backend::ALL.len(), "cycle in fallback chain");
+            }
+            assert!(matches!(b, Backend::Sim(SimKind::Interp) | Backend::Formal));
+        }
+        assert_eq!(
+            Backend::Fpga.fallback(),
+            Some(Backend::Sim(SimKind::Compiled))
+        );
+        assert_eq!(
+            Backend::Formal.fallback(),
+            None,
+            "no simulator reproduces a symbolic result"
+        );
     }
 
     #[test]

@@ -41,20 +41,76 @@ pub fn render(result: &CampaignResult, metrics: Metrics) -> String {
     out
 }
 
-/// One-line-per-job campaign summary (outcome + totals).
+/// One-line-per-job campaign summary (outcome + totals + fault stats).
 pub fn summary(result: &CampaignResult) -> String {
     let mut out = String::new();
     for (job, outcome) in &result.outcomes {
         out.push_str(&format!("{:<40} {outcome:?}\n", job.id()));
     }
     out.push_str(&format!(
-        "total: {} completed, {} resumed, {} cancelled, {} failed; {} cover points ({} hit)\n",
+        "total: {} completed, {} resumed, {} cancelled, {} degraded, {} timed out, \
+         {} failed, {} panicked; {} cover points ({} hit)\n",
         result.completed(),
         result.resumed(),
         result.cancelled(),
+        result.degraded(),
+        result.timed_out(),
         result.failed(),
+        result.panicked(),
         result.merged.len(),
         result.merged.covered(),
     ));
+    let noisy: Vec<_> = result
+        .stats
+        .per_backend
+        .iter()
+        .filter(|(_, s)| !s.is_quiet())
+        .collect();
+    if !noisy.is_empty() {
+        out.push_str("backend faults:\n");
+        for (backend, s) in noisy {
+            out.push_str(&format!(
+                "  {backend:<10} {} failures ({} panics), {} timeouts, {} retries, \
+                 {} degraded away, {} absorbed\n",
+                s.failures, s.panics, s.timeouts, s.retries, s.degraded_from, s.degraded_to,
+            ));
+        }
+    }
+    if !result.stats.quarantined.is_empty() {
+        let pairs: Vec<String> = result
+            .stats
+            .quarantined
+            .iter()
+            .map(|(design, backend)| format!("{design}/{backend}"))
+            .collect();
+        out.push_str(&format!("quarantined: {}\n", pairs.join(", ")));
+    }
+    if result.stats.respawned_workers > 0 {
+        out.push_str(&format!(
+            "respawned workers: {}\n",
+            result.stats.respawned_workers
+        ));
+    }
     out
+}
+
+/// The one-line campaign health verdict, suitable for a final status line
+/// and for deciding the process exit code.
+pub fn health(result: &CampaignResult) -> String {
+    format!(
+        "campaign {}: {} completed, {} resumed, {} cancelled, {} degraded, \
+         {} timed out, {} failed, {} panicked",
+        if result.healthy() {
+            "healthy"
+        } else {
+            "UNHEALTHY"
+        },
+        result.completed(),
+        result.resumed(),
+        result.cancelled(),
+        result.degraded(),
+        result.timed_out(),
+        result.failed(),
+        result.panicked(),
+    )
 }

@@ -1,15 +1,16 @@
 //! The campaign scheduler: fan (design × shard × backend) jobs out over a
-//! worker pool, stream per-shard coverage back to a coordinator, and stop
-//! paying for designs whose coverage has saturated.
+//! supervised worker pool, stream per-shard coverage back to a
+//! coordinator, and survive backend faults without aborting the campaign.
 //!
 //! Topology:
 //!
 //! ```text
-//!   job queue ──▶ worker 0 ─┐
-//!   (Mutex<VecDeque>)  ...  ├─ mpsc ─▶ coordinator: MergeTree per design
-//!              ──▶ worker N ─┘          SaturationTracker per design
-//!                    ▲                  ShardStore persistence
-//!                    └── per-design cancel flags (AtomicBool) ◀──┘
+//!   Dispatcher ──▶ worker 0 ─┐
+//!   (poison-tolerant    ...  ├─ mpsc ─▶ coordinator: MergeTree per design
+//!    Condvar queue) worker N ─┘   ▲      SaturationTracker per design
+//!        ▲             ▲          │      ShardStore (read-back verified)
+//!        │       supervisor ──────┘      retry / quarantine / degrade
+//!        └────── (respawns dead workers, recovers in-flight jobs)
 //! ```
 //!
 //! Workers instrument nothing themselves: each design is instrumented
@@ -17,27 +18,54 @@
 //! pipeline once per design, not once per job. The coordinator is the
 //! only writer of merged state and shard files; workers only simulate.
 //!
+//! Fault tolerance, in layers:
+//!
+//! * **Panic isolation** — every job runs under `catch_unwind`; a
+//!   panicking backend yields [`JobOutcome::Panicked`] (after retries),
+//!   never a campaign abort. Workers that die outside the guard (or while
+//!   holding the queue lock, poisoning it) are detected by a supervisor
+//!   thread that recovers the in-flight job and respawns the worker,
+//!   bounded by a respawn budget.
+//! * **Deadlines** — [`CampaignConfig::job_fuel`] bounds each job (clock
+//!   steps for simulators and FPGA, SAT conflicts for formal); a job that
+//!   runs dry ends as [`JobOutcome::TimedOut`] with its partial coverage
+//!   still merged (partial shards are *not* persisted, so a resume
+//!   re-runs them).
+//! * **Retry & degradation** — failed attempts retry on the same backend
+//!   up to [`CampaignConfig::max_retries`] times with deterministic
+//!   seeded backoff; once the budget is spent the (design, backend) pair
+//!   is quarantined and the job reruns down the fallback chain
+//!   ([`Backend::fallback`]: Fpga → Compiled → Interp), ending as
+//!   [`JobOutcome::Degraded`]. Because all backends produce bit-identical
+//!   maps for the same workload, degradation trades speed, not results.
+//!
 //! Determinism: `CoverageMap::merge` is a saturating sum, associative and
 //! commutative, so with plateau cancellation disabled the merged map is
-//! bit-identical for any worker count and any completion order. Plateau
-//! cancellation (`plateau > 0`) deliberately trades that for wall-clock:
-//! after `plateau` consecutive shards of a design with no newly hit cover
-//! point, the design's remaining jobs are cancelled.
+//! bit-identical for any worker count and any completion order — and,
+//! because degraded backends reproduce the same per-job maps, for any
+//! injected fault load that still lets every job complete somewhere.
+//! Plateau cancellation (`plateau > 0`) deliberately trades that for
+//! wall-clock: after `plateau` consecutive shards of a design with no
+//! newly hit cover point, the design's remaining jobs are cancelled.
 
+use crate::faults::{FaultKind, FaultPlan};
 use crate::job::{Backend, JobSpec};
 use crate::merge::{MergeTree, SaturationTracker};
 use crate::shard::{ShardFormat, ShardStore};
+use crate::supervisor::{retry_backoff, Attempt, Dispatcher, InFlight, Quarantine, RespawnBudget};
 use rtlcov_core::instrument::{CoverageCompiler, Instrumented, Metrics};
 use rtlcov_core::CoverageMap;
 use rtlcov_designs::workloads::campaign_workload;
 use rtlcov_formal::bmc::{self, BmcOptions};
 use rtlcov_fpga::FpgaBackend;
 use rtlcov_sim::elaborate::{elaborate, FlatCircuit};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -65,6 +93,16 @@ pub struct CampaignConfig {
     pub format: ShardFormat,
     /// Bound for formal jobs.
     pub bmc_steps: usize,
+    /// Retries per (job, backend) before the pair is quarantined and the
+    /// job degrades down the fallback chain.
+    pub max_retries: u32,
+    /// Per-job deadline: clock steps for simulators and FPGA, cumulative
+    /// SAT conflicts for formal. `None` leaves jobs unbounded.
+    pub job_fuel: Option<u64>,
+    /// Faults to inject (robustness testing). `None` injects nothing.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Seed for the deterministic retry backoff jitter.
+    pub backoff_seed: u64,
 }
 
 impl Default for CampaignConfig {
@@ -80,6 +118,10 @@ impl Default for CampaignConfig {
             shard_dir: None,
             format: ShardFormat::Binary,
             bmc_steps: 10,
+            max_retries: 1,
+            job_fuel: None,
+            faults: None,
+            backoff_seed: 0x72746c63,
         }
     }
 }
@@ -96,17 +138,75 @@ impl fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
-/// How one scheduled job ended.
+/// How one scheduled job ended. `Completed`, `Resumed`, `Cancelled`, and
+/// `Degraded` are healthy; `TimedOut`, `Failed`, and `Panicked` make the
+/// campaign unhealthy ([`CampaignResult::healthy`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobOutcome {
-    /// Ran and merged.
+    /// Ran and merged on the requested backend.
     Completed,
     /// Loaded from a previously persisted shard instead of running.
     Resumed,
     /// Skipped because its design saturated first.
     Cancelled,
-    /// The backend failed (error message).
+    /// Completed, but on a fallback backend after the requested
+    /// (design, backend) pair was quarantined.
+    Degraded {
+        /// The backend originally requested.
+        from: Backend,
+        /// The backend that actually produced the map.
+        to: Backend,
+    },
+    /// Ran out of fuel; its partial coverage was merged but not persisted.
+    TimedOut,
+    /// The backend failed on every retry and no fallback remained.
     Failed(String),
+    /// The backend panicked on every retry and no fallback remained
+    /// (message is the recovered panic payload).
+    Panicked(String),
+}
+
+/// Per-backend fault-handling counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Failed attempts (errors, panics, persist failures).
+    pub failures: u64,
+    /// The subset of failures that were panics.
+    pub panics: u64,
+    /// Jobs that ran out of fuel on this backend.
+    pub timeouts: u64,
+    /// Attempts requeued for retry on this backend.
+    pub retries: u64,
+    /// Jobs this backend handed down the fallback chain.
+    pub degraded_from: u64,
+    /// Jobs this backend absorbed from a quarantined backend.
+    pub degraded_to: u64,
+}
+
+impl BackendStats {
+    /// Whether every counter is zero (nothing to report).
+    pub fn is_quiet(&self) -> bool {
+        *self == BackendStats::default()
+    }
+}
+
+/// Campaign-wide fault-handling statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignStats {
+    /// Counters keyed by [`Backend::name`].
+    pub per_backend: BTreeMap<String, BackendStats>,
+    /// (design, backend) pairs quarantined during the run.
+    pub quarantined: Vec<(String, Backend)>,
+    /// Worker threads the supervisor replaced after a crash.
+    pub respawned_workers: u32,
+}
+
+impl CampaignStats {
+    fn backend_mut(&mut self, backend: Backend) -> &mut BackendStats {
+        self.per_backend
+            .entry(backend.name().to_string())
+            .or_default()
+    }
 }
 
 /// Everything a finished campaign knows.
@@ -121,6 +221,8 @@ pub struct CampaignResult {
     pub instrumented: BTreeMap<String, Instrumented>,
     /// Outcome of every scheduled job, in job-id order.
     pub outcomes: Vec<(JobSpec, JobOutcome)>,
+    /// Fault-handling counters (retries, panics, degradations, respawns).
+    pub stats: CampaignStats,
 }
 
 impl CampaignResult {
@@ -143,9 +245,31 @@ impl CampaignResult {
         self.count(|o| matches!(o, JobOutcome::Cancelled))
     }
 
-    /// Jobs that failed.
+    /// Jobs completed on a fallback backend.
+    pub fn degraded(&self) -> usize {
+        self.count(|o| matches!(o, JobOutcome::Degraded { .. }))
+    }
+
+    /// Jobs that ran out of fuel.
+    pub fn timed_out(&self) -> usize {
+        self.count(|o| matches!(o, JobOutcome::TimedOut))
+    }
+
+    /// Jobs that failed terminally.
     pub fn failed(&self) -> usize {
         self.count(|o| matches!(o, JobOutcome::Failed(_)))
+    }
+
+    /// Jobs that panicked terminally.
+    pub fn panicked(&self) -> usize {
+        self.count(|o| matches!(o, JobOutcome::Panicked(_)))
+    }
+
+    /// Whether every job ended in a coverage-producing outcome. Degraded
+    /// and cancelled jobs are healthy; timed-out, failed, and panicked
+    /// jobs are not.
+    pub fn healthy(&self) -> bool {
+        self.failed() + self.panicked() + self.timed_out() == 0
     }
 }
 
@@ -158,9 +282,30 @@ struct DesignContext {
 }
 
 enum Event {
-    Done { job: JobSpec, map: CoverageMap },
-    Cancelled { job: JobSpec },
-    Failed { job: JobSpec, error: String },
+    /// A job produced a map; `partial` marks a fuel-exhausted run.
+    Done {
+        attempt: Attempt,
+        map: CoverageMap,
+        partial: bool,
+    },
+    Cancelled {
+        attempt: Attempt,
+    },
+    Failed {
+        attempt: Attempt,
+        error: String,
+    },
+    Panicked {
+        attempt: Attempt,
+        message: String,
+    },
+    /// The supervisor found a worker dead outside the unwind guard.
+    WorkerCrashed {
+        attempt: Option<Attempt>,
+        respawned: bool,
+    },
+    /// Every worker is dead and the respawn budget is spent.
+    WorkersExhausted,
 }
 
 /// Enumerate the full job list for a config, in scheduling order
@@ -185,40 +330,327 @@ pub fn job_list(config: &CampaignConfig) -> Vec<JobSpec> {
     jobs
 }
 
+/// The fuel to hand a simulation job: the configured budget, or — when a
+/// stall fault is injected without one — half the trace so the runaway is
+/// guaranteed to starve mid-workload.
+fn effective_fuel(job_fuel: Option<u64>, stall: bool, trace_cycles: usize) -> Option<u64> {
+    match (job_fuel, stall) {
+        (Some(fuel), _) => Some(fuel),
+        (None, true) => Some((trace_cycles as u64 / 2).max(1)),
+        (None, false) => None,
+    }
+}
+
+/// Execute one attempt on `run_on` (the effective backend after any
+/// degradation). Returns the coverage map and whether the job starved
+/// mid-run (`true` = partial map, job timed out). A `stall` fault makes
+/// the job run away — it keeps stepping until the fuel deadline ends it,
+/// which is exactly what the deadline exists to contain.
 fn run_job(
     job: &JobSpec,
+    run_on: Backend,
     ctx: &DesignContext,
     config: &CampaignConfig,
-) -> Result<CoverageMap, String> {
-    match job.backend {
+    stall: bool,
+) -> Result<(CoverageMap, bool), String> {
+    match run_on {
         Backend::Sim(kind) => {
             let mut sim = kind
                 .build(&ctx.instrumented.circuit)
                 .map_err(|e| e.to_string())?;
             let workload = campaign_workload(&ctx.name, job.shard, config.scale)
                 .ok_or_else(|| format!("no workload for design `{}`", ctx.name))?;
-            Ok(workload.run(&mut *sim))
+            let fuel = effective_fuel(config.job_fuel, stall, workload.trace.cycles());
+            if let Some(fuel) = fuel {
+                sim.set_fuel(fuel);
+            }
+            let mut map = workload.run(&mut *sim);
+            if stall {
+                while !sim.out_of_fuel() {
+                    sim.step();
+                }
+                map = sim.cover_counts();
+            }
+            Ok((map, sim.out_of_fuel()))
         }
         Backend::Fpga => {
             let mut sim = FpgaBackend::with_default_width(&ctx.instrumented.circuit)
                 .map_err(|e| e.to_string())?;
             let workload = campaign_workload(&ctx.name, job.shard, config.scale)
                 .ok_or_else(|| format!("no workload for design `{}`", ctx.name))?;
-            Ok(workload.run(&mut sim))
+            let fuel = effective_fuel(config.job_fuel, stall, workload.trace.cycles());
+            if let Some(fuel) = fuel {
+                rtlcov_sim::Simulator::set_fuel(&mut sim, fuel);
+            }
+            let mut map = workload.run(&mut sim);
+            if stall {
+                while !rtlcov_sim::Simulator::out_of_fuel(&sim) {
+                    rtlcov_sim::Simulator::step(&mut sim);
+                }
+                map = rtlcov_sim::Simulator::cover_counts(&sim);
+            }
+            Ok((map, rtlcov_sim::Simulator::out_of_fuel(&sim)))
         }
         Backend::Formal => {
             let flat = ctx
                 .flat
                 .as_ref()
                 .ok_or("design was not elaborated for formal")?;
-            bmc::cover_map(
+            let fuel = if stall { Some(1) } else { config.job_fuel };
+            let (map, exhausted) = bmc::cover_map_fueled(
                 flat,
                 BmcOptions {
                     max_steps: config.bmc_steps,
+                    fuel,
                     ..Default::default()
                 },
             )
-            .map_err(|e| e.to_string())
+            .map_err(|e| e.to_string())?;
+            Ok((map, exhausted))
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}
+
+/// Everything a worker thread needs, bundled so the supervisor can spawn
+/// replacements with one copy.
+#[derive(Clone, Copy)]
+struct WorkerEnv<'a> {
+    dispatcher: &'a Dispatcher,
+    in_flight: &'a InFlight,
+    quarantine: &'a Quarantine,
+    cancel: &'a HashMap<String, AtomicBool>,
+    context_of: &'a HashMap<&'a str, &'a DesignContext>,
+    config: &'a CampaignConfig,
+}
+
+/// Fault matching uses the *effective* coordinates — a site pinned to a
+/// backend stops firing once the job has degraded off that backend, so a
+/// hard fault on Fpga does not chase the job down to Compiled.
+fn fault_coords(attempt: &Attempt) -> JobSpec {
+    JobSpec {
+        design: attempt.job.design.clone(),
+        shard: attempt.job.shard,
+        backend: attempt.run_on,
+    }
+}
+
+fn fires(config: &CampaignConfig, kind: FaultKind, coords: &JobSpec, attempt: u32) -> bool {
+    config
+        .faults
+        .as_ref()
+        .is_some_and(|plan| plan.fire(kind, coords, attempt))
+}
+
+fn worker_loop(slot: usize, env: WorkerEnv<'_>, sender: &mpsc::Sender<Event>) {
+    while let Some(mut attempt) = env.dispatcher.next() {
+        // route around pairs quarantined while the attempt sat queued
+        match env.quarantine.resolve(&attempt.job.design, attempt.run_on) {
+            Some(backend) => {
+                if backend != attempt.run_on {
+                    attempt.run_on = backend;
+                    attempt.attempt = 0;
+                }
+            }
+            None => {
+                let _ = sender.send(Event::Failed {
+                    attempt,
+                    error: "every backend in the fallback chain is quarantined".into(),
+                });
+                continue;
+            }
+        }
+        env.in_flight.begin(slot, &attempt);
+        let coords = fault_coords(&attempt);
+        if fires(env.config, FaultKind::PoisonQueue, &coords, attempt.attempt) {
+            env.dispatcher.poison(); // dies holding the queue lock
+        }
+        if fires(env.config, FaultKind::KillWorker, &coords, attempt.attempt) {
+            panic!("injected fault: worker thread killed");
+        }
+        if env
+            .cancel
+            .get(attempt.job.design.as_str())
+            .is_some_and(|flag| flag.load(Ordering::SeqCst))
+        {
+            env.in_flight.finish(slot);
+            let _ = sender.send(Event::Cancelled { attempt });
+            continue;
+        }
+        std::thread::sleep(retry_backoff(
+            env.config.backoff_seed,
+            &attempt.job,
+            attempt.attempt,
+        ));
+        let event = if fires(env.config, FaultKind::Error, &coords, attempt.attempt) {
+            Event::Failed {
+                attempt,
+                error: "injected fault: backend error".into(),
+            }
+        } else {
+            let stall = fires(env.config, FaultKind::Stall, &coords, attempt.attempt);
+            let inject_panic = fires(env.config, FaultKind::Panic, &coords, attempt.attempt);
+            let ctx = env.context_of[attempt.job.design.as_str()];
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if inject_panic {
+                    panic!("injected fault: backend panic");
+                }
+                run_job(&attempt.job, attempt.run_on, ctx, env.config, stall)
+            }));
+            match result {
+                Ok(Ok((map, partial))) => Event::Done {
+                    attempt,
+                    map,
+                    partial,
+                },
+                Ok(Err(error)) => Event::Failed { attempt, error },
+                Err(payload) => Event::Panicked {
+                    attempt,
+                    message: panic_message(payload),
+                },
+            }
+        };
+        env.in_flight.finish(slot);
+        let _ = sender.send(event);
+    }
+}
+
+/// The single-threaded merge/retry/quarantine brain of the campaign.
+struct Coordinator<'a> {
+    config: &'a CampaignConfig,
+    dispatcher: &'a Dispatcher,
+    quarantine: &'a Quarantine,
+    cancel: &'a HashMap<String, AtomicBool>,
+    store: Option<&'a ShardStore>,
+    trees: BTreeMap<String, MergeTree>,
+    trackers: BTreeMap<String, SaturationTracker>,
+    outcomes: HashMap<JobSpec, JobOutcome>,
+    stats: CampaignStats,
+    terminal: usize,
+    workers_gone: bool,
+}
+
+impl Coordinator<'_> {
+    fn merge(&mut self, design: &str, map: CoverageMap) {
+        let Some(tracker) = self.trackers.get_mut(design) else {
+            return;
+        };
+        tracker.observe(&map);
+        if tracker.saturated() {
+            if let Some(flag) = self.cancel.get(design) {
+                flag.store(true, Ordering::SeqCst);
+            }
+        }
+        if let Some(tree) = self.trees.get_mut(design) {
+            tree.insert(map);
+        }
+    }
+
+    fn conclude(&mut self, job: JobSpec, outcome: JobOutcome) {
+        self.outcomes.insert(job, outcome);
+        self.terminal += 1;
+    }
+
+    /// One attempt failed: retry on the same backend while the budget
+    /// lasts, then quarantine the pair and degrade down the chain, and
+    /// only when the chain is exhausted record a terminal outcome.
+    fn fail(&mut self, attempt: Attempt, error: String, panicked: bool) {
+        let stats = self.stats.backend_mut(attempt.run_on);
+        stats.failures += 1;
+        if panicked {
+            stats.panics += 1;
+        }
+        if !self.workers_gone && attempt.attempt < self.config.max_retries {
+            stats.retries += 1;
+            self.dispatcher.push(Attempt {
+                attempt: attempt.attempt + 1,
+                ..attempt
+            });
+            return;
+        }
+        self.quarantine.add(&attempt.job.design, attempt.run_on);
+        if !self.workers_gone {
+            if let Some(next) = self.quarantine.resolve(&attempt.job.design, attempt.run_on) {
+                self.dispatcher.push(Attempt {
+                    job: attempt.job,
+                    run_on: next,
+                    attempt: 0,
+                });
+                return;
+            }
+        }
+        let outcome = if panicked {
+            JobOutcome::Panicked(error)
+        } else {
+            JobOutcome::Failed(error)
+        };
+        self.conclude(attempt.job, outcome);
+    }
+
+    fn on_event(&mut self, event: Event) {
+        match event {
+            Event::Done {
+                attempt,
+                map,
+                partial,
+            } => {
+                if partial {
+                    // the deadline ended the job; its partial coverage is
+                    // real and merges, but the shard is not persisted, so
+                    // a resumed campaign re-runs the job in full
+                    self.stats.backend_mut(attempt.run_on).timeouts += 1;
+                    self.merge(&attempt.job.design, map);
+                    self.conclude(attempt.job, JobOutcome::TimedOut);
+                    return;
+                }
+                if let Some(store) = self.store {
+                    if let Err(e) = store.save_verified(&attempt.job, &map) {
+                        self.fail(attempt, format!("persist: {e}"), false);
+                        return;
+                    }
+                }
+                self.merge(&attempt.job.design, map);
+                let outcome = if attempt.run_on == attempt.job.backend {
+                    JobOutcome::Completed
+                } else {
+                    self.stats.backend_mut(attempt.job.backend).degraded_from += 1;
+                    self.stats.backend_mut(attempt.run_on).degraded_to += 1;
+                    JobOutcome::Degraded {
+                        from: attempt.job.backend,
+                        to: attempt.run_on,
+                    }
+                };
+                self.conclude(attempt.job, outcome);
+            }
+            Event::Cancelled { attempt } => self.conclude(attempt.job, JobOutcome::Cancelled),
+            Event::Failed { attempt, error } => self.fail(attempt, error, false),
+            Event::Panicked { attempt, message } => self.fail(attempt, message, true),
+            Event::WorkerCrashed { attempt, respawned } => {
+                if respawned {
+                    self.stats.respawned_workers += 1;
+                }
+                if let Some(attempt) = attempt {
+                    self.fail(attempt, "worker thread died mid-job".into(), true);
+                }
+            }
+            Event::WorkersExhausted => {
+                self.workers_gone = true;
+                for attempt in self.dispatcher.drain() {
+                    self.conclude(
+                        attempt.job,
+                        JobOutcome::Failed("no live workers left".into()),
+                    );
+                }
+            }
         }
     }
 }
@@ -229,7 +661,8 @@ fn run_job(
 ///
 /// Configuration errors (unknown design/empty axes) and instrumentation
 /// failures abort the whole campaign. Individual job failures do not:
-/// they are reported per job in [`CampaignResult::outcomes`].
+/// they are isolated, retried, degraded, and ultimately reported per job
+/// in [`CampaignResult::outcomes`].
 pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, CampaignError> {
     if config.designs.is_empty() {
         return Err(CampaignError("no designs selected".into()));
@@ -265,11 +698,21 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, CampaignE
     let context_of: HashMap<&str, &DesignContext> =
         contexts.iter().map(|c| (c.name.as_str(), c)).collect();
 
-    // resume: load usable shards, schedule everything else
-    let store = config
-        .shard_dir
-        .as_ref()
-        .map(|d| ShardStore::new(d, config.format));
+    // resume: load usable shards (corrupt writes never survive
+    // `save_verified`, so everything scanned here is trustworthy),
+    // schedule everything else
+    let store = config.shard_dir.as_ref().map(|d| {
+        let mut store = ShardStore::new(d, config.format);
+        if let Some(plan) = &config.faults {
+            let plan = Arc::clone(plan);
+            store = store.with_write_tamper(Arc::new(move |job: &JobSpec, bytes: &mut Vec<u8>| {
+                if plan.fire(FaultKind::Corrupt, job, 0) {
+                    crate::faults::corrupt_bytes(bytes);
+                }
+            }));
+        }
+        store
+    });
     let mut resumed: Vec<(JobSpec, CoverageMap)> = Vec::new();
     if let Some(store) = &store {
         let (shards, _rejected) = store.scan();
@@ -278,7 +721,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, CampaignE
         }
     }
     let all_jobs = job_list(config);
-    let pending: VecDeque<JobSpec> = all_jobs
+    let pending: Vec<JobSpec> = all_jobs
         .iter()
         .filter(|j| !resumed.iter().any(|(r, _)| r == *j))
         .cloned()
@@ -302,75 +745,110 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, CampaignE
     // previously persisted shards participate in the merge (and in the
     // saturation statistics) but are not re-run and not re-persisted
     for (job, map) in resumed {
-        if let Some(tree) = trees.get_mut(&job.design) {
-            let tracker = trackers.get_mut(&job.design).expect("tracker per design");
+        if let (Some(tree), Some(tracker)) =
+            (trees.get_mut(&job.design), trackers.get_mut(&job.design))
+        {
             tracker.observe(&map);
             tree.insert(map);
             outcomes.insert(job, JobOutcome::Resumed);
         }
     }
 
-    let queue = Mutex::new(pending);
+    let dispatcher = Dispatcher::new(pending.into_iter().map(Attempt::first));
+    let in_flight = InFlight::new(workers);
+    let quarantine = Quarantine::default();
     let (sender, receiver) = mpsc::channel::<Event>();
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let sender = sender.clone();
-            let queue = &queue;
-            let cancel = &cancel;
-            let context_of = &context_of;
-            scope.spawn(move || loop {
-                let job = match queue.lock().expect("queue lock").pop_front() {
-                    Some(job) => job,
-                    None => break,
-                };
-                if cancel[job.design.as_str()].load(Ordering::SeqCst) {
-                    let _ = sender.send(Event::Cancelled { job });
-                    continue;
-                }
-                let ctx = context_of[job.design.as_str()];
-                let event = match run_job(&job, ctx, config) {
-                    Ok(map) => Event::Done { job, map },
-                    Err(error) => Event::Failed { job, error },
-                };
-                let _ = sender.send(event);
-            });
-        }
-        drop(sender);
+    let mut coordinator = Coordinator {
+        config,
+        dispatcher: &dispatcher,
+        quarantine: &quarantine,
+        cancel: &cancel,
+        store: store.as_ref(),
+        trees,
+        trackers,
+        outcomes,
+        stats: CampaignStats::default(),
+        terminal: 0,
+        workers_gone: false,
+    };
+    for backend in &config.backends {
+        coordinator.stats.backend_mut(*backend); // stable report keys
+    }
+    let env = WorkerEnv {
+        dispatcher: &dispatcher,
+        in_flight: &in_flight,
+        quarantine: &quarantine,
+        cancel: &cancel,
+        context_of: &context_of,
+        config,
+    };
+    let respawn_max = u32::try_from(workers).unwrap_or(u32::MAX).saturating_mul(8);
 
-        for event in receiver.iter().take(scheduled) {
-            match event {
-                Event::Done { job, map } => {
-                    if let Some(store) = &store {
-                        if let Err(e) = store.save(&job, &map) {
-                            outcomes.insert(job, JobOutcome::Failed(format!("persist: {e}")));
-                            continue;
+    std::thread::scope(|scope| {
+        // the supervisor owns the worker handles: it polls them, recovers
+        // the in-flight job of any worker that died outside the unwind
+        // guard, and respawns replacements until its budget runs out
+        scope.spawn(move || {
+            let spawn_worker = |slot: usize| {
+                let sender = sender.clone();
+                scope.spawn(move || worker_loop(slot, env, &sender))
+            };
+            let mut handles: Vec<Option<std::thread::ScopedJoinHandle<'_, ()>>> =
+                (0..workers).map(|slot| Some(spawn_worker(slot))).collect();
+            let mut budget = RespawnBudget::new(respawn_max);
+            loop {
+                let mut alive = 0usize;
+                for (slot, handle) in handles.iter_mut().enumerate() {
+                    let finished = handle.as_ref().is_some_and(|h| h.is_finished());
+                    if finished {
+                        let crashed = handle.take().expect("handle present").join().is_err();
+                        if crashed {
+                            let attempt = env.in_flight.take(slot);
+                            let respawned = !env.dispatcher.is_shutdown() && budget.claim();
+                            let _ = sender.send(Event::WorkerCrashed { attempt, respawned });
+                            if respawned {
+                                *handle = Some(spawn_worker(slot));
+                                alive += 1;
+                            }
                         }
+                    } else if handle.is_some() {
+                        alive += 1;
                     }
-                    let tracker = trackers.get_mut(&job.design).expect("tracker per design");
-                    tracker.observe(&map);
-                    if tracker.saturated() {
-                        cancel[job.design.as_str()].store(true, Ordering::SeqCst);
+                }
+                if alive == 0 {
+                    if env.dispatcher.is_shutdown() {
+                        break;
                     }
-                    trees
-                        .get_mut(&job.design)
-                        .expect("tree per design")
-                        .insert(map);
-                    outcomes.insert(job, JobOutcome::Completed);
+                    let _ = sender.send(Event::WorkersExhausted);
+                    while !env.dispatcher.is_shutdown() {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    break;
                 }
-                Event::Cancelled { job } => {
-                    outcomes.insert(job, JobOutcome::Cancelled);
-                }
-                Event::Failed { job, error } => {
-                    outcomes.insert(job, JobOutcome::Failed(error));
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        });
+
+        while coordinator.terminal < scheduled {
+            match receiver.recv() {
+                Ok(event) => coordinator.on_event(event),
+                Err(_) => {
+                    // every sender is gone: account for whatever is left
+                    for attempt in dispatcher.drain() {
+                        coordinator
+                            .conclude(attempt.job, JobOutcome::Failed("worker pool lost".into()));
+                    }
+                    break;
                 }
             }
         }
+        dispatcher.shutdown();
     });
 
     let mut per_design = BTreeMap::new();
     let mut merged = CoverageMap::new();
-    for (design, tree) in &trees {
+    for (design, tree) in &coordinator.trees {
         let map = tree.merged();
         for (name, count) in map.iter() {
             let global = format!("{design}::{name}");
@@ -379,8 +857,10 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, CampaignE
         }
         per_design.insert(design.clone(), map);
     }
-    let mut outcomes: Vec<(JobSpec, JobOutcome)> = outcomes.into_iter().collect();
+    let mut outcomes: Vec<(JobSpec, JobOutcome)> = coordinator.outcomes.into_iter().collect();
     outcomes.sort_by_key(|(job, _)| job.id());
+    let mut stats = coordinator.stats;
+    stats.quarantined = quarantine.pairs();
     let instrumented = contexts
         .into_iter()
         .map(|c| (c.name, c.instrumented))
@@ -390,6 +870,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, CampaignE
         per_design,
         instrumented,
         outcomes,
+        stats,
     })
 }
 
@@ -433,8 +914,10 @@ mod tests {
         let result = run_campaign(&config).unwrap();
         assert_eq!(result.completed(), 2);
         assert_eq!(result.failed(), 0);
+        assert!(result.healthy());
+        assert_eq!(result.stats.respawned_workers, 0);
         let gcd = &result.per_design["gcd"];
-        assert!(gcd.len() > 0, "line instrumentation yields cover points");
+        assert!(!gcd.is_empty(), "line instrumentation yields cover points");
         assert_eq!(result.merged.len(), gcd.len());
         for (name, _) in result.merged.iter() {
             assert!(name.starts_with("gcd::"), "{name}");
@@ -488,5 +971,23 @@ mod tests {
         let result = run_campaign(&config).unwrap();
         assert!(result.cancelled() >= 1, "outcomes: {:?}", result.outcomes);
         assert_eq!(result.completed() + result.cancelled(), 8);
+    }
+
+    #[test]
+    fn job_fuel_times_jobs_out_with_partial_coverage() {
+        let config = CampaignConfig {
+            job_fuel: Some(3),
+            ..quick(&["gcd"], vec![Backend::Sim(SimKind::Interp)])
+        };
+        let result = run_campaign(&config).unwrap();
+        assert_eq!(result.timed_out(), 2, "outcomes: {:?}", result.outcomes);
+        assert!(!result.healthy());
+        assert_eq!(result.stats.per_backend["interp"].timeouts, 2);
+        // partial coverage still merged (gcd covers something in 3 cycles
+        // of reset+stimulus is not guaranteed, but the map's key set is)
+        assert!(!result.merged.is_empty());
+        // deterministic: the same fuel yields the same partial merge
+        let again = run_campaign(&config).unwrap();
+        assert_eq!(result.merged, again.merged);
     }
 }

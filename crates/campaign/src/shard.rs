@@ -24,6 +24,7 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Envelope magic for binary shards (distinct from the inner `RCOV`
 /// payload magic).
@@ -87,11 +88,26 @@ pub struct Shard {
     pub map: CoverageMap,
 }
 
+/// A fault-injection hook mutating encoded shard bytes just before they
+/// reach the filesystem (models a torn or bit-rotted write).
+pub type WriteTamper = Arc<dyn Fn(&JobSpec, &mut Vec<u8>) + Send + Sync>;
+
 /// A directory of shard artifacts.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ShardStore {
     dir: PathBuf,
     format: ShardFormat,
+    tamper: Option<WriteTamper>,
+}
+
+impl fmt::Debug for ShardStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardStore")
+            .field("dir", &self.dir)
+            .field("format", &self.format)
+            .field("tamper", &self.tamper.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl ShardStore {
@@ -100,7 +116,17 @@ impl ShardStore {
         ShardStore {
             dir: dir.into(),
             format,
+            tamper: None,
         }
+    }
+
+    /// Install a write-tamper hook (fault injection: the hook corrupts
+    /// the encoded bytes of selected shards before they hit disk).
+    /// [`ShardStore::save_verified`] is what keeps such corruption from
+    /// ever entering a merge or a resume.
+    pub fn with_write_tamper(mut self, tamper: WriteTamper) -> Self {
+        self.tamper = Some(tamper);
+        self
     }
 
     /// The directory this store persists into.
@@ -122,14 +148,39 @@ impl ShardStore {
     pub fn save(&self, job: &JobSpec, map: &CoverageMap) -> io::Result<PathBuf> {
         fs::create_dir_all(&self.dir)?;
         let path = self.path_for(job);
-        let bytes = match self.format {
+        let mut bytes = match self.format {
             ShardFormat::Json => encode_json(job, map).into_bytes(),
             ShardFormat::Binary => encode_binary(job, map),
         };
+        if let Some(tamper) = &self.tamper {
+            tamper(job, &mut bytes);
+        }
         let tmp = path.with_extension("tmp");
         fs::write(&tmp, bytes)?;
         fs::rename(&tmp, &path)?;
         Ok(path)
+    }
+
+    /// Persist one shard and read it straight back, proving the bytes on
+    /// disk decode to exactly the map in memory. On any mismatch the file
+    /// is deleted and an error returned, so a corrupted write can never
+    /// leak into a later merge or resume — the job is simply re-run.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures, plus [`ShardError::Malformed`] when the
+    /// read-back does not reproduce the input.
+    pub fn save_verified(&self, job: &JobSpec, map: &CoverageMap) -> Result<PathBuf, ShardError> {
+        let path = self
+            .save(job, map)
+            .map_err(|e| ShardError::Io(e.to_string()))?;
+        let verdict = match Self::load(&path) {
+            Ok(shard) if shard.job == *job && shard.map == *map => return Ok(path),
+            Ok(_) => ShardError::Malformed("read-back does not match the map in memory".into()),
+            Err(e) => e,
+        };
+        let _ = fs::remove_file(&path);
+        Err(verdict)
     }
 
     /// Load one shard file (format inferred from the contents, not the
@@ -422,6 +473,27 @@ mod tests {
         );
         assert_eq!(rejected.len(), 1);
         assert!(rejected[0].0.ends_with("junk.covshard.bin"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verified_save_deletes_tampered_shards() {
+        let dir = tmp_dir("tamper");
+        for format in [ShardFormat::Json, ShardFormat::Binary] {
+            let store = ShardStore::new(&dir, format).with_write_tamper(Arc::new(
+                |_job: &JobSpec, bytes: &mut Vec<u8>| crate::faults::corrupt_bytes(bytes),
+            ));
+            let err = store.save_verified(&sample_job(), &sample_map());
+            assert!(err.is_err(), "{format:?}: corruption must be detected");
+            assert!(
+                !store.path_for(&sample_job()).exists(),
+                "{format:?}: corrupt artifact must not survive on disk"
+            );
+            // the untampered store verifies cleanly
+            let clean = ShardStore::new(&dir, format);
+            let path = clean.save_verified(&sample_job(), &sample_map()).unwrap();
+            assert_eq!(ShardStore::load(&path).unwrap().map, sample_map());
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

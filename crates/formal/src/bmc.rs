@@ -25,6 +25,13 @@ pub struct BmcOptions {
     /// choose the program for CPU designs). Memories deeper than 64 words
     /// are rejected in this mode.
     pub symbolic_mem_init: bool,
+    /// Total conflict fuel for the whole run (`None` = unlimited): once
+    /// the solver has burned this many conflicts across all cover
+    /// queries, the remaining covers come back [`CoverOutcome::Unknown`]
+    /// and the run reports fuel exhaustion. This is the formal analog of
+    /// a simulator step budget — it turns a runaway solve into a bounded
+    /// partial result.
+    pub fuel: Option<u64>,
 }
 
 impl Default for BmcOptions {
@@ -33,6 +40,7 @@ impl Default for BmcOptions {
             max_steps: 40,
             conflict_budget: 2_000_000,
             symbolic_mem_init: true,
+            fuel: None,
         }
     }
 }
@@ -138,19 +146,49 @@ struct Unrolling {
 /// Fails if the circuit uses operations the encoder does not support or
 /// memories too large for the chosen initialization mode.
 pub fn check_covers(flat: &FlatCircuit, options: BmcOptions) -> Result<Vec<CoverResult>, BmcError> {
-    let mut unrolled = unroll(flat, options)?;
-    unrolled
-        .enc
-        .solver
-        .set_conflict_budget(if options.conflict_budget == 0 {
-            u64::MAX
-        } else {
-            options.conflict_budget
-        });
+    Ok(check_covers_fueled(flat, options)?.0)
+}
 
+/// [`check_covers`] plus fuel accounting: the returned flag is `true` when
+/// [`BmcOptions::fuel`] ran dry before every cover was resolved, in which
+/// case the unexplored covers are reported [`CoverOutcome::Unknown`] and
+/// the results are a valid partial answer.
+///
+/// # Errors
+///
+/// See [`check_covers`].
+pub fn check_covers_fueled(
+    flat: &FlatCircuit,
+    options: BmcOptions,
+) -> Result<(Vec<CoverResult>, bool), BmcError> {
+    let mut unrolled = unroll(flat, options)?;
+    let per_query = if options.conflict_budget == 0 {
+        u64::MAX
+    } else {
+        options.conflict_budget
+    };
+
+    let mut exhausted = false;
     let mut results = Vec::new();
     for ci in 0..unrolled.cover_any.len() {
         let (name, any) = unrolled.cover_any[ci].clone();
+        let spent = unrolled.enc.solver.conflicts();
+        let budget = match options.fuel {
+            Some(fuel) => {
+                let left = fuel.saturating_sub(spent);
+                if left == 0 {
+                    exhausted = true;
+                    results.push(CoverResult {
+                        name,
+                        outcome: CoverOutcome::Unknown,
+                    });
+                    continue;
+                }
+                per_query.min(left)
+            }
+            None => per_query,
+        };
+        unrolled.enc.solver.set_conflict_budget(budget);
         match unrolled.enc.solver.solve_with_assumptions(&[any]) {
             SatResult::Sat => {
                 // first firing step from the model
@@ -168,13 +206,21 @@ pub fn check_covers(flat: &FlatCircuit, options: BmcOptions) -> Result<Vec<Cover
                 name,
                 outcome: CoverOutcome::UnreachableWithin(options.max_steps),
             }),
-            SatResult::Unknown => results.push(CoverResult {
-                name,
-                outcome: CoverOutcome::Unknown,
-            }),
+            SatResult::Unknown => {
+                if options
+                    .fuel
+                    .is_some_and(|fuel| unrolled.enc.solver.conflicts() >= fuel)
+                {
+                    exhausted = true;
+                }
+                results.push(CoverResult {
+                    name,
+                    outcome: CoverOutcome::Unknown,
+                });
+            }
         }
     }
-    Ok(results)
+    Ok((results, exhausted))
 }
 
 /// Run [`check_covers`] and flatten the outcomes into the uniform
@@ -191,14 +237,29 @@ pub fn cover_map(
     flat: &FlatCircuit,
     options: BmcOptions,
 ) -> Result<rtlcov_core::CoverageMap, BmcError> {
+    Ok(cover_map_fueled(flat, options)?.0)
+}
+
+/// [`cover_map`] plus fuel accounting: the flag is `true` when the
+/// conflict fuel ran out, making the map a partial (but sound) answer —
+/// reached covers really are reachable, unresolved covers stay at zero.
+///
+/// # Errors
+///
+/// See [`check_covers`].
+pub fn cover_map_fueled(
+    flat: &FlatCircuit,
+    options: BmcOptions,
+) -> Result<(rtlcov_core::CoverageMap, bool), BmcError> {
     let mut map = rtlcov_core::CoverageMap::new();
-    for result in check_covers(flat, options)? {
+    let (results, exhausted) = check_covers_fueled(flat, options)?;
+    for result in results {
         map.declare(&result.name);
         if matches!(result.outcome, CoverOutcome::Reached { .. }) {
             map.record(&result.name, 1);
         }
     }
-    Ok(map)
+    Ok((map, exhausted))
 }
 
 fn extract_trace(u: &Unrolling, _flat: &FlatCircuit) -> Trace {
@@ -432,6 +493,54 @@ circuit T :
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn fuel_exhaustion_yields_partial_unknowns() {
+        let f = flat(
+            "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<8>
+    cover(clock, eq(a, UInt<8>(42)), UInt<1>(1)) : magic
+    cover(clock, eq(a, UInt<8>(7)), UInt<1>(1)) : lucky
+",
+        );
+        // zero fuel: every cover is Unknown and exhaustion is reported
+        let (results, exhausted) = check_covers_fueled(
+            &f,
+            BmcOptions {
+                max_steps: 1,
+                fuel: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(exhausted, "zero fuel must report exhaustion");
+        assert!(results.iter().all(|r| r.outcome == CoverOutcome::Unknown));
+        let (map, exhausted) = cover_map_fueled(
+            &f,
+            BmcOptions {
+                max_steps: 1,
+                fuel: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(exhausted);
+        assert_eq!(map.count("magic"), Some(0), "unknown covers as unhit");
+        // ample fuel: same result as the unfueled path, no exhaustion
+        let (_, exhausted) = check_covers_fueled(
+            &f,
+            BmcOptions {
+                max_steps: 1,
+                fuel: Some(1_000_000),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!exhausted);
     }
 
     #[test]

@@ -155,6 +155,12 @@ impl Solver {
         self.budget = budget;
     }
 
+    /// Total conflicts encountered across all solve calls so far — the
+    /// cost meter fuel-budgeted BMC runs account against.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
     /// Allocate a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assigns.len() as u32);

@@ -11,7 +11,7 @@ use crate::host::FpgaHost;
 use crate::scan_chain::insert_scan_chain;
 use rtlcov_core::CoverageMap;
 use rtlcov_firrtl::ir::Circuit;
-use rtlcov_sim::{SimError, Simulator};
+use rtlcov_sim::{Fuel, SimError, Simulator};
 use std::cell::RefCell;
 
 /// Default counter width for campaign-launched FPGA jobs: wide enough
@@ -27,6 +27,7 @@ pub const DEFAULT_COUNTER_WIDTH: u32 = 32;
 #[derive(Debug)]
 pub struct FpgaBackend {
     host: RefCell<FpgaHost>,
+    fuel: Fuel,
 }
 
 impl FpgaBackend {
@@ -44,6 +45,7 @@ impl FpgaBackend {
         let host = FpgaHost::new(&transformed, info)?;
         Ok(FpgaBackend {
             host: RefCell::new(host),
+            fuel: Fuel::unlimited(),
         })
     }
 
@@ -77,7 +79,18 @@ impl Simulator for FpgaBackend {
     }
 
     fn step(&mut self) {
+        if !self.fuel.consume() {
+            return;
+        }
         self.host.get_mut().run(1);
+    }
+
+    fn set_fuel(&mut self, fuel: u64) {
+        self.fuel.set(fuel);
+    }
+
+    fn out_of_fuel(&self) -> bool {
+        self.fuel.starved()
     }
 
     fn cover_counts(&self) -> CoverageMap {

@@ -7,7 +7,7 @@
 
 use crate::compile::{compile, Instr, MicroOp, Program};
 use crate::elaborate::elaborate;
-use crate::{SimError, Simulator};
+use crate::{Fuel, SimError, Simulator};
 use rtlcov_core::CoverageMap;
 use rtlcov_firrtl::ir::Circuit;
 use std::collections::HashMap;
@@ -24,6 +24,7 @@ pub struct CompiledSim {
     native_mux: Option<Vec<(u64, u64)>>,
     mux_instrs: Vec<usize>,
     cycles: u64,
+    fuel: Fuel,
 }
 
 impl CompiledSim {
@@ -61,6 +62,7 @@ impl CompiledSim {
             native_mux: None,
             mux_instrs,
             cycles: 0,
+            fuel: Fuel::unlimited(),
         }
     }
 
@@ -265,10 +267,21 @@ impl Simulator for CompiledSim {
     }
 
     fn step(&mut self) {
+        if !self.fuel.consume() {
+            return;
+        }
         self.eval_comb();
         self.sample_covers();
         self.commit();
         self.cycles += 1;
+    }
+
+    fn set_fuel(&mut self, fuel: u64) {
+        self.fuel.set(fuel);
+    }
+
+    fn out_of_fuel(&self) -> bool {
+        self.fuel.starved()
     }
 
     fn cover_counts(&self) -> CoverageMap {

@@ -9,7 +9,7 @@
 use crate::compile::{compile, MicroOp, Program};
 use crate::compiled::exec_instr;
 use crate::elaborate::elaborate;
-use crate::{SimError, Simulator};
+use crate::{Fuel, SimError, Simulator};
 use rtlcov_core::CoverageMap;
 use rtlcov_firrtl::ir::Circuit;
 use std::collections::HashMap;
@@ -28,6 +28,7 @@ pub struct EssentSim {
     cycles: u64,
     executed_instrs: u64,
     total_instr_opportunities: u64,
+    fuel: Fuel,
 }
 
 impl EssentSim {
@@ -57,6 +58,7 @@ impl EssentSim {
             cycles: 0,
             executed_instrs: 0,
             total_instr_opportunities: 0,
+            fuel: Fuel::unlimited(),
         })
     }
 
@@ -163,10 +165,21 @@ impl Simulator for EssentSim {
     }
 
     fn step(&mut self) {
+        if !self.fuel.consume() {
+            return;
+        }
         self.eval_comb();
         self.sample_covers();
         self.commit();
         self.cycles += 1;
+    }
+
+    fn set_fuel(&mut self, fuel: u64) {
+        self.fuel.set(fuel);
+    }
+
+    fn out_of_fuel(&self) -> bool {
+        self.fuel.starved()
     }
 
     fn cover_counts(&self) -> CoverageMap {

@@ -7,7 +7,7 @@
 
 use crate::compile::topo_order;
 use crate::elaborate::{elaborate, Def, FlatCircuit};
-use crate::{SimError, Simulator};
+use crate::{Fuel, SimError, Simulator};
 use rtlcov_core::CoverageMap;
 use rtlcov_firrtl::bv::Bv;
 use rtlcov_firrtl::eval::{eval, Value};
@@ -25,6 +25,7 @@ pub struct InterpSim {
     cover_counts: Vec<u64>,
     cover_values_counts: Vec<HashMap<u64, u64>>,
     cycles: u64,
+    fuel: Fuel,
 }
 
 impl InterpSim {
@@ -69,6 +70,7 @@ impl InterpSim {
             cover_counts,
             cover_values_counts,
             cycles: 0,
+            fuel: Fuel::unlimited(),
         })
     }
 
@@ -219,10 +221,21 @@ impl Simulator for InterpSim {
     }
 
     fn step(&mut self) {
+        if !self.fuel.consume() {
+            return;
+        }
         self.settle();
         self.sample_covers();
         self.commit();
         self.cycles += 1;
+    }
+
+    fn set_fuel(&mut self, fuel: u64) {
+        self.fuel.set(fuel);
+    }
+
+    fn out_of_fuel(&self) -> bool {
+        self.fuel.starved()
     }
 
     fn cover_counts(&self) -> CoverageMap {

@@ -42,6 +42,56 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// A step budget shared by every backend: each [`Simulator::step`] call
+/// consumes one unit, and once the tank is dry further steps are refused
+/// (recorded as starvation) instead of executed. Campaign runners use
+/// this to turn runaway workloads into deterministic timeouts whose
+/// partial coverage is still usable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fuel {
+    remaining: Option<u64>,
+    starved: bool,
+}
+
+impl Fuel {
+    /// No budget: every step is allowed.
+    pub fn unlimited() -> Self {
+        Fuel::default()
+    }
+
+    /// Install a budget of `fuel` steps (clearing any prior starvation).
+    pub fn set(&mut self, fuel: u64) {
+        self.remaining = Some(fuel);
+        self.starved = false;
+    }
+
+    /// Try to consume one unit. Returns `false` — and records starvation —
+    /// when the budget is exhausted; unlimited fuel always succeeds.
+    pub fn consume(&mut self) -> bool {
+        match &mut self.remaining {
+            None => true,
+            Some(0) => {
+                self.starved = true;
+                false
+            }
+            Some(n) => {
+                *n -= 1;
+                true
+            }
+        }
+    }
+
+    /// Whether a step has been refused for lack of fuel.
+    pub fn starved(&self) -> bool {
+        self.starved
+    }
+
+    /// Remaining budget (`None` = unlimited).
+    pub fn remaining(&self) -> Option<u64> {
+        self.remaining
+    }
+}
+
 /// The paper's simulator interface: drive inputs, step the clock, and read
 /// back a map from cover-point name to saturating count.
 pub trait Simulator {
@@ -73,6 +123,21 @@ pub trait Simulator {
         self.poke("reset", 0);
     }
 
+    /// Install a fuel budget of `fuel` clock steps. Once the budget is
+    /// exhausted, [`Simulator::step`] becomes a refusal (state freezes and
+    /// [`Simulator::out_of_fuel`] turns true) rather than an execution.
+    /// Backends without a budget implementation may ignore the call.
+    fn set_fuel(&mut self, fuel: u64) {
+        let _ = fuel;
+    }
+
+    /// Whether a step has been refused because the fuel budget ran dry.
+    /// Drivers (e.g. trace replay) should stop stepping once this is true;
+    /// the coverage accumulated so far remains valid as a partial result.
+    fn out_of_fuel(&self) -> bool {
+        false
+    }
+
     /// The cover-point counts accumulated so far (the §3 interface).
     fn cover_counts(&self) -> CoverageMap;
 
@@ -96,7 +161,7 @@ pub trait Simulator {
 
 /// The software simulator backends as selectable values — the uniform
 /// construction entry point campaign runners fan jobs out over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SimKind {
     /// Tree-walking interpreter ([`interp::InterpSim`], Treadle analog).
     Interp,

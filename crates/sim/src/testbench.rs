@@ -55,9 +55,14 @@ impl InputTrace {
     }
 
     /// Replay the trace against a simulator, returning the coverage map at
-    /// the end (the "minimal testbench" of §5.1).
+    /// the end (the "minimal testbench" of §5.1). If the simulator has a
+    /// fuel budget and runs dry mid-trace, the replay stops early and the
+    /// partial coverage accumulated so far is returned.
     pub fn replay(&self, sim: &mut dyn Simulator) -> CoverageMap {
         for cycle_values in &self.values {
+            if sim.out_of_fuel() {
+                break;
+            }
             for (name, value) in self.inputs.iter().zip(cycle_values) {
                 sim.poke(name, *value);
             }

@@ -8,10 +8,18 @@
 //! rtlcov campaign [--designs a,b] [--backends ...] [--metrics ...]   parallel multi-backend coverage campaign
 //!                 [--shards N] [--scale N] [--workers N] [--plateau K]
 //!                 [--shard-dir DIR] [--format json|bin] [--bmc-steps K]
+//!                 [--max-retries N] [--job-fuel N] [--fault-plan SPEC] [--keep-going]
 //! ```
+//!
+//! `campaign` exits non-zero when any job ends failed, panicked, or timed
+//! out — `--keep-going` downgrades that to a warning (coverage from the
+//! healthy jobs is still printed either way). `--fault-plan` injects
+//! reproducible faults for robustness testing, e.g.
+//! `panic@gcd:0:interp=1,stall@queue:*:*,corrupt@*:1:*=2` or
+//! `random@42:10`.
 
 use rtlcov::campaign::runner::{run_campaign, CampaignConfig};
-use rtlcov::campaign::{report as campaign_report, Backend, ShardFormat};
+use rtlcov::campaign::{report as campaign_report, Backend, FaultPlan, ShardFormat};
 use rtlcov::core::instrument::{CoverageCompiler, Instrumented, Metrics};
 use rtlcov::core::passes::toggle::ToggleOptions;
 use rtlcov::core::report::{
@@ -19,6 +27,7 @@ use rtlcov::core::report::{
 };
 use rtlcov::sim::{compiled::CompiledSim, Simulator};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -28,7 +37,8 @@ fn usage() -> ExitCode {
          rtlcov verilog <file.fir>\n  \
          rtlcov campaign [--designs gcd,queue,...] [--backends interp,compiled,essent,fpga,formal]\n                  \
          [--metrics ...] [--shards N] [--scale N] [--workers N] [--plateau K]\n                  \
-         [--shard-dir DIR] [--format json|bin] [--bmc-steps K]"
+         [--shard-dir DIR] [--format json|bin] [--bmc-steps K]\n                  \
+         [--max-retries N] [--job-fuel N] [--fault-plan SPEC] [--keep-going]"
     );
     ExitCode::from(2)
 }
@@ -57,6 +67,9 @@ struct Args {
     steps: usize,
     seed: u64,
     campaign: CampaignConfig,
+    /// Report unhealthy campaigns (failed/panicked/timed-out jobs) but
+    /// still exit 0.
+    keep_going: bool,
 }
 
 fn parse_list(spec: &str) -> Vec<String> {
@@ -97,11 +110,18 @@ fn parse_args() -> Result<Args, String> {
         steps: 20,
         seed: 0,
         campaign: CampaignConfig::default(),
+        keep_going: false,
     };
     args.campaign.metrics = args.metrics;
     let mut i = if takes_file { 2 } else { 1 };
     while i < argv.len() {
         let flag = argv[i].as_str();
+        // boolean flags take no value
+        if flag == "--keep-going" {
+            args.keep_going = true;
+            i += 1;
+            continue;
+        }
         let value = argv
             .get(i + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
@@ -130,6 +150,16 @@ fn parse_args() -> Result<Args, String> {
             "--bmc-steps" => {
                 args.campaign.bmc_steps = value.parse().map_err(|_| "bad --bmc-steps")?
             }
+            "--max-retries" => {
+                args.campaign.max_retries = value.parse().map_err(|_| "bad --max-retries")?
+            }
+            "--job-fuel" => {
+                args.campaign.job_fuel = Some(value.parse().map_err(|_| "bad --job-fuel")?)
+            }
+            "--fault-plan" => {
+                let plan = FaultPlan::parse(value).map_err(|e| format!("--fault-plan: {e}"))?;
+                args.campaign.faults = (!plan.is_empty()).then(|| Arc::new(plan));
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 2;
@@ -154,6 +184,10 @@ fn run(args: &Args) -> Result<(), String> {
             "{}",
             campaign_report::render(&result, args.campaign.metrics)
         );
+        println!("{}", campaign_report::health(&result));
+        if !result.healthy() && !args.keep_going {
+            return Err("campaign unhealthy (rerun with --keep-going to tolerate)".into());
+        }
         return Ok(());
     }
     let inst = instrument(args)?;
