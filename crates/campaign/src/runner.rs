@@ -55,6 +55,7 @@ use crate::shard::{ShardFormat, ShardStore};
 use crate::supervisor::{retry_backoff, Attempt, Dispatcher, InFlight, Quarantine, RespawnBudget};
 use rtlcov_core::instrument::{CoverageCompiler, Instrumented, Metrics};
 use rtlcov_core::CoverageMap;
+use rtlcov_db::{CoverageDb, RunKey};
 use rtlcov_designs::workloads::campaign_workload;
 use rtlcov_formal::bmc::{self, BmcOptions};
 use rtlcov_fpga::FpgaBackend;
@@ -89,6 +90,13 @@ pub struct CampaignConfig {
     /// Persist shards here (and resume from them). `None` keeps the
     /// campaign in memory only.
     pub shard_dir: Option<PathBuf>,
+    /// Also stream every completed (non-partial) shard into the coverage
+    /// database at this directory, keyed `(design, s<shard>, backend,
+    /// db_label)`. Resumed shards are re-ingested idempotently, so a
+    /// resumed campaign converges to the same database state.
+    pub db_dir: Option<PathBuf>,
+    /// The `label` component of the database run key.
+    pub db_label: String,
     /// On-disk shard format.
     pub format: ShardFormat,
     /// Bound for formal jobs.
@@ -116,6 +124,8 @@ impl Default for CampaignConfig {
             workers: 4,
             plateau: 0,
             shard_dir: None,
+            db_dir: None,
+            db_label: "campaign".into(),
             format: ShardFormat::Binary,
             bmc_steps: 10,
             max_retries: 1,
@@ -411,6 +421,18 @@ fn run_job(
     }
 }
 
+/// The database run key a campaign job commits under. The backend is the
+/// *requested* one (matching the shard file's key), so a degraded rerun
+/// and a resume of its shard hash to the same run and deduplicate.
+fn db_run_key(job: &JobSpec, label: &str) -> RunKey {
+    RunKey {
+        design: job.design.clone(),
+        workload: format!("s{}", job.shard),
+        backend: job.backend.name().to_string(),
+        label: label.to_string(),
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -531,6 +553,7 @@ struct Coordinator<'a> {
     quarantine: &'a Quarantine,
     cancel: &'a HashMap<String, AtomicBool>,
     store: Option<&'a ShardStore>,
+    db: Option<CoverageDb>,
     trees: BTreeMap<String, MergeTree>,
     trackers: BTreeMap<String, SaturationTracker>,
     outcomes: HashMap<JobSpec, JobOutcome>,
@@ -615,6 +638,13 @@ impl Coordinator<'_> {
                 if let Some(store) = self.store {
                     if let Err(e) = store.save_verified(&attempt.job, &map) {
                         self.fail(attempt, format!("persist: {e}"), false);
+                        return;
+                    }
+                }
+                if let Some(db) = self.db.as_mut() {
+                    let key = db_run_key(&attempt.job, &self.config.db_label);
+                    if let Err(e) = db.ingest(&key, &map) {
+                        self.fail(attempt, format!("db ingest: {e}"), false);
                         return;
                     }
                 }
@@ -742,12 +772,24 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, CampaignE
     }
     let mut outcomes: HashMap<JobSpec, JobOutcome> = HashMap::new();
 
+    let mut db = match &config.db_dir {
+        Some(dir) => Some(
+            CoverageDb::open(dir).map_err(|e| CampaignError(format!("open coverage db: {e}")))?,
+        ),
+        None => None,
+    };
+
     // previously persisted shards participate in the merge (and in the
-    // saturation statistics) but are not re-run and not re-persisted
+    // saturation statistics) but are not re-run and not re-persisted;
+    // database ingest is idempotent, so re-committing them is a no-op
     for (job, map) in resumed {
         if let (Some(tree), Some(tracker)) =
             (trees.get_mut(&job.design), trackers.get_mut(&job.design))
         {
+            if let Some(db) = db.as_mut() {
+                db.ingest(&db_run_key(&job, &config.db_label), &map)
+                    .map_err(|e| CampaignError(format!("db ingest of resumed shard: {e}")))?;
+            }
             tracker.observe(&map);
             tree.insert(map);
             outcomes.insert(job, JobOutcome::Resumed);
@@ -765,6 +807,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, CampaignE
         quarantine: &quarantine,
         cancel: &cancel,
         store: store.as_ref(),
+        db,
         trees,
         trackers,
         outcomes,
@@ -954,6 +997,32 @@ mod tests {
         assert_eq!(third.completed(), 1);
         assert_eq!(third.resumed(), 3);
         assert_eq!(first.merged, third.merged);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn campaign_streams_shards_into_the_db_idempotently() {
+        use rtlcov_db::Selector;
+        let dir = std::env::temp_dir().join(format!("rtlcov-campaign-db-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CampaignConfig {
+            shard_dir: Some(dir.join("shards")),
+            db_dir: Some(dir.join("db")),
+            db_label: "unit".into(),
+            ..quick(&["gcd"], vec![Backend::Sim(SimKind::Interp)])
+        };
+        let result = run_campaign(&config).unwrap();
+        assert_eq!(result.completed(), 2);
+        let db = CoverageDb::open(dir.join("db")).unwrap();
+        assert_eq!(db.runs().len(), 2);
+        assert!(db.runs().iter().all(|r| r.key.label == "unit"));
+        let merged = db.merged(&Selector::parse("design=gcd").unwrap()).unwrap();
+        assert_eq!(*merged, result.per_design["gcd"], "db == live merge");
+        // resume: shards re-ingest idempotently, no new segments
+        let again = run_campaign(&config).unwrap();
+        assert_eq!(again.resumed(), 2);
+        let db = CoverageDb::open(dir.join("db")).unwrap();
+        assert_eq!(db.runs().len(), 2, "idempotent re-ingest");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -16,7 +16,8 @@
 //! ```
 //!
 //! Decoding never panics: truncated input, a bad magic, an unsupported
-//! version, or trailing bytes all surface as a [`CodecError`].
+//! version, duplicate entry names, or trailing bytes all surface as a
+//! [`CodecError`].
 
 use crate::map::CoverageMap;
 use std::fmt;
@@ -51,6 +52,13 @@ pub enum CodecError {
         /// Index of the offending entry.
         entry: u64,
     },
+    /// Two entries carry the same name. [`encode`] never writes such a
+    /// shard, so a duplicate means the bytes were corrupted or hand-built
+    /// — decoding refuses rather than silently combining the counts.
+    DuplicateName {
+        /// Index of the second occurrence.
+        entry: u64,
+    },
     /// Bytes remain after the advertised entry count was read.
     TrailingBytes {
         /// Offset of the first unexpected byte.
@@ -81,6 +89,9 @@ impl fmt::Display for CodecError {
             }
             CodecError::InvalidName { entry } => {
                 write!(f, "entry {entry} has a non-UTF-8 name")
+            }
+            CodecError::DuplicateName { entry } => {
+                write!(f, "entry {entry} repeats an earlier entry's name")
             }
             CodecError::TrailingBytes { offset } => {
                 write!(f, "trailing bytes after the last entry at byte {offset}")
@@ -173,6 +184,9 @@ pub fn decode(bytes: &[u8]) -> Result<CoverageMap, CodecError> {
         let name = std::str::from_utf8(r.take(name_len, "entry name")?)
             .map_err(|_| CodecError::InvalidName { entry })?;
         let count = r.u64("entry count value")?;
+        if map.contains(name) {
+            return Err(CodecError::DuplicateName { entry });
+        }
         // record(_, 0) still inserts the key, so unhit points stay declared
         map.record(name, count);
     }
@@ -268,6 +282,22 @@ mod tests {
         bytes.extend_from_slice(&1u64.to_le_bytes());
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(decode(&bytes), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected_not_combined() {
+        // hand-build a shard whose two entries share the name "a"
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        for count in [3u64, 4u64] {
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.push(b'a');
+            bytes.extend_from_slice(&count.to_le_bytes());
+        }
+        assert_eq!(decode(&bytes), Err(CodecError::DuplicateName { entry: 1 }));
     }
 
     #[test]

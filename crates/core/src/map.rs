@@ -40,6 +40,31 @@ impl CoverageMap {
         *entry = entry.saturating_add(count);
     }
 
+    /// Borrowed-key twin of [`CoverageMap::record`]: saturating-add
+    /// `count` hits to `name`, allocating a `String` only when the point
+    /// is new. Merge trees hit the same keys over and over, so the common
+    /// case is a pure in-place update with no allocation.
+    pub fn record_ref(&mut self, name: &str, count: u64) {
+        if let Some(entry) = self.counts.get_mut(name) {
+            *entry = entry.saturating_add(count);
+        } else {
+            self.counts.insert(name.to_string(), count);
+        }
+    }
+
+    /// Borrowed-key twin of [`CoverageMap::declare`]: insert `name` with
+    /// zero hits, allocating only when the point is new.
+    pub fn declare_ref(&mut self, name: &str) {
+        if !self.counts.contains_key(name) {
+            self.counts.insert(name.to_string(), 0);
+        }
+    }
+
+    /// Whether `name` is a known cover point (hit or not).
+    pub fn contains(&self, name: &str) -> bool {
+        self.counts.contains_key(name)
+    }
+
     /// Declare a cover point with zero hits (so uncovered points appear in
     /// reports).
     pub fn declare(&mut self, name: impl Into<String>) {
@@ -75,11 +100,11 @@ impl CoverageMap {
         }
     }
 
-    /// Merge another map into this one (saturating adds; §5.3).
+    /// Merge another map into this one (saturating adds; §5.3). Keys
+    /// already present are updated in place without cloning their name.
     pub fn merge(&mut self, other: &CoverageMap) {
         for (name, count) in &other.counts {
-            let entry = self.counts.entry(name.clone()).or_insert(0);
-            *entry = entry.saturating_add(*count);
+            self.record_ref(name, *count);
         }
     }
 
@@ -203,6 +228,29 @@ mod tests {
         assert_eq!(m.count("c"), None);
         assert_eq!(m.len(), 2);
         assert_eq!(m.covered(), 1);
+    }
+
+    #[test]
+    fn borrowed_key_apis_match_owned_ones() {
+        let mut owned = CoverageMap::new();
+        owned.record("a", 2);
+        owned.record("a", 3);
+        owned.declare("b");
+        let mut borrowed = CoverageMap::new();
+        borrowed.record_ref("a", 2);
+        borrowed.record_ref("a", 3);
+        borrowed.declare_ref("b");
+        borrowed.declare_ref("b"); // idempotent
+        assert_eq!(owned, borrowed);
+        assert!(borrowed.contains("a"));
+        assert!(borrowed.contains("b"));
+        assert!(!borrowed.contains("c"));
+        // declare_ref never resets an existing count
+        borrowed.declare_ref("a");
+        assert_eq!(borrowed.count("a"), Some(5));
+        // record_ref saturates like record
+        borrowed.record_ref("a", u64::MAX);
+        assert_eq!(borrowed.count("a"), Some(u64::MAX));
     }
 
     #[test]

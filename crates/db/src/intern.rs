@@ -1,0 +1,295 @@
+//! The global cover-point name table.
+//!
+//! Every run of a design reports the same hierarchical names, so storing
+//! them per segment would duplicate the (by far) largest byte component
+//! of a coverage map once per run. Instead the database keeps one
+//! append-only table, `names.tbl`, and segments store `u32` ids.
+//!
+//! On-disk layout (integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "RNAM"
+//! 2       2     format version (currently 1)
+//! 6       2     reserved flags (must be 0)
+//! 8       —     entries: name_len u32, name bytes (UTF-8)
+//! ```
+//!
+//! The table itself carries no trailer: crash safety comes from the
+//! manifest, which records the *committed* byte length and a running
+//! FNV-1a digest of exactly those bytes. Opening the database truncates
+//! any torn append past the committed length and verifies the digest, so
+//! a crash between "append names" and "commit manifest" is invisible.
+
+use crate::{fnv1a_continue, DbError};
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// The magic bytes opening `names.tbl`.
+pub const NAMES_MAGIC: [u8; 4] = *b"RNAM";
+/// Name-table format version.
+pub const NAMES_VERSION: u16 = 1;
+/// Seed digest of an empty table (header only).
+fn header_bytes() -> [u8; 8] {
+    let mut h = [0u8; 8];
+    h[..4].copy_from_slice(&NAMES_MAGIC);
+    h[4..6].copy_from_slice(&NAMES_VERSION.to_le_bytes());
+    h
+}
+
+/// In-memory name table: id ↔ name both ways.
+#[derive(Debug, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+    /// Byte length of the table file covering `names`.
+    committed_len: u64,
+    /// Running FNV-1a digest of those bytes.
+    committed_hash: u64,
+}
+
+impl Interner {
+    /// An empty table (nothing on disk yet). The 8-byte header is written
+    /// as part of the first append, so a fresh table commits length 0.
+    pub fn new() -> Self {
+        Interner {
+            names: Vec::new(),
+            index: HashMap::new(),
+            committed_len: 0,
+            committed_hash: crate::fnv1a(b""),
+        }
+    }
+
+    /// Load the table from `path`, trusting only the first
+    /// `committed_len` bytes (the manifest's committed prefix) and
+    /// verifying their running digest. Bytes past the prefix — a torn
+    /// append from a crashed ingest — are ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corrupt`] when the file is shorter than the committed
+    /// prefix, the digest mismatches, or an entry is malformed.
+    pub fn load(path: &Path, committed_len: u64, committed_hash: u64) -> Result<Self, DbError> {
+        let bytes = fs::read(path).map_err(|e| DbError::Io(format!("read names table: {e}")))?;
+        let committed = usize::try_from(committed_len)
+            .ok()
+            .filter(|&len| len <= bytes.len())
+            .ok_or_else(|| {
+                DbError::Corrupt(format!(
+                    "name table is {} bytes but the manifest committed {committed_len}",
+                    bytes.len()
+                ))
+            })?;
+        let bytes = &bytes[..committed];
+        let digest = crate::fnv1a(bytes);
+        if digest != committed_hash {
+            return Err(DbError::Corrupt(
+                "name table digest does not match the manifest".into(),
+            ));
+        }
+        if bytes.len() < 8 || bytes[..4] != NAMES_MAGIC {
+            return Err(DbError::Corrupt("name table header malformed".into()));
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != NAMES_VERSION {
+            return Err(DbError::Corrupt(format!(
+                "unsupported name table version {version}"
+            )));
+        }
+        let mut interner = Interner::new();
+        let mut pos = 8usize;
+        while pos < bytes.len() {
+            if pos + 4 > bytes.len() {
+                return Err(DbError::Corrupt("name table truncated mid-length".into()));
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4")) as usize;
+            pos += 4;
+            if pos + len > bytes.len() {
+                return Err(DbError::Corrupt("name table truncated mid-name".into()));
+            }
+            let name = std::str::from_utf8(&bytes[pos..pos + len])
+                .map_err(|_| DbError::Corrupt("name table entry is not UTF-8".into()))?;
+            pos += len;
+            interner.intern(name);
+        }
+        interner.committed_len = committed as u64;
+        interner.committed_hash = committed_hash;
+        Ok(interner)
+    }
+
+    /// The id for `name`, assigning the next free id on first sight.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("name table fits u32 ids");
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// The id for `name`, if already interned (no mutation).
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The name behind `id`.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Committed byte length of the on-disk table.
+    pub fn committed_len(&self) -> u64 {
+        self.committed_len
+    }
+
+    /// Running digest of the committed prefix.
+    pub fn committed_hash(&self) -> u64 {
+        self.committed_hash
+    }
+
+    /// Total bytes the interned names occupy once (the denominator of the
+    /// dedup-savings ratio the bench reports).
+    pub fn name_bytes(&self) -> u64 {
+        self.names.iter().map(|n| n.len() as u64).sum()
+    }
+
+    /// Append every name with an id at or past `from_id` to the on-disk
+    /// table and advance the committed prefix over them. Called by ingest
+    /// *before* the manifest commit: if the commit never happens, the
+    /// appended bytes sit past the old committed length and the next open
+    /// ignores them.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn append_from(&mut self, path: &Path, from_id: u32) -> Result<(), DbError> {
+        let mut chunk = Vec::new();
+        if self.committed_len == 0 {
+            chunk.extend_from_slice(&header_bytes());
+        }
+        for name in &self.names[from_id as usize..] {
+            chunk.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            chunk.extend_from_slice(name.as_bytes());
+        }
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| DbError::Io(format!("open names table: {e}")))?;
+        // the file may hold a torn append past committed_len from an
+        // earlier crash; rewrite from the committed prefix instead of
+        // blindly appending after garbage
+        let disk_len = file
+            .metadata()
+            .map_err(|e| DbError::Io(format!("stat names table: {e}")))?
+            .len();
+        if disk_len > self.committed_len {
+            file.set_len(self.committed_len)
+                .map_err(|e| DbError::Io(format!("truncate torn names append: {e}")))?;
+        }
+        file.write_all(&chunk)
+            .map_err(|e| DbError::Io(format!("append names table: {e}")))?;
+        file.sync_all()
+            .map_err(|e| DbError::Io(format!("sync names table: {e}")))?;
+        self.committed_hash = fnv1a_continue(self.committed_hash, &chunk);
+        self.committed_len += chunk.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rtlcov-intern-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("names.tbl")
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("top.a");
+        let b = i.intern("top.b");
+        assert_eq!(i.intern("top.a"), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(i.resolve(b), Some("top.b"));
+        assert_eq!(i.lookup("top.b"), Some(b));
+        assert_eq!(i.lookup("nope"), None);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn append_and_reload_round_trips() {
+        let path = tmp("roundtrip");
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        i.append_from(&path, 0).unwrap();
+        let first_len = i.committed_len();
+        i.intern("z");
+        i.append_from(&path, 2).unwrap();
+        assert!(i.committed_len() > first_len);
+        let reloaded = Interner::load(&path, i.committed_len(), i.committed_hash()).unwrap();
+        assert_eq!(reloaded.len(), 3);
+        assert_eq!(reloaded.resolve(2), Some("z"));
+        assert_eq!(reloaded.committed_hash(), i.committed_hash());
+    }
+
+    #[test]
+    fn torn_append_past_the_committed_prefix_is_invisible() {
+        let path = tmp("torn");
+        let mut i = Interner::new();
+        i.intern("solid");
+        i.append_from(&path, 0).unwrap();
+        // simulate a crash mid-append: garbage after the committed prefix
+        let mut file = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"\xff\xff\xff\xfftorn").unwrap();
+        drop(file);
+        let reloaded = Interner::load(&path, i.committed_len(), i.committed_hash()).unwrap();
+        assert_eq!(reloaded.len(), 1);
+        // and a subsequent append heals the file by truncating first
+        let mut healed = reloaded;
+        healed.intern("next");
+        healed.append_from(&path, 1).unwrap();
+        let again = Interner::load(&path, healed.committed_len(), healed.committed_hash()).unwrap();
+        assert_eq!(again.resolve(1), Some("next"));
+    }
+
+    #[test]
+    fn corrupted_committed_bytes_are_detected() {
+        let path = tmp("corrupt");
+        let mut i = Interner::new();
+        i.intern("victim");
+        i.append_from(&path, 0).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = Interner::load(&path, i.committed_len(), i.committed_hash());
+        assert!(matches!(err, Err(DbError::Corrupt(_))), "{err:?}");
+    }
+
+    #[test]
+    fn manifest_len_beyond_file_is_corrupt() {
+        let path = tmp("short");
+        fs::write(&path, b"RNAM").unwrap();
+        let err = Interner::load(&path, 400, 0);
+        assert!(matches!(err, Err(DbError::Corrupt(_))));
+    }
+}

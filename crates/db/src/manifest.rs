@@ -1,0 +1,272 @@
+//! The manifest: the database's single atomic commit point.
+//!
+//! `MANIFEST.json` names every committed segment (with its file and
+//! checksum), the committed prefix of the name table, and the next
+//! logical time. Ingest appends names and writes the segment file
+//! *first*, then replaces the manifest via write-temp-and-rename — so a
+//! crash at any earlier point leaves the new data invisible: the orphan
+//! segment file is never referenced and the torn name append sits past
+//! the committed length. The JSON form (the workspace's mini-JSON, u64
+//! exact) keeps the commit record human-auditable, mirroring the
+//! campaign's JSON shard envelopes.
+
+use crate::DbError;
+use rtlcov_core::json::{self, Json};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Manifest format version.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// The identity of a run, minus the logical time the database assigns.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RunKey {
+    /// Design under test.
+    pub design: String,
+    /// Stimulus workload (e.g. the campaign's shard, `"s3"`).
+    pub workload: String,
+    /// Backend that produced the counts.
+    pub backend: String,
+    /// Free-form run label (commit hash, campaign name, ...).
+    pub label: String,
+}
+
+impl RunKey {
+    /// Compact `design/workload/backend/label` rendering for logs.
+    pub fn display(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.design, self.workload, self.backend, self.label
+        )
+    }
+}
+
+/// One committed segment, as recorded by the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunInfo {
+    /// Segment id == logical commit time (monotonic, never reused).
+    pub id: u64,
+    /// The run's identity.
+    pub key: RunKey,
+    /// Segment file name within the database directory.
+    pub file: String,
+    /// Trailing FNV-1a checksum of the segment file.
+    pub checksum: u64,
+    /// Intern-independent content identity (key + name/count pairs), for
+    /// idempotent ingest.
+    pub content: u64,
+    /// Number of cover points in the segment.
+    pub points: u64,
+}
+
+/// The committed state of the database.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Next logical time / segment id to assign.
+    pub next_time: u64,
+    /// Committed byte length of `names.tbl`.
+    pub names_len: u64,
+    /// Running FNV-1a digest of that committed prefix.
+    pub names_hash: u64,
+    /// Committed segments in logical-time order.
+    pub segments: Vec<RunInfo>,
+}
+
+fn obj(entries: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+fn get_u64(value: &Json, key: &str) -> Result<u64, DbError> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| DbError::Corrupt(format!("manifest missing u64 `{key}`")))
+}
+
+fn get_str(value: &Json, key: &str) -> Result<String, DbError> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| DbError::Corrupt(format!("manifest missing string `{key}`")))
+}
+
+impl Manifest {
+    /// Serialize to the JSON commit record.
+    pub fn to_json(&self) -> String {
+        let segments: Vec<Json> = self
+            .segments
+            .iter()
+            .map(|s| {
+                obj(vec![
+                    ("id", Json::UInt(s.id)),
+                    ("design", Json::Str(s.key.design.clone())),
+                    ("workload", Json::Str(s.key.workload.clone())),
+                    ("backend", Json::Str(s.key.backend.clone())),
+                    ("label", Json::Str(s.key.label.clone())),
+                    ("file", Json::Str(s.file.clone())),
+                    ("checksum", Json::UInt(s.checksum)),
+                    ("content", Json::UInt(s.content)),
+                    ("points", Json::UInt(s.points)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("version", Json::UInt(MANIFEST_VERSION)),
+            ("next_time", Json::UInt(self.next_time)),
+            ("names_len", Json::UInt(self.names_len)),
+            ("names_hash", Json::UInt(self.names_hash)),
+            ("segments", Json::Array(segments)),
+        ])
+        .to_string()
+    }
+
+    /// Parse a manifest written by [`Manifest::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corrupt`] on malformed JSON or a future version.
+    pub fn from_json(text: &str) -> Result<Self, DbError> {
+        let value =
+            json::parse(text).map_err(|e| DbError::Corrupt(format!("manifest json: {e}")))?;
+        let version = get_u64(&value, "version")?;
+        if version != MANIFEST_VERSION {
+            return Err(DbError::Corrupt(format!(
+                "unsupported manifest version {version} (this build reads {MANIFEST_VERSION})"
+            )));
+        }
+        let mut manifest = Manifest {
+            next_time: get_u64(&value, "next_time")?,
+            names_len: get_u64(&value, "names_len")?,
+            names_hash: get_u64(&value, "names_hash")?,
+            segments: Vec::new(),
+        };
+        let segments = value
+            .get("segments")
+            .and_then(Json::as_array)
+            .ok_or_else(|| DbError::Corrupt("manifest missing `segments` array".into()))?;
+        for seg in segments {
+            manifest.segments.push(RunInfo {
+                id: get_u64(seg, "id")?,
+                key: RunKey {
+                    design: get_str(seg, "design")?,
+                    workload: get_str(seg, "workload")?,
+                    backend: get_str(seg, "backend")?,
+                    label: get_str(seg, "label")?,
+                },
+                file: get_str(seg, "file")?,
+                checksum: get_u64(seg, "checksum")?,
+                content: get_u64(seg, "content")?,
+                points: get_u64(seg, "points")?,
+            });
+        }
+        Ok(manifest)
+    }
+
+    /// Load the manifest from `dir`, or an empty one when the database
+    /// has never committed (no `MANIFEST.json`).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError`] on unreadable or corrupt manifests.
+    pub fn load(dir: &Path) -> Result<Self, DbError> {
+        let path = dir.join("MANIFEST.json");
+        match fs::read_to_string(&path) {
+            Ok(text) => Self::from_json(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Manifest::default()),
+            Err(e) => Err(DbError::Io(format!("read manifest: {e}"))),
+        }
+    }
+
+    /// Atomically replace the on-disk manifest (write temp, rename).
+    /// This call *is* the commit.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn commit(&self, dir: &Path) -> Result<(), DbError> {
+        let path = dir.join("MANIFEST.json");
+        let tmp = dir.join("MANIFEST.json.tmp");
+        fs::write(&tmp, self.to_json())
+            .map_err(|e| DbError::Io(format!("write manifest temp: {e}")))?;
+        fs::rename(&tmp, &path).map_err(|e| DbError::Io(format!("commit manifest: {e}")))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            next_time: 3,
+            names_len: 120,
+            names_hash: 0xdead_beef,
+            segments: vec![
+                RunInfo {
+                    id: 0,
+                    key: RunKey {
+                        design: "gcd".into(),
+                        workload: "s0".into(),
+                        backend: "interp".into(),
+                        label: "a".into(),
+                    },
+                    file: "seg-0.rseg".into(),
+                    checksum: 1,
+                    content: 2,
+                    points: 10,
+                },
+                RunInfo {
+                    id: 2,
+                    key: RunKey {
+                        design: "queue".into(),
+                        workload: "s1".into(),
+                        backend: "fpga".into(),
+                        label: "b".into(),
+                    },
+                    file: "seg-2.rseg".into(),
+                    checksum: u64::MAX,
+                    content: 4,
+                    points: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = sample();
+        assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
+        let empty = Manifest::default();
+        assert_eq!(Manifest::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn missing_manifest_loads_empty() {
+        let dir = std::env::temp_dir().join(format!("rtlcov-manifest-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Manifest::default());
+        // commit then reload
+        let m = sample();
+        m.commit(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let text = sample().to_json().replace("\"version\":1", "\"version\":9");
+        assert!(matches!(
+            Manifest::from_json(&text),
+            Err(DbError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,187 @@
+//! Incrementally-memoized merging of segment sets.
+//!
+//! Queries merge the maps of many segments. Segments are immutable, so a
+//! merge over a given id set always yields the same map — which makes
+//! merge nodes perfectly cacheable by the hash of the id set they cover.
+//!
+//! The split rule is what makes the cache *incremental*: a list of `n`
+//! ids (in logical-time order) splits at the largest power of two
+//! strictly below `n`. That decomposition is growth-stable — appending
+//! segment `n+1` re-uses every full block of the old decomposition and
+//! only re-merges the `O(log n)` nodes on the right spine. After one new
+//! ingest, a repeated query recomputes one root path; everything else is
+//! a cache hit (the property the bench and the invariant test measure).
+
+use rtlcov_core::CoverageMap;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hash of an ordered id list (FNV-1a over the little-endian ids).
+fn set_hash(ids: &[u64]) -> u64 {
+    let mut hash = crate::fnv1a(b"merge-node");
+    for id in ids {
+        hash = crate::fnv1a_continue(hash, &id.to_le_bytes());
+    }
+    hash
+}
+
+/// The largest power of two strictly less than `n` (n ≥ 2).
+fn split_point(n: usize) -> usize {
+    debug_assert!(n >= 2);
+    let mut p = 1usize;
+    while p * 2 < n {
+        p *= 2;
+    }
+    p
+}
+
+/// A cache of merge nodes keyed by segment-id-set hash.
+#[derive(Debug, Default)]
+pub struct MergeMemo {
+    cache: Mutex<HashMap<u64, Arc<CoverageMap>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MergeMemo {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MergeMemo::default()
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (nodes actually merged) since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cached nodes currently held.
+    pub fn len(&self) -> usize {
+        self.cache.lock().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached node (counters keep running).
+    pub fn clear(&self) {
+        if let Ok(mut cache) = self.cache.lock() {
+            cache.clear();
+        }
+    }
+
+    /// Merge the maps of `ids` (logical-time order), memoizing every
+    /// internal node. `leaf` loads the map of a single segment id.
+    pub fn merged<F>(&self, ids: &[u64], leaf: &F) -> Arc<CoverageMap>
+    where
+        F: Fn(u64) -> Arc<CoverageMap>,
+    {
+        match ids {
+            [] => Arc::new(CoverageMap::new()),
+            [only] => leaf(*only),
+            _ => {
+                let key = set_hash(ids);
+                if let Some(cached) = self.cache.lock().ok().and_then(|c| c.get(&key).cloned()) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return cached;
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let (left, right) = ids.split_at(split_point(ids.len()));
+                let mut merged = (*self.merged(left, leaf)).clone();
+                merged.merge(&self.merged(right, leaf));
+                let node = Arc::new(merged);
+                if let Ok(mut cache) = self.cache.lock() {
+                    cache.insert(key, Arc::clone(&node));
+                }
+                node
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn maps(n: u64) -> impl Fn(u64) -> Arc<CoverageMap> {
+        move |id| {
+            assert!(id < n);
+            let mut m = CoverageMap::new();
+            m.record("shared", id + 1);
+            m.record(format!("only_{id}"), 1);
+            Arc::new(m)
+        }
+    }
+
+    fn reference(ids: &[u64], leaf: &dyn Fn(u64) -> Arc<CoverageMap>) -> CoverageMap {
+        let mut out = CoverageMap::new();
+        for &id in ids {
+            out.merge(&leaf(id));
+        }
+        out
+    }
+
+    #[test]
+    fn memoized_merge_equals_sequential_fold() {
+        for n in 0u64..24 {
+            let memo = MergeMemo::new();
+            let leaf = maps(n);
+            let ids: Vec<u64> = (0..n).collect();
+            let merged = memo.merged(&ids, &leaf);
+            assert_eq!(*merged, reference(&ids, &leaf), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn growing_by_one_recomputes_only_the_right_spine() {
+        let n = 64u64;
+        let leaf = maps(n + 1);
+        let memo = MergeMemo::new();
+        let ids: Vec<u64> = (0..n).collect();
+        memo.merged(&ids, &leaf);
+        let cold_misses = memo.misses();
+        assert_eq!(memo.hits(), 0);
+        // repeat: pure cache hit at the root
+        memo.merged(&ids, &leaf);
+        assert_eq!(memo.misses(), cold_misses);
+        assert_eq!(memo.hits(), 1);
+        // grow by one: only O(log n) new nodes merge
+        let grown: Vec<u64> = (0..=n).collect();
+        let merged = memo.merged(&grown, &leaf);
+        let incremental = memo.misses() - cold_misses;
+        assert!(
+            incremental <= 8,
+            "expected O(log {n}) new merges, got {incremental}"
+        );
+        assert_eq!(*merged, reference(&grown, &leaf));
+    }
+
+    #[test]
+    fn split_is_the_largest_power_of_two_below_n() {
+        assert_eq!(split_point(2), 1);
+        assert_eq!(split_point(3), 2);
+        assert_eq!(split_point(4), 2);
+        assert_eq!(split_point(5), 4);
+        assert_eq!(split_point(8), 4);
+        assert_eq!(split_point(9), 8);
+    }
+
+    #[test]
+    fn clear_preserves_counters_and_correctness() {
+        let leaf = maps(8);
+        let memo = MergeMemo::new();
+        let ids: Vec<u64> = (0..8).collect();
+        let before = memo.merged(&ids, &leaf);
+        memo.clear();
+        assert!(memo.is_empty());
+        let after = memo.merged(&ids, &leaf);
+        assert_eq!(before, after);
+    }
+}

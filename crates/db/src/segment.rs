@@ -1,0 +1,256 @@
+//! Immutable, checksummed coverage segments.
+//!
+//! One segment file holds one ingested run: the run key (design,
+//! workload, backend, label), the logical time the database assigned at
+//! commit, and the run's `(name-id, count)` pairs. The layout extends the
+//! `rtlcov-core` codec's conventions (little-endian, length-prefixed
+//! strings, strict decoding) but stores interned `u32` ids instead of
+//! repeating name bytes in every run:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "RSEG"
+//! 4       2     format version (currently 1)
+//! 6       2     reserved flags (must be 0)
+//! 8       —     design, workload, backend, label: len u32 + UTF-8 bytes
+//! —       8     logical time
+//! —       8     entry count
+//! —       —     entries: name_id u32, count u64 — strictly ascending ids
+//! —       8     FNV-1a checksum of every preceding byte
+//! ```
+//!
+//! Strictly ascending ids make duplicates a decode error (mirroring the
+//! core codec's `DuplicateName`) and give every map exactly one encoding,
+//! so the trailing checksum doubles as a content identity for the file.
+
+use crate::manifest::RunKey;
+use crate::{fnv1a, DbError};
+
+/// The magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"RSEG";
+/// Segment format version.
+pub const SEGMENT_VERSION: u16 = 1;
+
+/// A decoded segment: run key, logical time, and interned entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Who produced this run.
+    pub key: RunKey,
+    /// Commit-ordered logical time (the database's ingest counter).
+    pub time: u64,
+    /// `(interned name id, saturating count)`, ids strictly ascending.
+    pub entries: Vec<(u32, u64)>,
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode a segment, appending the trailing checksum.
+pub fn encode(segment: &Segment) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + segment.entries.len() * 12);
+    out.extend_from_slice(&SEGMENT_MAGIC);
+    out.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    push_str(&mut out, &segment.key.design);
+    push_str(&mut out, &segment.key.workload);
+    push_str(&mut out, &segment.key.backend);
+    push_str(&mut out, &segment.key.label);
+    out.extend_from_slice(&segment.time.to_le_bytes());
+    out.extend_from_slice(&(segment.entries.len() as u64).to_le_bytes());
+    for (id, count) in &segment.entries {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&count.to_le_bytes());
+    }
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// The checksum [`encode`] appended to `bytes` (the last 8 bytes).
+pub fn stored_checksum(bytes: &[u8]) -> Option<u64> {
+    let tail = bytes.len().checked_sub(8)?;
+    Some(u64::from_le_bytes(bytes[tail..].try_into().expect("len 8")))
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DbError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(DbError::Corrupt(format!(
+                "segment truncated while reading {what}"
+            ))),
+        }
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, DbError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2"),
+        ))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, DbError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, DbError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8"),
+        ))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, DbError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DbError::Corrupt(format!("segment {what} is not UTF-8")))
+    }
+}
+
+/// Decode and verify a segment file.
+///
+/// # Errors
+///
+/// [`DbError::Corrupt`] on truncation, bad magic/version/flags, a
+/// checksum mismatch, out-of-order or duplicate name ids, or trailing
+/// bytes. Never panics on untrusted input.
+pub fn decode(bytes: &[u8]) -> Result<Segment, DbError> {
+    let body_len = bytes
+        .len()
+        .checked_sub(8)
+        .ok_or_else(|| DbError::Corrupt("segment shorter than its checksum".into()))?;
+    let stored = stored_checksum(bytes).expect("length checked");
+    let actual = fnv1a(&bytes[..body_len]);
+    if stored != actual {
+        return Err(DbError::Corrupt(format!(
+            "segment checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+        )));
+    }
+    let mut r = Reader {
+        bytes: &bytes[..body_len],
+        pos: 0,
+    };
+    let magic = r.take(4, "magic")?;
+    if magic != SEGMENT_MAGIC {
+        return Err(DbError::Corrupt(format!("bad segment magic {magic:02x?}")));
+    }
+    let version = r.u16("version")?;
+    if version != SEGMENT_VERSION {
+        return Err(DbError::Corrupt(format!(
+            "unsupported segment version {version}"
+        )));
+    }
+    let flags = r.u16("flags")?;
+    if flags != 0 {
+        return Err(DbError::Corrupt(format!(
+            "unsupported segment flags {flags:#06x}"
+        )));
+    }
+    let key = RunKey {
+        design: r.string("design")?,
+        workload: r.string("workload")?,
+        backend: r.string("backend")?,
+        label: r.string("label")?,
+    };
+    let time = r.u64("logical time")?;
+    let count = r.u64("entry count")?;
+    let mut entries = Vec::new();
+    let mut last: Option<u32> = None;
+    for i in 0..count {
+        let id = r.u32("entry id")?;
+        let value = r.u64("entry value")?;
+        if let Some(prev) = last {
+            if id == prev {
+                return Err(DbError::Corrupt(format!("entry {i} duplicates id {id}")));
+            }
+            if id < prev {
+                return Err(DbError::Corrupt(format!(
+                    "entry {i} id {id} out of order after {prev}"
+                )));
+            }
+        }
+        last = Some(id);
+        entries.push((id, value));
+    }
+    if r.pos != body_len {
+        return Err(DbError::Corrupt(format!(
+            "segment has {} trailing bytes before the checksum",
+            body_len - r.pos
+        )));
+    }
+    Ok(Segment { key, time, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Segment {
+        Segment {
+            key: RunKey {
+                design: "gcd".into(),
+                workload: "s0".into(),
+                backend: "interp".into(),
+                label: "nightly".into(),
+            },
+            time: 7,
+            entries: vec![(0, 42), (3, 0), (9, u64::MAX)],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let seg = sample();
+        assert_eq!(decode(&encode(&seg)).unwrap(), seg);
+        let empty = Segment {
+            entries: vec![],
+            ..sample()
+        };
+        assert_eq!(decode(&encode(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn every_truncation_errors_without_panic() {
+        let bytes = encode(&sample());
+        for len in 0..bytes.len() {
+            assert!(decode(&bytes[..len]).is_err(), "prefix {len} decoded");
+        }
+    }
+
+    #[test]
+    fn any_flipped_bit_fails_the_checksum() {
+        let bytes = encode(&sample());
+        for pos in [0, 5, 13, bytes.len() / 2, bytes.len() - 9, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(decode(&bad).is_err(), "flip at {pos} decoded");
+        }
+    }
+
+    #[test]
+    fn duplicate_and_unsorted_ids_are_rejected() {
+        let reject = |entries: Vec<(u32, u64)>| {
+            let seg = Segment {
+                entries,
+                ..sample()
+            };
+            // encode writes whatever it is given; decode is the gatekeeper
+            assert!(decode(&encode(&seg)).is_err());
+        };
+        reject(vec![(4, 1), (4, 2)]);
+        reject(vec![(5, 1), (2, 2)]);
+    }
+}

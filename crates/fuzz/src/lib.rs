@@ -8,9 +8,11 @@
 
 #![warn(missing_docs)]
 
+pub mod codec_fuzz;
 pub mod fuzzer;
 pub mod harness;
 pub mod mutate;
 
+pub use codec_fuzz::CodecFuzzReport;
 pub use fuzzer::{averaged_campaign, CoveragePoint, Feedback, Fuzzer};
 pub use harness::FuzzHarness;

@@ -9,7 +9,17 @@
 //!                 [--shards N] [--scale N] [--workers N] [--plateau K]
 //!                 [--shard-dir DIR] [--format json|bin] [--bmc-steps K]
 //!                 [--max-retries N] [--job-fuel N] [--fault-plan SPEC] [--keep-going]
+//!                 [--db DIR] [--db-label L]
+//! rtlcov db ingest --db DIR --shard-dir DIR [--label L]              commit loose campaign shards
+//! rtlcov db query --db DIR [--select k=v,..]                         merged coverage for a run selection
+//! rtlcov db holes --db DIR [--select k=v,..]                         never-hit cover points
+//! rtlcov db diff --db DIR --a k=v,.. --b k=v,..                      compare two run selections
+//! rtlcov db gc --db DIR                                              delete unreferenced files
+//! rtlcov db serve --db DIR [--addr HOST:PORT] [--max-requests N]     HTTP query endpoint
 //! ```
+//!
+//! `db` selectors are comma-separated `key=value` filters over
+//! `design`, `workload`, `backend`, `label`, and `since` (logical time).
 //!
 //! `campaign` exits non-zero when any job ends failed, panicked, or timed
 //! out — `--keep-going` downgrades that to a warning (coverage from the
@@ -19,13 +29,16 @@
 //! `random@42:10`.
 
 use rtlcov::campaign::runner::{run_campaign, CampaignConfig};
-use rtlcov::campaign::{report as campaign_report, Backend, FaultPlan, ShardFormat};
+use rtlcov::campaign::{report as campaign_report, Backend, FaultPlan, ShardFormat, ShardStore};
 use rtlcov::core::instrument::{CoverageCompiler, Instrumented, Metrics};
 use rtlcov::core::passes::toggle::ToggleOptions;
 use rtlcov::core::report::{
     fsm::FsmReport, line::LineReport, ready_valid::ReadyValidReport, toggle::ToggleReport,
 };
+use rtlcov::db::http::Server;
+use rtlcov::db::{CoverageDb, RunKey, Selector};
 use rtlcov::sim::{compiled::CompiledSim, Simulator};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -38,7 +51,13 @@ fn usage() -> ExitCode {
          rtlcov campaign [--designs gcd,queue,...] [--backends interp,compiled,essent,fpga,formal]\n                  \
          [--metrics ...] [--shards N] [--scale N] [--workers N] [--plateau K]\n                  \
          [--shard-dir DIR] [--format json|bin] [--bmc-steps K]\n                  \
-         [--max-retries N] [--job-fuel N] [--fault-plan SPEC] [--keep-going]"
+         [--max-retries N] [--job-fuel N] [--fault-plan SPEC] [--keep-going]\n                  \
+         [--db DIR] [--db-label L]\n  \
+         rtlcov db ingest --db DIR --shard-dir DIR [--label L]\n  \
+         rtlcov db query|holes --db DIR [--select k=v,..]\n  \
+         rtlcov db diff --db DIR --a k=v,.. --b k=v,..\n  \
+         rtlcov db gc --db DIR\n  \
+         rtlcov db serve --db DIR [--addr HOST:PORT] [--max-requests N]"
     );
     ExitCode::from(2)
 }
@@ -160,11 +179,126 @@ fn parse_args() -> Result<Args, String> {
                 let plan = FaultPlan::parse(value).map_err(|e| format!("--fault-plan: {e}"))?;
                 args.campaign.faults = (!plan.is_empty()).then(|| Arc::new(plan));
             }
+            "--db" => args.campaign.db_dir = Some(value.into()),
+            "--db-label" => args.campaign.db_label = value.clone(),
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 2;
     }
     Ok(args)
+}
+
+/// The `rtlcov db <verb>` family: the database has its own argument
+/// shape (no FIRRTL file, selector flags), so it bypasses [`Args`].
+fn run_db(argv: &[String]) -> Result<(), String> {
+    let verb = argv.first().ok_or("db: missing subcommand")?.as_str();
+    let mut db_dir: Option<PathBuf> = None;
+    let mut shard_dir: Option<PathBuf> = None;
+    let mut label = String::from("campaign");
+    let mut select = String::new();
+    let mut sel_a: Option<String> = None;
+    let mut sel_b: Option<String> = None;
+    let mut addr = String::from("127.0.0.1:8722");
+    let mut max_requests: Option<usize> = None;
+    let mut i = 1;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--db" => db_dir = Some(value.into()),
+            "--shard-dir" => shard_dir = Some(value.into()),
+            "--label" => label = value.clone(),
+            "--select" => select = value.clone(),
+            "--a" => sel_a = Some(value.clone()),
+            "--b" => sel_b = Some(value.clone()),
+            "--addr" => addr = value.clone(),
+            "--max-requests" => {
+                max_requests = Some(value.parse().map_err(|_| "bad --max-requests")?)
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    let db_dir = db_dir.ok_or("db: --db DIR is required")?;
+    let mut db = CoverageDb::open(&db_dir).map_err(|e| e.to_string())?;
+    match verb {
+        "ingest" => {
+            let shard_dir = shard_dir.ok_or("db ingest: --shard-dir DIR is required")?;
+            // scan auto-detects the on-disk format per file
+            let (shards, rejected) = ShardStore::new(&shard_dir, ShardFormat::Binary).scan();
+            let (mut committed, mut deduplicated) = (0u64, 0u64);
+            for shard in &shards {
+                let key = RunKey {
+                    design: shard.job.design.clone(),
+                    workload: format!("s{}", shard.job.shard),
+                    backend: shard.job.backend.name().to_string(),
+                    label: label.clone(),
+                };
+                let outcome = db.ingest(&key, &shard.map).map_err(|e| e.to_string())?;
+                if outcome.deduplicated {
+                    deduplicated += 1;
+                } else {
+                    committed += 1;
+                }
+            }
+            println!(
+                "ingested {committed} new run(s), {deduplicated} already committed, {} rejected file(s)",
+                rejected.len()
+            );
+            for (path, err) in rejected {
+                eprintln!("  rejected {}: {err}", path.display());
+            }
+        }
+        "query" => {
+            let sel = Selector::parse(&select)?;
+            let ids = db.select(&sel);
+            let merged = db.merged_ids(&ids).map_err(|e| e.to_string())?;
+            println!("runs merged: {ids:?}");
+            print!("{merged}");
+        }
+        "holes" => {
+            let sel = Selector::parse(&select)?;
+            let holes = db.holes(&sel).map_err(|e| e.to_string())?;
+            println!("{} hole(s)", holes.len());
+            for name in holes {
+                println!("  {name}");
+            }
+        }
+        "diff" => {
+            let a = Selector::parse(&sel_a.ok_or("db diff: --a SPEC is required")?)?;
+            let b = Selector::parse(&sel_b.ok_or("db diff: --b SPEC is required")?)?;
+            let diff = db.diff(&a, &b).map_err(|e| e.to_string())?;
+            let count = |c: Option<u64>| c.map_or("-".to_string(), |v| v.to_string());
+            println!("{} differing point(s)", diff.len());
+            for entry in diff {
+                println!(
+                    "  {:<48} a={} b={}",
+                    entry.name,
+                    count(entry.a),
+                    count(entry.b)
+                );
+            }
+        }
+        "gc" => {
+            let removed = db.gc().map_err(|e| e.to_string())?;
+            println!("removed {} unreferenced file(s)", removed.len());
+            for path in removed {
+                println!("  {}", path.display());
+            }
+        }
+        "serve" => {
+            let server = Server::bind(&addr).map_err(|e| e.to_string())?;
+            let bound = server.local_addr().map_err(|e| e.to_string())?;
+            println!("serving coverage db {} on http://{bound}", db_dir.display());
+            server
+                .serve(&mut db, max_requests)
+                .map_err(|e| e.to_string())?;
+        }
+        other => return Err(format!("unknown db subcommand `{other}`")),
+    }
+    Ok(())
 }
 
 fn instrument(args: &Args) -> Result<Instrumented, String> {
@@ -271,6 +405,16 @@ fn run(args: &Args) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("db") {
+        return match run_db(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

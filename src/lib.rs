@@ -18,7 +18,9 @@
 //! * [`fuzz`] — AFL-style coverage-guided fuzzing;
 //! * [`designs`] — the benchmark circuits (riscv-mini analog, TLRAM, ...);
 //! * [`campaign`] — parallel multi-backend coverage campaigns with
-//!   sharded merging and saturation-aware scheduling.
+//!   sharded merging and saturation-aware scheduling;
+//! * [`db`] — embedded append-only coverage database: checksummed
+//!   segments, string interning, memoized merge queries, HTTP serving.
 //!
 //! Start with `examples/quickstart.rs`.
 
@@ -26,6 +28,7 @@
 
 pub use rtlcov_campaign as campaign;
 pub use rtlcov_core as core;
+pub use rtlcov_db as db;
 pub use rtlcov_designs as designs;
 pub use rtlcov_firrtl as firrtl;
 pub use rtlcov_formal as formal;

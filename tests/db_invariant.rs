@@ -1,0 +1,164 @@
+//! The database's end-to-end invariant: a query over ingested campaign
+//! runs is **bit-identical** to merging the raw shard maps directly with
+//! `CoverageMap::merge` — the database adds durability, interning, and
+//! memoization, never a different answer. The invariant must survive a
+//! crash mid-ingest (the partial segment stays invisible) and incremental
+//! ingest served from the memoized merge cache.
+
+use rtlcov::campaign::runner::{run_campaign, CampaignConfig};
+use rtlcov::campaign::{Backend, ShardFormat, ShardStore};
+use rtlcov::core::instrument::Metrics;
+use rtlcov::core::CoverageMap;
+use rtlcov::db::{CoverageDb, RunKey, Selector};
+use rtlcov::sim::SimKind;
+use std::fs;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtlcov-dbinv-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The reference result: fold the raw shard files of one design with the
+/// paper's plain §5.3 merge, no database involved.
+fn direct_merge(shard_dir: &PathBuf, design: &str) -> CoverageMap {
+    let (shards, rejected) = ShardStore::new(shard_dir, ShardFormat::Binary).scan();
+    assert!(rejected.is_empty(), "campaign persisted a bad shard");
+    let mut merged = CoverageMap::new();
+    for shard in shards.iter().filter(|s| s.job.design == design) {
+        merged.merge(&shard.map);
+    }
+    merged
+}
+
+#[test]
+fn db_query_is_bit_identical_to_direct_shard_merge() {
+    let dir = scratch("query");
+    let shard_dir = dir.join("shards");
+    let db_dir = dir.join("db");
+    let config = CampaignConfig {
+        designs: vec!["gcd".into(), "queue".into()],
+        backends: vec![Backend::Sim(SimKind::Interp), Backend::Sim(SimKind::Essent)],
+        metrics: Metrics::all(),
+        shards: 2,
+        workers: 2,
+        shard_dir: Some(shard_dir.clone()),
+        db_dir: Some(db_dir.clone()),
+        db_label: "invariant".into(),
+        ..CampaignConfig::default()
+    };
+    let result = run_campaign(&config).expect("campaign runs");
+    assert!(result.healthy());
+
+    let db = CoverageDb::open(&db_dir).expect("open db");
+    assert_eq!(db.runs().len(), 8, "2 designs x 2 shards x 2 backends");
+    for design in ["gcd", "queue"] {
+        let selector = Selector::parse(&format!("design={design}")).unwrap();
+        let from_db = db.merged(&selector).expect("db merge");
+        let reference = direct_merge(&shard_dir, design);
+        assert_eq!(*from_db, reference, "{design}: db diverged from raw merge");
+        // and both equal the campaign's own live merge
+        assert_eq!(*from_db, result.per_design[design], "{design}");
+    }
+
+    // -- crash mid-ingest: a segment written but never committed, plus a
+    //    torn name-table append, must not change any answer
+    let before = (*db.merged(&Selector::all()).unwrap()).clone();
+    fs::write(db_dir.join("seg-999.rseg"), b"RSEGtorn mid write").unwrap();
+    {
+        use std::io::Write;
+        let mut names = fs::OpenOptions::new()
+            .append(true)
+            .open(db_dir.join("names.tbl"))
+            .unwrap();
+        names.write_all(b"\x0c\x00\x00\x00half a na").unwrap();
+    }
+    let crashed = CoverageDb::open(&db_dir).expect("reopen after crash");
+    assert_eq!(crashed.runs().len(), 8, "partial segment is invisible");
+    assert_eq!(*crashed.merged(&Selector::all()).unwrap(), before);
+    let removed = crashed.gc().expect("gc");
+    assert_eq!(removed, vec![db_dir.join("seg-999.rseg")]);
+
+    // -- the database still ingests and queries correctly after the crash
+    //    (the torn name append is healed by the next commit)
+    let mut healed = CoverageDb::open(&db_dir).expect("reopen after gc");
+    let mut extra = CoverageMap::new();
+    extra.record("post_crash.cover", 5);
+    healed
+        .ingest(
+            &RunKey {
+                design: "gcd".into(),
+                workload: "s9".into(),
+                backend: "interp".into(),
+                label: "invariant".into(),
+            },
+            &extra,
+        )
+        .expect("ingest after crash");
+    let grown = healed
+        .merged(&Selector::parse("design=gcd").unwrap())
+        .unwrap();
+    let mut reference = direct_merge(&shard_dir, "gcd");
+    reference.merge(&extra);
+    assert_eq!(*grown, reference);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn incremental_ingest_hits_the_memoized_merge_cache() {
+    let dir = scratch("memo");
+    let mut db = CoverageDb::open(&dir).expect("open");
+    let runs = 16u64;
+    let mut reference = CoverageMap::new();
+    for i in 0..runs {
+        let mut map = CoverageMap::new();
+        map.record("shared.cover", i + 1);
+        map.record(format!("run{i}.cover"), 1);
+        reference.merge(&map);
+        db.ingest(
+            &RunKey {
+                design: "synthetic".into(),
+                workload: format!("s{i}"),
+                backend: "interp".into(),
+                label: "memo".into(),
+            },
+            &map,
+        )
+        .expect("ingest");
+    }
+    let all = Selector::all();
+    assert_eq!(*db.merged(&all).unwrap(), reference);
+    let (_, cold_misses) = db.memo_stats();
+
+    // repeat: answered from the root cache node, zero new merges
+    assert_eq!(*db.merged(&all).unwrap(), reference);
+    let (hits, misses) = db.memo_stats();
+    assert_eq!(misses, cold_misses, "repeat query merged nothing");
+    assert!(hits >= 1);
+
+    // grow by one: only the right spine re-merges, and the answer still
+    // matches the direct fold
+    let mut extra = CoverageMap::new();
+    extra.record("shared.cover", 100);
+    extra.record("late.cover", 1);
+    reference.merge(&extra);
+    db.ingest(
+        &RunKey {
+            design: "synthetic".into(),
+            workload: "s16".into(),
+            backend: "interp".into(),
+            label: "memo".into(),
+        },
+        &extra,
+    )
+    .expect("incremental ingest");
+    assert_eq!(*db.merged(&all).unwrap(), reference);
+    let (_, grown_misses) = db.memo_stats();
+    assert!(
+        grown_misses - cold_misses <= 6,
+        "expected O(log {runs}) new merges, got {}",
+        grown_misses - cold_misses
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}

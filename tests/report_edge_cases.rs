@@ -1,0 +1,121 @@
+//! Edge-case coverage maps through every report generator.
+//!
+//! The reports join instrumentation metadata with whatever map a backend
+//! (or a merge of backends) produced, so they must behave on the
+//! degenerate maps real campaigns hand them: a map from a backend that
+//! never ran (empty), a run that covered nothing (all zero), and a
+//! long-lived merged map whose counts have saturated at `u64::MAX`.
+
+use rtlcov::core::instrument::{CoverageCompiler, Instrumented, Metrics};
+use rtlcov::core::report::{
+    fsm::FsmReport, line::LineReport, ready_valid::ReadyValidReport, toggle::ToggleReport,
+};
+use rtlcov::core::CoverageMap;
+use rtlcov::designs::workloads::{campaign_design_names, campaign_workload};
+use rtlcov::sim::SimKind;
+
+/// Instrument a campaign design with every metric and collect the full
+/// declared cover-point set by running its shard-0 workload.
+fn instrumented_with_counts(design: &str) -> (Instrumented, CoverageMap) {
+    let workload = campaign_workload(design, 0, 1).expect("known design");
+    let inst = CoverageCompiler::new(Metrics::all())
+        .run(workload.circuit.clone())
+        .expect("instrumentation succeeds");
+    let mut sim = SimKind::Interp
+        .build(&inst.circuit)
+        .expect("interpreter builds");
+    let counts = workload.run(&mut *sim);
+    (inst, counts)
+}
+
+struct Summaries {
+    line: rtlcov::core::report::Summary,
+    toggle: rtlcov::core::report::Summary,
+    fsm: rtlcov::core::report::Summary,
+    ready_valid: rtlcov::core::report::Summary,
+}
+
+/// Build and render all four reports; rendering must never panic, and
+/// every render must carry its header line.
+fn all_reports(inst: &Instrumented, counts: &CoverageMap) -> Summaries {
+    let line = LineReport::build(&inst.circuit, &inst.artifacts.line, counts);
+    let toggle = ToggleReport::build(&inst.circuit, &inst.artifacts.toggle, counts);
+    let fsm = FsmReport::build(&inst.circuit, &inst.artifacts.fsm, counts);
+    let rv = ReadyValidReport::build(&inst.circuit, &inst.artifacts.ready_valid, counts);
+    for render in [line.render(), toggle.render(), fsm.render(), rv.render()] {
+        assert!(!render.is_empty());
+        assert!(render.contains('%'), "no summary percentage: {render}");
+    }
+    Summaries {
+        line: line.summary,
+        toggle: toggle.summary,
+        fsm: fsm.summary,
+        ready_valid: rv.summary,
+    }
+}
+
+fn with_counts(base: &CoverageMap, value: u64) -> CoverageMap {
+    base.iter().map(|(n, _)| (n.to_string(), value)).collect()
+}
+
+#[test]
+fn empty_map_reports_declared_totals_with_zero_covered() {
+    for design in campaign_design_names() {
+        let (inst, real) = instrumented_with_counts(design);
+        let empty = all_reports(&inst, &CoverageMap::new());
+        // totals come from the instrumentation artifacts, not the map, so
+        // an empty map must report the same universe as a real run
+        let reference = all_reports(&inst, &real);
+        assert_eq!(empty.line.total, reference.line.total, "{design}");
+        assert_eq!(empty.toggle.total, reference.toggle.total, "{design}");
+        assert_eq!(empty.fsm.total, reference.fsm.total, "{design}");
+        assert_eq!(
+            empty.ready_valid.total, reference.ready_valid.total,
+            "{design}"
+        );
+        for s in [empty.line, empty.toggle, empty.fsm, empty.ready_valid] {
+            assert_eq!(s.covered, 0, "{design}: empty map covers nothing");
+        }
+        assert!(empty.line.total > 0, "{design}: line metric always applies");
+    }
+}
+
+#[test]
+fn all_zero_map_matches_empty_map() {
+    for design in campaign_design_names() {
+        let (inst, real) = instrumented_with_counts(design);
+        let zeroed = all_reports(&inst, &with_counts(&real, 0));
+        let empty = all_reports(&inst, &CoverageMap::new());
+        for (z, e) in [
+            (zeroed.line, empty.line),
+            (zeroed.toggle, empty.toggle),
+            (zeroed.fsm, empty.fsm),
+            (zeroed.ready_valid, empty.ready_valid),
+        ] {
+            assert_eq!(z, e, "{design}: declared-at-zero == undeclared");
+        }
+    }
+}
+
+#[test]
+fn saturated_merged_map_reports_full_coverage() {
+    for design in campaign_design_names() {
+        let (inst, real) = instrumented_with_counts(design);
+        // a long campaign's merged map: every point at u64::MAX, merged
+        // once more with itself — counts must stay saturated, not wrap
+        let saturated = with_counts(&real, u64::MAX);
+        let mut merged = saturated.clone();
+        merged.merge(&saturated);
+        for (name, count) in merged.iter() {
+            assert_eq!(count, u64::MAX, "{design}: {name} wrapped");
+        }
+        let s = all_reports(&inst, &merged);
+        for s in [s.line, s.toggle, s.fsm, s.ready_valid] {
+            assert_eq!(
+                s.covered, s.total,
+                "{design}: every declared point saturated"
+            );
+            assert_eq!(s.percent(), "100.0%", "{design}");
+        }
+    }
+}
