@@ -111,6 +111,9 @@ pub struct CampaignConfig {
     pub faults: Option<Arc<FaultPlan>>,
     /// Seed for the deterministic retry backoff jitter.
     pub backoff_seed: u64,
+    /// Software-simulator pipeline knobs (optimizer, partitioned
+    /// scheduling) applied to every `Backend::Sim` job.
+    pub sim_options: rtlcov_sim::SimBuildOptions,
 }
 
 impl Default for CampaignConfig {
@@ -132,6 +135,7 @@ impl Default for CampaignConfig {
             job_fuel: None,
             faults: None,
             backoff_seed: 0x72746c63,
+            sim_options: rtlcov_sim::SimBuildOptions::default(),
         }
     }
 }
@@ -366,7 +370,7 @@ fn run_job(
     match run_on {
         Backend::Sim(kind) => {
             let mut sim = kind
-                .build(&ctx.instrumented.circuit)
+                .build_with(&ctx.instrumented.circuit, &config.sim_options)
                 .map_err(|e| e.to_string())?;
             let workload = campaign_workload(&ctx.name, job.shard, config.scale)
                 .ok_or_else(|| format!("no workload for design `{}`", ctx.name))?;
@@ -965,6 +969,26 @@ mod tests {
         for (name, _) in result.merged.iter() {
             assert!(name.starts_with("gcd::"), "{name}");
         }
+    }
+
+    #[test]
+    fn sim_options_do_not_change_coverage() {
+        let backends = vec![
+            Backend::Sim(SimKind::Compiled),
+            Backend::Sim(SimKind::Essent),
+        ];
+        let optimized = quick(&["gcd", "queue"], backends.clone());
+        let baseline = CampaignConfig {
+            sim_options: rtlcov_sim::SimBuildOptions {
+                optimize: false,
+                partition: false,
+            },
+            ..quick(&["gcd", "queue"], backends)
+        };
+        let a = run_campaign(&optimized).unwrap();
+        let b = run_campaign(&baseline).unwrap();
+        assert!(a.healthy() && b.healthy());
+        assert_eq!(a.merged, b.merged, "optimizer must be invisible in maps");
     }
 
     #[test]

@@ -679,7 +679,7 @@ mod tests {
             asm::bne(1, 0, -8),  // back to loop
             asm::ecall(),
         ]);
-        let mut sim = boot(&p, 8000);
+        let sim = boot(&p, 8000);
         assert_eq!(reg(&sim, 2), 15);
         assert!(sim.peek("retired") >= 5 * 3);
     }

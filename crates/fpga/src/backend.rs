@@ -74,8 +74,8 @@ impl Simulator for FpgaBackend {
         self.host.get_mut().poke(signal, value);
     }
 
-    fn peek(&mut self, signal: &str) -> u64 {
-        self.host.get_mut().peek(signal)
+    fn peek(&self, signal: &str) -> u64 {
+        self.host.borrow_mut().peek(signal)
     }
 
     fn step(&mut self) {

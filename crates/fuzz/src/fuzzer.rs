@@ -68,6 +68,7 @@ pub struct Fuzzer {
     feedback: Feedback,
     rng: StdRng,
     corpus: Vec<Vec<u8>>,
+    dictionary: Vec<u64>,
     seen: HashSet<(String, u8)>,
     cumulative: CoverageMap,
     executions: usize,
@@ -78,11 +79,13 @@ impl Fuzzer {
     /// Create a fuzzer over a harness with the given feedback and seed.
     pub fn new(harness: FuzzHarness, feedback: Feedback, seed: u64) -> Self {
         let seed_input = vec![0u8; harness.bytes_per_cycle() * 32];
+        let dictionary = harness.dictionary().to_vec();
         Fuzzer {
             harness,
             feedback,
             rng: StdRng::seed_from_u64(seed),
             corpus: vec![seed_input],
+            dictionary,
             seen: HashSet::new(),
             cumulative: CoverageMap::new(),
             executions: 0,
@@ -157,6 +160,11 @@ impl Fuzzer {
                     self.corpus[idx].clone()
                 };
                 mutate::mutate(&mut input, &mut self.rng);
+                // dictionary stage: plant a DUT comparison constant so
+                // magic-value guards (FSM lock steps) are reachable
+                if !self.dictionary.is_empty() && self.rng.gen_bool(0.5) {
+                    mutate::dict_value(&mut input, &self.dictionary, &mut self.rng);
+                }
                 input
             }
         }

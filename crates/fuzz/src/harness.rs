@@ -6,7 +6,7 @@
 //! The input buffer length determines the run length.
 
 use rtlcov_core::CoverageMap;
-use rtlcov_firrtl::ir::Circuit;
+use rtlcov_firrtl::ir::{Circuit, Expr, PrimOp, Stmt};
 use rtlcov_sim::compiled::CompiledSim;
 use rtlcov_sim::{SimError, Simulator};
 
@@ -19,6 +19,82 @@ pub struct FuzzHarness {
     bits_per_cycle: usize,
     max_cycles: usize,
     native_feedback: bool,
+    dictionary: Vec<u64>,
+}
+
+/// Harvest literal comparison operands from an expression tree.
+fn dict_from_expr(e: &Expr, out: &mut Vec<u64>) {
+    match e {
+        Expr::Prim { op, args, .. } => {
+            if matches!(
+                op,
+                PrimOp::Eq | PrimOp::Neq | PrimOp::Lt | PrimOp::Leq | PrimOp::Gt | PrimOp::Geq
+            ) {
+                for a in args {
+                    if let Expr::UIntLit(bv) | Expr::SIntLit(bv) = a {
+                        out.push(bv.to_u64());
+                    }
+                }
+            }
+            for a in args {
+                dict_from_expr(a, out);
+            }
+        }
+        Expr::Mux(c, t, f) => {
+            dict_from_expr(c, out);
+            dict_from_expr(t, out);
+            dict_from_expr(f, out);
+        }
+        Expr::ValidIf(c, v) => {
+            dict_from_expr(c, out);
+            dict_from_expr(v, out);
+        }
+        Expr::SubField(b, _) | Expr::SubIndex(b, _) => dict_from_expr(b, out),
+        Expr::Ref(_) | Expr::UIntLit(_) | Expr::SIntLit(_) => {}
+    }
+}
+
+fn dict_from_stmts(stmts: &[Stmt], out: &mut Vec<u64>) {
+    for s in stmts {
+        match s {
+            Stmt::Node { value, .. } => dict_from_expr(value, out),
+            Stmt::Connect { value, .. } => dict_from_expr(value, out),
+            Stmt::Reg {
+                reset: Some((_, init)),
+                ..
+            } => dict_from_expr(init, out),
+            Stmt::When {
+                cond, then, else_, ..
+            } => {
+                dict_from_expr(cond, out);
+                dict_from_stmts(then, out);
+                dict_from_stmts(else_, out);
+            }
+            Stmt::Cover { pred, enable, .. } => {
+                dict_from_expr(pred, out);
+                dict_from_expr(enable, out);
+            }
+            Stmt::CoverValues { signal, enable, .. } => {
+                dict_from_expr(signal, out);
+                dict_from_expr(enable, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Collect the comparison constants of a circuit — the AFL-style
+/// dictionary. Values 0 and 1 are dropped: trivial mutations produce
+/// them constantly, so they carry no signal.
+fn extract_dictionary(circuit: &Circuit) -> Vec<u64> {
+    let mut out = Vec::new();
+    for m in &circuit.modules {
+        dict_from_stmts(&m.body, &mut out);
+    }
+    out.retain(|&v| v > 1);
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 /// Result of one fuzz execution.
@@ -60,7 +136,17 @@ impl FuzzHarness {
             bits_per_cycle,
             max_cycles,
             native_feedback: false,
+            dictionary: extract_dictionary(circuit),
         })
+    }
+
+    /// Comparison constants harvested from the DUT, for dictionary
+    /// mutations. A lock comparing against magic bytes is essentially
+    /// unreachable by blind byte mutation; seeding the mutator with the
+    /// circuit's own comparison operands (AFL's dictionary stage) closes
+    /// that gap.
+    pub fn dictionary(&self) -> &[u64] {
+        &self.dictionary
     }
 
     /// Also collect native mux-branch coverage (the rfuzz feedback metric).
@@ -165,6 +251,29 @@ circuit T :
         // byte 0x21: a = 1, b = 2 => only the reset-cycle hit
         let r = h.run(&[0x21]);
         assert_eq!(r.covers.count("same"), Some(1));
+    }
+
+    #[test]
+    fn dictionary_holds_comparison_constants() {
+        let low = passes::lower(
+            parse(
+                "
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    input k : UInt<8>
+    output o : UInt<1>
+    o <= and(eq(k, UInt<8>(17)), neq(k, UInt<8>(200)))
+",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let h = FuzzHarness::new(&low, 8).unwrap();
+        assert!(h.dictionary().contains(&17));
+        assert!(h.dictionary().contains(&200));
+        assert!(!h.dictionary().contains(&0));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod codec_fuzz;
+pub mod equivalence;
 pub mod fuzzer;
 pub mod harness;
 pub mod mutate;

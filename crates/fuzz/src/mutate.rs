@@ -119,6 +119,22 @@ pub fn overwrite_block(input: &mut [u8], rng: &mut impl Rng) {
     input[dst..dst + len].copy_from_slice(&block);
 }
 
+/// Overwrite a random position with a dictionary value — AFL's
+/// dictionary stage. The dictionary holds comparison constants harvested
+/// from the DUT (see `FuzzHarness::dictionary`), written little-endian so
+/// multi-byte constants land the way the harness packs input words.
+pub fn dict_value(input: &mut [u8], dict: &[u64], rng: &mut impl Rng) {
+    if input.is_empty() || dict.is_empty() {
+        return;
+    }
+    let v = dict[rng.gen_range(0..dict.len())];
+    let bytes = (((64 - v.leading_zeros()) as usize).div_ceil(8)).max(1);
+    let i = rng.gen_range(0..input.len());
+    for k in 0..bytes.min(input.len() - i) {
+        input[i + k] = (v >> (8 * k)) as u8;
+    }
+}
+
 /// Stack 2–8 random mutations (AFL's havoc stage).
 pub fn havoc(input: &mut Vec<u8>, rng: &mut impl Rng) {
     let n = rng.gen_range(2..=8);
@@ -226,6 +242,22 @@ mod tests {
         let mut input: Vec<u8> = (0..16).collect();
         overwrite_block(&mut input, &mut rng);
         assert_eq!(input.len(), 16);
+    }
+
+    #[test]
+    fn dict_value_plants_constants() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dict = [17u64, 43, 0x1234];
+        let mut planted_wide = false;
+        for _ in 0..50 {
+            let mut input = vec![0u8; 16];
+            dict_value(&mut input, &dict, &mut rng);
+            assert!(input.iter().any(|&b| b != 0));
+            if input.windows(2).any(|w| w == [0x34, 0x12]) {
+                planted_wide = true;
+            }
+        }
+        assert!(planted_wide, "multi-byte constants must land little-endian");
     }
 
     #[test]

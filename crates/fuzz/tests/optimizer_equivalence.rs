@@ -1,0 +1,16 @@
+//! Property test: the optimized/partitioned simulators are observationally
+//! identical to the unoptimized baseline on arbitrary generated circuits.
+
+use proptest::prelude::*;
+use rtlcov_fuzz::equivalence::check_equivalence;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimized_backends_match_baseline(script in proptest::collection::vec(any::<u8>(), 1..256)) {
+        if let Err(e) = check_equivalence(&script) {
+            prop_assert!(false, "backends diverged: {e}");
+        }
+    }
+}

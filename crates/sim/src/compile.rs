@@ -211,7 +211,7 @@ pub struct Program {
     pub outputs: Vec<(String, u32)>,
 }
 
-fn mask_for(width: u32) -> u64 {
+pub(crate) fn mask_for(width: u32) -> u64 {
     if width >= 64 {
         u64::MAX
     } else {

@@ -1,75 +1,127 @@
 //! The compiled simulator backend (Verilator analog).
 //!
-//! Executes a [`Program`] over dense `u64` slots in a tight loop. Optionally
-//! collects *native* structural coverage — per-mux condition counters, the
-//! analog of Verilator's built-in coverage on the generated Verilog — which
+//! Executes a [`Program`] over dense `u64` slots in a tight loop. By
+//! default the program first runs through the [`crate::opt`] pipeline
+//! (constant folding, CSE, peephole rewrites, dead-slot elimination);
+//! [`CompiledSim::new_with`] and [`CompiledSim::from_program`] expose the
+//! unoptimized path for A/B benchmarking. Optionally collects *native*
+//! structural coverage — per-mux condition counters, the analog of
+//! Verilator's built-in coverage on the generated Verilog — which
 //! Figure 8 compares against the paper's FIRRTL-level instrumentation.
+//!
+//! Mutable execution state lives behind a [`RefCell`] so that
+//! [`Simulator::peek`] can lazily settle combinational logic through a
+//! shared reference; a `settled` flag makes repeated peeks (e.g. VCD
+//! sampling of every signal) O(1) instead of a full re-evaluation each.
 
 use crate::compile::{compile, Instr, MicroOp, Program};
 use crate::elaborate::elaborate;
+use crate::opt::{optimize, OptOptions, OptStats};
 use crate::{Fuel, SimError, Simulator};
 use rtlcov_core::CoverageMap;
 use rtlcov_firrtl::ir::Circuit;
+use std::cell::RefCell;
 use std::collections::HashMap;
+
+/// Mutable execution state, interior-mutable so `peek(&self)` can settle.
+#[derive(Debug, Clone)]
+struct ExecState {
+    slots: Vec<u64>,
+    mems: Vec<Vec<u64>>,
+    /// Combinational logic is consistent with current inputs/state.
+    settled: bool,
+}
 
 /// Dense-slot compiled simulator.
 #[derive(Debug, Clone)]
 pub struct CompiledSim {
     prog: Program,
-    slots: Vec<u64>,
-    mems: Vec<Vec<u64>>,
+    st: RefCell<ExecState>,
     cover_counts: Vec<u64>,
     cover_values_counts: Vec<HashMap<u64, u64>>,
-    /// Verilator-style structural coverage: (true_count, false_count) per mux.
+    /// Verilator-style structural coverage: (true_count, false_count) per
+    /// mux, with names interned at enable time.
     native_mux: Option<Vec<(u64, u64)>>,
-    mux_instrs: Vec<usize>,
+    native_names: Vec<(String, String)>,
+    /// Condition slot of each mux instruction (dense, precomputed).
+    mux_conds: Vec<u32>,
     cycles: u64,
     fuel: Fuel,
+    opt_stats: OptStats,
 }
 
 impl CompiledSim {
-    /// Build a compiled simulator from a lowered circuit.
+    /// Build a compiled simulator from a lowered circuit with the default
+    /// optimization pipeline (honoring the `RTLCOV_SIM_NO_OPT` escape
+    /// hatch).
     ///
     /// # Errors
     ///
     /// Propagates elaboration and compilation failures (combinational loops,
     /// >64-bit signals).
     pub fn new(circuit: &Circuit) -> Result<Self, SimError> {
-        let flat = elaborate(circuit).map_err(|e| SimError(e.0))?;
-        let prog = compile(&flat).map_err(|e| SimError(e.0))?;
-        Ok(Self::from_program(prog))
+        Self::new_with(circuit, &OptOptions::from_env())
     }
 
-    /// Build from an already-compiled program.
+    /// Build with explicit optimizer options ([`OptOptions::none`] gives
+    /// the seed unoptimized program, for A/B benchmarking).
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration and compilation failures.
+    pub fn new_with(circuit: &Circuit, opts: &OptOptions) -> Result<Self, SimError> {
+        let flat = elaborate(circuit).map_err(|e| SimError(e.0))?;
+        let prog = compile(&flat).map_err(|e| SimError(e.0))?;
+        let (prog, stats) = optimize(&prog, opts);
+        let mut sim = Self::from_program(prog);
+        sim.opt_stats = stats;
+        Ok(sim)
+    }
+
+    /// Build from an already-compiled program, as-is (no optimization).
     pub fn from_program(prog: Program) -> Self {
         let slots = prog.init_slots.clone();
         let mems = prog.mems.iter().map(|m| vec![0u64; m.depth]).collect();
         let cover_counts = vec![0; prog.covers.len()];
         let cover_values_counts = vec![HashMap::new(); prog.cover_values.len()];
-        let mux_instrs = prog
+        let mux_conds = prog
             .instrs
             .iter()
-            .enumerate()
-            .filter(|(_, i)| i.op == MicroOp::Mux)
-            .map(|(k, _)| k)
+            .filter(|i| i.op == MicroOp::Mux)
+            .map(|i| i.c)
             .collect();
         CompiledSim {
             prog,
-            slots,
-            mems,
+            st: RefCell::new(ExecState {
+                slots,
+                mems,
+                settled: false,
+            }),
             cover_counts,
             cover_values_counts,
             native_mux: None,
-            mux_instrs,
+            native_names: Vec::new(),
+            mux_conds,
             cycles: 0,
             fuel: Fuel::unlimited(),
+            opt_stats: OptStats::default(),
         }
     }
 
+    /// What the optimizer did while building this simulator (all zeros
+    /// when constructed via [`CompiledSim::from_program`]).
+    pub fn opt_stats(&self) -> OptStats {
+        self.opt_stats
+    }
+
     /// Enable native structural (per-mux branch) coverage — the built-in
-    /// coverage a monolithic simulator would offer.
+    /// coverage a monolithic simulator would offer. Counter names are
+    /// interned once here instead of formatted per query.
     pub fn enable_native_coverage(&mut self) {
-        self.native_mux = Some(vec![(0, 0); self.mux_instrs.len()]);
+        self.native_mux = Some(vec![(0, 0); self.mux_conds.len()]);
+        self.native_names = (0..self.mux_conds.len())
+            .map(|i| (format!("native.mux{i}.t"), format!("native.mux{i}.f")))
+            .collect();
     }
 
     /// Native structural coverage counts, named `native.mux<i>.{t,f}`.
@@ -77,8 +129,8 @@ impl CompiledSim {
         let mut map = CoverageMap::new();
         if let Some(counts) = &self.native_mux {
             for (i, (t, f)) in counts.iter().enumerate() {
-                map.record(format!("native.mux{i}.t"), *t);
-                map.record(format!("native.mux{i}.f"), *f);
+                map.record_ref(&self.native_names[i].0, *t);
+                map.record_ref(&self.native_names[i].1, *f);
             }
         }
         map
@@ -94,32 +146,29 @@ impl CompiledSim {
         &self.prog
     }
 
-    #[inline]
-    fn eval_comb(&mut self) {
+    /// Bring combinational logic up to date with inputs/state. Idempotent
+    /// until the next poke/step/memory write.
+    fn settle(&self) {
+        let st = &mut *self.st.borrow_mut();
+        if st.settled {
+            return;
+        }
         for instr in &self.prog.instrs {
-            exec_instr(instr, &mut self.slots, &self.mems);
+            exec_instr(instr, &mut st.slots, &st.mems);
         }
-        if let Some(native) = &mut self.native_mux {
-            for (k, &idx) in self.mux_instrs.iter().enumerate() {
-                let cond = self.slots[self.prog.instrs[idx].c as usize];
-                if cond != 0 {
-                    native[k].0 = native[k].0.saturating_add(1);
-                } else {
-                    native[k].1 = native[k].1.saturating_add(1);
-                }
-            }
-        }
+        st.settled = true;
     }
 
     fn sample_covers(&mut self) {
+        let st = self.st.get_mut();
         for (i, cov) in self.prog.covers.iter().enumerate() {
-            if self.slots[cov.pred as usize] != 0 && self.slots[cov.enable as usize] != 0 {
+            if st.slots[cov.pred as usize] != 0 && st.slots[cov.enable as usize] != 0 {
                 self.cover_counts[i] = self.cover_counts[i].saturating_add(1);
             }
         }
         for (i, cv) in self.prog.cover_values.iter().enumerate() {
-            if self.slots[cv.enable as usize] != 0 {
-                let v = self.slots[cv.signal as usize];
+            if st.slots[cv.enable as usize] != 0 {
+                let v = st.slots[cv.signal as usize];
                 let entry = self.cover_values_counts[i].entry(v).or_insert(0);
                 *entry = entry.saturating_add(1);
             }
@@ -127,22 +176,24 @@ impl CompiledSim {
     }
 
     fn commit(&mut self) {
+        let st = self.st.get_mut();
         // memory writes use pre-edge values
         for m in 0..self.prog.mems.len() {
             let mem = &self.prog.mems[m];
             for w in &mem.writers {
-                if self.slots[w.en as usize] != 0 && self.slots[w.mask as usize] != 0 {
-                    let addr = self.slots[w.addr as usize] as usize;
+                if st.slots[w.en as usize] != 0 && st.slots[w.mask as usize] != 0 {
+                    let addr = st.slots[w.addr as usize] as usize;
                     if addr < mem.depth {
-                        let data = self.slots[w.data as usize] & mem.mask;
-                        self.mems[m][addr] = data;
+                        let data = st.slots[w.data as usize] & mem.mask;
+                        st.mems[m][addr] = data;
                     }
                 }
             }
         }
         for r in &self.prog.regs {
-            self.slots[r.value as usize] = self.slots[r.next as usize];
+            st.slots[r.value as usize] = st.slots[r.next as usize];
         }
+        st.settled = false;
     }
 }
 
@@ -258,19 +309,33 @@ impl Simulator for CompiledSim {
         let slot = self.prog.signal_slot[signal] as usize;
         let w = self.prog.slot_width[slot];
         let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
-        self.slots[slot] = value & mask;
+        let st = self.st.get_mut();
+        st.slots[slot] = value & mask;
+        st.settled = false;
     }
 
-    fn peek(&mut self, signal: &str) -> u64 {
-        self.eval_comb();
-        self.slots[self.prog.signal_slot[signal] as usize]
+    fn peek(&self, signal: &str) -> u64 {
+        self.settle();
+        self.st.borrow().slots[self.prog.signal_slot[signal] as usize]
     }
 
     fn step(&mut self) {
         if !self.fuel.consume() {
             return;
         }
-        self.eval_comb();
+        self.settle();
+        // native mux counting happens once per clock cycle (peeks between
+        // steps no longer inflate the branch counters)
+        if let Some(native) = &mut self.native_mux {
+            let st = self.st.get_mut();
+            for (k, &cs) in self.mux_conds.iter().enumerate() {
+                if st.slots[cs as usize] != 0 {
+                    native[k].0 = native[k].0.saturating_add(1);
+                } else {
+                    native[k].1 = native[k].1.saturating_add(1);
+                }
+            }
+        }
         self.sample_covers();
         self.commit();
         self.cycles += 1;
@@ -309,7 +374,10 @@ impl Simulator for CompiledSim {
         if addr as usize >= depth {
             return Err(SimError(format!("address {addr} out of range for `{mem}`")));
         }
-        self.mems[idx][addr as usize] = value & self.prog.mems[idx].mask;
+        let mask = self.prog.mems[idx].mask;
+        let st = self.st.get_mut();
+        st.mems[idx][addr as usize] = value & mask;
+        st.settled = false;
         Ok(())
     }
 
@@ -320,7 +388,7 @@ impl Simulator for CompiledSim {
             .iter()
             .position(|m| m.name == mem)
             .ok_or_else(|| SimError(format!("unknown memory `{mem}`")))?;
-        self.mems[idx]
+        self.st.borrow().mems[idx]
             .get(addr as usize)
             .copied()
             .ok_or_else(|| SimError(format!("address {addr} out of range for `{mem}`")))
@@ -469,6 +537,26 @@ circuit T :
         let native = s.native_coverage();
         assert_eq!(native.count("native.mux0.t"), Some(1));
         assert_eq!(native.count("native.mux0.f"), Some(2));
+    }
+
+    #[test]
+    fn peeks_between_steps_do_not_inflate_native_counts() {
+        let mut s = sim("
+circuit T :
+  module T :
+    input s : UInt<1>
+    input a : UInt<4>
+    input b : UInt<4>
+    output o : UInt<4>
+    o <= mux(s, a, b)
+");
+        s.enable_native_coverage();
+        s.poke("s", 1);
+        s.peek("o");
+        s.peek("o");
+        s.step();
+        let native = s.native_coverage();
+        assert_eq!(native.count("native.mux0.t"), Some(1));
     }
 
     #[test]

@@ -1,22 +1,186 @@
 //! The activity-driven simulator backend (ESSENT analog, §3.5).
 //!
-//! Reuses the compiled [`Program`] but skips instructions whose inputs did
-//! not change since the last evaluation — ESSENT's "exploit low activity
-//! factors" insight. On quiescent designs this evaluates only the active
-//! cone each cycle; on fully active designs it degrades to the compiled
-//! backend plus bookkeeping.
+//! Reuses the compiled [`Program`] but skips work whose inputs did not
+//! change since the last evaluation — ESSENT's "exploit low activity
+//! factors" insight. Two engines share the [`EssentSim`] interface:
+//!
+//! * **Partitioned** (default): the program is grouped into acyclic
+//!   partitions ([`crate::partition`]) and a dirty-partition worklist
+//!   gates execution at partition granularity. Cover sampling is
+//!   *batched*: a cover's count is materialized lazily from
+//!   `(active, since-cycle)` pairs and only recomputed when a partition
+//!   that feeds it actually changed its watched slots — quiescent cycles
+//!   never touch the cover list at all.
+//! * **Per-instruction**: the seed implementation (per-slot dirty bits,
+//!   per-cycle cover scan), kept as the A/B baseline for
+//!   `bench_sim` and as an escape hatch (`RTLCOV_SIM_NO_PARTITION`).
+//!
+//! On quiescent designs the partitioned engine's step cost is O(number of
+//! registers) bookkeeping; on fully active designs it degrades to the
+//! compiled backend plus a partition sweep.
 
 use crate::compile::{compile, MicroOp, Program};
 use crate::compiled::exec_instr;
 use crate::elaborate::elaborate;
+use crate::opt::{optimize, OptOptions, OptStats};
+use crate::partition::{partition, PartitionedProgram, DEFAULT_MAX_PARTITION};
 use crate::{Fuel, SimError, Simulator};
 use rtlcov_core::CoverageMap;
 use rtlcov_firrtl::ir::Circuit;
+use std::cell::RefCell;
 use std::collections::HashMap;
+
+/// Construction knobs for [`EssentSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EssentOptions {
+    /// Run the [`crate::opt`] pipeline on the program first.
+    pub optimize: bool,
+    /// Use the partitioned engine (otherwise the seed per-instruction one).
+    pub partition: bool,
+    /// Partition size cap (see [`DEFAULT_MAX_PARTITION`]).
+    pub max_partition: usize,
+}
+
+impl Default for EssentOptions {
+    fn default() -> Self {
+        EssentOptions {
+            optimize: true,
+            partition: true,
+            max_partition: DEFAULT_MAX_PARTITION,
+        }
+    }
+}
+
+impl EssentOptions {
+    /// Defaults, honoring the `RTLCOV_SIM_NO_OPT` and
+    /// `RTLCOV_SIM_NO_PARTITION` escape hatches.
+    pub fn from_env() -> Self {
+        EssentOptions {
+            optimize: std::env::var_os("RTLCOV_SIM_NO_OPT").is_none(),
+            partition: std::env::var_os("RTLCOV_SIM_NO_PARTITION").is_none(),
+            max_partition: DEFAULT_MAX_PARTITION,
+        }
+    }
+}
 
 /// Activity-driven simulator.
 #[derive(Debug, Clone)]
 pub struct EssentSim {
+    /// Interior-mutable so `peek(&self)` can settle combinational logic.
+    inner: RefCell<Engine>,
+    fuel: Fuel,
+    opt_stats: OptStats,
+}
+
+#[derive(Debug, Clone)]
+enum Engine {
+    PerInstr(Box<PerInstr>),
+    Partitioned(Box<Partitioned>),
+}
+
+impl EssentSim {
+    /// Build an activity-driven simulator from a lowered circuit with the
+    /// default optimize+partition pipeline (honoring the env escape
+    /// hatches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration and compilation failures.
+    pub fn new(circuit: &Circuit) -> Result<Self, SimError> {
+        Self::new_with(circuit, &EssentOptions::from_env())
+    }
+
+    /// Build with explicit options (for A/B benchmarking the seed
+    /// per-instruction engine against the partitioned one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration and compilation failures.
+    pub fn new_with(circuit: &Circuit, opts: &EssentOptions) -> Result<Self, SimError> {
+        let flat = elaborate(circuit).map_err(|e| SimError(e.0))?;
+        let prog = compile(&flat).map_err(|e| SimError(e.0))?;
+        let opt_opts = if opts.optimize {
+            OptOptions::default()
+        } else {
+            OptOptions::none()
+        };
+        let (prog, opt_stats) = optimize(&prog, &opt_opts);
+        let engine = if opts.partition {
+            Engine::Partitioned(Box::new(Partitioned::new(partition(
+                prog,
+                opts.max_partition,
+            ))))
+        } else {
+            Engine::PerInstr(Box::new(PerInstr::new(prog)))
+        };
+        Ok(EssentSim {
+            inner: RefCell::new(engine),
+            fuel: Fuel::unlimited(),
+            opt_stats,
+        })
+    }
+
+    /// What the optimizer did while building this simulator.
+    pub fn opt_stats(&self) -> OptStats {
+        self.opt_stats
+    }
+
+    /// Fraction of instruction evaluations actually executed (activity
+    /// factor); 1.0 before the first step.
+    pub fn activity_factor(&self) -> f64 {
+        match &*self.inner.borrow() {
+            Engine::PerInstr(e) => activity(e.executed_instrs, e.total_instr_opportunities),
+            Engine::Partitioned(e) => activity(e.executed_instrs, e.total_instr_opportunities),
+        }
+    }
+
+    /// Fraction of partition evaluations actually executed; `None` on the
+    /// per-instruction engine, 1.0 before the first step.
+    pub fn partition_activity(&self) -> Option<f64> {
+        match &*self.inner.borrow() {
+            Engine::PerInstr(_) => None,
+            Engine::Partitioned(e) => Some(activity(e.parts_executed, e.part_opportunities)),
+        }
+    }
+
+    /// Number of partitions (`None` on the per-instruction engine).
+    pub fn partitions(&self) -> Option<usize> {
+        match &*self.inner.borrow() {
+            Engine::PerInstr(_) => None,
+            Engine::Partitioned(e) => Some(e.pp.parts.len()),
+        }
+    }
+
+    /// Number of cycles executed.
+    pub fn cycles(&self) -> u64 {
+        match &*self.inner.borrow() {
+            Engine::PerInstr(e) => e.cycles,
+            Engine::Partitioned(e) => e.cycles,
+        }
+    }
+}
+
+fn activity(executed: u64, opportunities: u64) -> f64 {
+    if opportunities == 0 {
+        1.0
+    } else {
+        executed as f64 / opportunities as f64
+    }
+}
+
+fn find_mem(prog: &Program, mem: &str) -> Result<usize, SimError> {
+    prog.mems
+        .iter()
+        .position(|m| m.name == mem)
+        .ok_or_else(|| SimError(format!("unknown memory `{mem}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Per-instruction engine (the seed implementation, kept as A/B baseline)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct PerInstr {
     prog: Program,
     slots: Vec<u64>,
     mems: Vec<Vec<u64>>,
@@ -28,25 +192,17 @@ pub struct EssentSim {
     cycles: u64,
     executed_instrs: u64,
     total_instr_opportunities: u64,
-    fuel: Fuel,
 }
 
-impl EssentSim {
-    /// Build an activity-driven simulator from a lowered circuit.
-    ///
-    /// # Errors
-    ///
-    /// Propagates elaboration and compilation failures.
-    pub fn new(circuit: &Circuit) -> Result<Self, SimError> {
-        let flat = elaborate(circuit).map_err(|e| SimError(e.0))?;
-        let prog = compile(&flat).map_err(|e| SimError(e.0))?;
+impl PerInstr {
+    fn new(prog: Program) -> Self {
         let slots = prog.init_slots.clone();
         let mems: Vec<Vec<u64>> = prog.mems.iter().map(|m| vec![0u64; m.depth]).collect();
         let dirty = vec![false; slots.len()];
         let mem_dirty = vec![false; mems.len()];
         let cover_counts = vec![0; prog.covers.len()];
         let cover_values_counts = vec![HashMap::new(); prog.cover_values.len()];
-        Ok(EssentSim {
+        PerInstr {
             prog,
             slots,
             mems,
@@ -58,23 +214,7 @@ impl EssentSim {
             cycles: 0,
             executed_instrs: 0,
             total_instr_opportunities: 0,
-            fuel: Fuel::unlimited(),
-        })
-    }
-
-    /// Fraction of instruction evaluations actually executed (activity
-    /// factor); 1.0 before the first step.
-    pub fn activity_factor(&self) -> f64 {
-        if self.total_instr_opportunities == 0 {
-            1.0
-        } else {
-            self.executed_instrs as f64 / self.total_instr_opportunities as f64
         }
-    }
-
-    /// Number of cycles executed.
-    pub fn cycles(&self) -> u64 {
-        self.cycles
     }
 
     fn eval_comb(&mut self) {
@@ -145,9 +285,7 @@ impl EssentSim {
             }
         }
     }
-}
 
-impl Simulator for EssentSim {
     fn poke(&mut self, signal: &str, value: u64) {
         let slot = self.prog.signal_slot[signal] as usize;
         let w = self.prog.slot_width[slot];
@@ -159,27 +297,11 @@ impl Simulator for EssentSim {
         }
     }
 
-    fn peek(&mut self, signal: &str) -> u64 {
-        self.eval_comb();
-        self.slots[self.prog.signal_slot[signal] as usize]
-    }
-
     fn step(&mut self) {
-        if !self.fuel.consume() {
-            return;
-        }
         self.eval_comb();
         self.sample_covers();
         self.commit();
         self.cycles += 1;
-    }
-
-    fn set_fuel(&mut self, fuel: u64) {
-        self.fuel.set(fuel);
-    }
-
-    fn out_of_fuel(&self) -> bool {
-        self.fuel.starved()
     }
 
     fn cover_counts(&self) -> CoverageMap {
@@ -195,37 +317,366 @@ impl Simulator for EssentSim {
         }
         map
     }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned engine (dirty-partition worklist + batched cover sampling)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Partitioned {
+    pp: PartitionedProgram,
+    slots: Vec<u64>,
+    mems: Vec<Vec<u64>>,
+    part_dirty: Vec<bool>,
+    /// Fast path: nothing is dirty, skip the partition sweep entirely.
+    any_dirty: bool,
+    /// Escape-value snapshot buffer (reused across partitions).
+    scratch: Vec<u64>,
+    // Batched cover state: count covers cycles `< since`; `active` is the
+    // predicate state for cycles `since..now`. A cover is only recomputed
+    // ("flushed") when a watched slot actually changed.
+    cov_active: Vec<bool>,
+    cov_since: Vec<u64>,
+    cov_count: Vec<u64>,
+    cov_stale: Vec<bool>,
+    cov_stale_list: Vec<u32>,
+    // Same scheme for cover_values: `cv_val` is the sampled value for
+    // cycles `since..now` while `cv_en` gates it.
+    cv_en: Vec<bool>,
+    cv_val: Vec<u64>,
+    cv_since: Vec<u64>,
+    cv_counts: Vec<HashMap<u64, u64>>,
+    cv_stale: Vec<bool>,
+    cv_stale_list: Vec<u32>,
+    cycles: u64,
+    executed_instrs: u64,
+    total_instr_opportunities: u64,
+    parts_executed: u64,
+    part_opportunities: u64,
+}
+
+impl Partitioned {
+    fn new(pp: PartitionedProgram) -> Self {
+        let slots = pp.prog.init_slots.clone();
+        let mems: Vec<Vec<u64>> = pp.prog.mems.iter().map(|m| vec![0u64; m.depth]).collect();
+        let nparts = pp.parts.len();
+        let ncov = pp.prog.covers.len();
+        let ncv = pp.prog.cover_values.len();
+        Partitioned {
+            slots,
+            mems,
+            part_dirty: vec![true; nparts],
+            any_dirty: true,
+            scratch: Vec::new(),
+            cov_active: vec![false; ncov],
+            cov_since: vec![0; ncov],
+            cov_count: vec![0; ncov],
+            cov_stale: vec![true; ncov],
+            cov_stale_list: (0..ncov as u32).collect(),
+            cv_en: vec![false; ncv],
+            cv_val: vec![0; ncv],
+            cv_since: vec![0; ncv],
+            cv_counts: vec![HashMap::new(); ncv],
+            cv_stale: vec![true; ncv],
+            cv_stale_list: (0..ncv as u32).collect(),
+            cycles: 0,
+            executed_instrs: 0,
+            total_instr_opportunities: 0,
+            parts_executed: 0,
+            part_opportunities: 0,
+            pp,
+        }
+    }
+
+    /// Mark everything observing `slot` after its value changed: consumer
+    /// partitions become dirty, watching covers become stale.
+    fn touch_slot(&mut self, slot: usize) {
+        for &q in &self.pp.consumers[slot] {
+            self.part_dirty[q as usize] = true;
+            self.any_dirty = true;
+        }
+        for &ci in &self.pp.cover_watch[slot] {
+            if !self.cov_stale[ci as usize] {
+                self.cov_stale[ci as usize] = true;
+                self.cov_stale_list.push(ci);
+            }
+        }
+        for &ci in &self.pp.cv_watch[slot] {
+            if !self.cv_stale[ci as usize] {
+                self.cv_stale[ci as usize] = true;
+                self.cv_stale_list.push(ci);
+            }
+        }
+    }
+
+    /// Execute dirty partitions in ascending order (a valid topological
+    /// order — see [`crate::partition`]), propagating dirtiness through
+    /// changed escape slots only.
+    fn settle(&mut self) {
+        if !self.any_dirty {
+            return;
+        }
+        for p in 0..self.pp.parts.len() {
+            if !self.part_dirty[p] {
+                continue;
+            }
+            self.part_dirty[p] = false;
+            let part = &self.pp.parts[p];
+            let (start, end) = (part.start as usize, part.end as usize);
+            self.scratch.clear();
+            for &s in &part.escapes {
+                self.scratch.push(self.slots[s as usize]);
+            }
+            for instr in &self.pp.prog.instrs[start..end] {
+                exec_instr(instr, &mut self.slots, &self.mems);
+            }
+            self.executed_instrs += (end - start) as u64;
+            self.parts_executed += 1;
+            for k in 0..self.pp.parts[p].escapes.len() {
+                let s = self.pp.parts[p].escapes[k] as usize;
+                if self.slots[s] != self.scratch[k] {
+                    // cross-partition deps always flow to later partitions,
+                    // so marking here is seen by this same sweep
+                    for ci in 0..self.pp.consumers[s].len() {
+                        let q = self.pp.consumers[s][ci] as usize;
+                        if q != p {
+                            self.part_dirty[q] = true;
+                        }
+                    }
+                    for ci in 0..self.pp.cover_watch[s].len() {
+                        let c = self.pp.cover_watch[s][ci];
+                        if !self.cov_stale[c as usize] {
+                            self.cov_stale[c as usize] = true;
+                            self.cov_stale_list.push(c);
+                        }
+                    }
+                    for ci in 0..self.pp.cv_watch[s].len() {
+                        let c = self.pp.cv_watch[s][ci];
+                        if !self.cv_stale[c as usize] {
+                            self.cv_stale[c as usize] = true;
+                            self.cv_stale_list.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        self.any_dirty = false;
+    }
+
+    /// Flush stale covers: close the `[since, now)` interval under the old
+    /// predicate state, then latch the new state. Clean covers cost
+    /// nothing per cycle.
+    fn sample_covers(&mut self) {
+        let t = self.cycles;
+        while let Some(ci) = self.cov_stale_list.pop() {
+            let i = ci as usize;
+            self.cov_stale[i] = false;
+            if self.cov_active[i] {
+                self.cov_count[i] = self.cov_count[i].saturating_add(t - self.cov_since[i]);
+            }
+            let cov = &self.pp.prog.covers[i];
+            self.cov_active[i] =
+                self.slots[cov.pred as usize] != 0 && self.slots[cov.enable as usize] != 0;
+            self.cov_since[i] = t;
+        }
+        while let Some(ci) = self.cv_stale_list.pop() {
+            let i = ci as usize;
+            self.cv_stale[i] = false;
+            if self.cv_en[i] {
+                let delta = t - self.cv_since[i];
+                if delta > 0 {
+                    let entry = self.cv_counts[i].entry(self.cv_val[i]).or_insert(0);
+                    *entry = entry.saturating_add(delta);
+                }
+            }
+            let cv = &self.pp.prog.cover_values[i];
+            self.cv_en[i] = self.slots[cv.enable as usize] != 0;
+            self.cv_val[i] = self.slots[cv.signal as usize];
+            self.cv_since[i] = t;
+        }
+    }
+
+    fn commit(&mut self) {
+        // memory writes use pre-edge values
+        for m in 0..self.pp.prog.mems.len() {
+            let mem = &self.pp.prog.mems[m];
+            for w in &mem.writers {
+                if self.slots[w.en as usize] != 0 && self.slots[w.mask as usize] != 0 {
+                    let addr = self.slots[w.addr as usize] as usize;
+                    if addr < mem.depth {
+                        let data = self.slots[w.data as usize] & mem.mask;
+                        if self.mems[m][addr] != data {
+                            self.mems[m][addr] = data;
+                            for &q in &self.pp.mem_readers[m] {
+                                self.part_dirty[q as usize] = true;
+                                self.any_dirty = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for r in 0..self.pp.prog.regs.len() {
+            let (value, next) = (
+                self.pp.prog.regs[r].value as usize,
+                self.pp.prog.regs[r].next as usize,
+            );
+            let nv = self.slots[next];
+            if self.slots[value] != nv {
+                self.slots[value] = nv;
+                self.touch_slot(value);
+            }
+        }
+    }
+
+    fn poke(&mut self, signal: &str, value: u64) {
+        let slot = self.pp.prog.signal_slot[signal] as usize;
+        let w = self.pp.prog.slot_width[slot];
+        let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let v = value & mask;
+        if self.slots[slot] != v {
+            self.slots[slot] = v;
+            self.touch_slot(slot);
+        }
+    }
+
+    fn step(&mut self) {
+        self.settle();
+        self.sample_covers();
+        self.commit();
+        self.cycles += 1;
+        self.total_instr_opportunities += self.pp.prog.instrs.len() as u64;
+        self.part_opportunities += self.pp.parts.len() as u64;
+    }
+
+    /// Materialize counts: flushed intervals plus the still-open one.
+    fn cover_counts(&self) -> CoverageMap {
+        let t = self.cycles;
+        let mut map = CoverageMap::new();
+        for (i, cov) in self.pp.prog.covers.iter().enumerate() {
+            let mut c = self.cov_count[i];
+            if self.cov_active[i] {
+                c = c.saturating_add(t - self.cov_since[i]);
+            }
+            map.record(&cov.name, c);
+            map.declare(&cov.name);
+        }
+        for (i, cv) in self.pp.prog.cover_values.iter().enumerate() {
+            for (value, count) in &self.cv_counts[i] {
+                map.record(format!("{}[{value}]", cv.name), *count);
+            }
+            if self.cv_en[i] && t > self.cv_since[i] {
+                // record() saturating-adds, so the open interval stacks on
+                // top of whatever the flushed map already holds for cv_val
+                map.record(
+                    format!("{}[{}]", cv.name, self.cv_val[i]),
+                    t - self.cv_since[i],
+                );
+            }
+        }
+        map
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared Simulator impl
+// ---------------------------------------------------------------------------
+
+impl Simulator for EssentSim {
+    fn poke(&mut self, signal: &str, value: u64) {
+        match self.inner.get_mut() {
+            Engine::PerInstr(e) => e.poke(signal, value),
+            Engine::Partitioned(e) => e.poke(signal, value),
+        }
+    }
+
+    fn peek(&self, signal: &str) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        match &mut *inner {
+            Engine::PerInstr(e) => {
+                e.eval_comb();
+                e.slots[e.prog.signal_slot[signal] as usize]
+            }
+            Engine::Partitioned(e) => {
+                e.settle();
+                e.slots[e.pp.prog.signal_slot[signal] as usize]
+            }
+        }
+    }
+
+    fn step(&mut self) {
+        if !self.fuel.consume() {
+            return;
+        }
+        match self.inner.get_mut() {
+            Engine::PerInstr(e) => e.step(),
+            Engine::Partitioned(e) => e.step(),
+        }
+    }
+
+    fn set_fuel(&mut self, fuel: u64) {
+        self.fuel.set(fuel);
+    }
+
+    fn out_of_fuel(&self) -> bool {
+        self.fuel.starved()
+    }
+
+    fn cover_counts(&self) -> CoverageMap {
+        match &*self.inner.borrow() {
+            Engine::PerInstr(e) => e.cover_counts(),
+            Engine::Partitioned(e) => e.cover_counts(),
+        }
+    }
 
     fn write_mem(&mut self, mem: &str, addr: u64, value: u64) -> Result<(), SimError> {
-        let idx = self
-            .prog
-            .mems
-            .iter()
-            .position(|m| m.name == mem)
-            .ok_or_else(|| SimError(format!("unknown memory `{mem}`")))?;
-        if addr as usize >= self.prog.mems[idx].depth {
-            return Err(SimError(format!("address {addr} out of range for `{mem}`")));
+        match self.inner.get_mut() {
+            Engine::PerInstr(e) => {
+                let idx = find_mem(&e.prog, mem)?;
+                if addr as usize >= e.prog.mems[idx].depth {
+                    return Err(SimError(format!("address {addr} out of range for `{mem}`")));
+                }
+                e.mems[idx][addr as usize] = value & e.prog.mems[idx].mask;
+                e.mem_dirty[idx] = true;
+                Ok(())
+            }
+            Engine::Partitioned(e) => {
+                let idx = find_mem(&e.pp.prog, mem)?;
+                if addr as usize >= e.pp.prog.mems[idx].depth {
+                    return Err(SimError(format!("address {addr} out of range for `{mem}`")));
+                }
+                e.mems[idx][addr as usize] = value & e.pp.prog.mems[idx].mask;
+                for qi in 0..e.pp.mem_readers[idx].len() {
+                    let q = e.pp.mem_readers[idx][qi] as usize;
+                    e.part_dirty[q] = true;
+                    e.any_dirty = true;
+                }
+                Ok(())
+            }
         }
-        self.mems[idx][addr as usize] = value & self.prog.mems[idx].mask;
-        self.mem_dirty[idx] = true;
-        Ok(())
     }
 
     fn read_mem(&self, mem: &str, addr: u64) -> Result<u64, SimError> {
-        let idx = self
-            .prog
-            .mems
-            .iter()
-            .position(|m| m.name == mem)
-            .ok_or_else(|| SimError(format!("unknown memory `{mem}`")))?;
-        self.mems[idx]
+        let inner = self.inner.borrow();
+        let (prog, mems) = match &*inner {
+            Engine::PerInstr(e) => (&e.prog, &e.mems),
+            Engine::Partitioned(e) => (&e.pp.prog, &e.mems),
+        };
+        let idx = find_mem(prog, mem)?;
+        mems[idx]
             .get(addr as usize)
             .copied()
             .ok_or_else(|| SimError(format!("address {addr} out of range for `{mem}`")))
     }
 
     fn signals(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.prog.signal_slot.keys().cloned().collect();
+        let inner = self.inner.borrow();
+        let prog = match &*inner {
+            Engine::PerInstr(e) => &e.prog,
+            Engine::Partitioned(e) => &e.pp.prog,
+        };
+        let mut v: Vec<String> = prog.signal_slot.keys().cloned().collect();
         v.sort();
         v
     }
@@ -239,6 +690,10 @@ mod tests {
 
     fn sim(src: &str) -> EssentSim {
         EssentSim::new(&passes::lower(parse(src).unwrap()).unwrap()).unwrap()
+    }
+
+    fn sim_with(src: &str, opts: &EssentOptions) -> EssentSim {
+        EssentSim::new_with(&passes::lower(parse(src).unwrap()).unwrap(), opts).unwrap()
     }
 
     const COUNTER: &str = "
@@ -291,5 +746,106 @@ circuit T :
         s.poke("a", 1);
         s.step_n(10);
         assert_eq!(s.cover_counts().count("hit"), Some(10));
+    }
+
+    #[test]
+    fn engines_agree_on_counter() {
+        let per = EssentOptions {
+            optimize: false,
+            partition: false,
+            ..EssentOptions::default()
+        };
+        let mut a = sim(COUNTER);
+        let mut b = sim_with(COUNTER, &per);
+        for s in [&mut a as &mut dyn Simulator, &mut b] {
+            s.reset(2);
+            s.poke("en", 1);
+            s.step_n(7);
+            s.poke("en", 0);
+            s.step_n(3);
+        }
+        assert_eq!(a.peek("o"), b.peek("o"));
+        assert_eq!(a.cover_counts(), b.cover_counts());
+    }
+
+    #[test]
+    fn batched_covers_match_toggling_predicate() {
+        const SRC: &str = "
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<1>
+    input en : UInt<1>
+    cover(clock, a, en) : hit
+";
+        let per = EssentOptions {
+            optimize: false,
+            partition: false,
+            ..EssentOptions::default()
+        };
+        let mut p = sim(SRC);
+        let mut b = sim_with(SRC, &per);
+        let script = [
+            (1u64, 1u64, 3usize),
+            (0, 1, 2),
+            (1, 0, 4),
+            (1, 1, 1),
+            (0, 0, 5),
+            (1, 1, 2),
+        ];
+        for s in [&mut p as &mut dyn Simulator, &mut b] {
+            for (a, en, n) in script {
+                s.poke("a", a);
+                s.poke("en", en);
+                s.step_n(n);
+            }
+        }
+        assert_eq!(p.cover_counts(), b.cover_counts());
+        assert_eq!(p.cover_counts().count("hit"), Some(6));
+    }
+
+    #[test]
+    fn partition_activity_is_observable() {
+        let mut s = sim(COUNTER);
+        s.reset(1);
+        s.poke("en", 0);
+        s.step_n(50);
+        let pa = s.partition_activity().expect("partitioned engine");
+        assert!(pa < 0.5, "partition activity {pa}");
+        assert!(s.partitions().unwrap() >= 1);
+    }
+
+    #[test]
+    fn cover_values_batching_matches_per_cycle_scan() {
+        const SRC: &str = "
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    output o : UInt<2>
+    reg r : UInt<2>, clock with : (reset => (reset, UInt<2>(0)))
+    when en :
+      r <= tail(add(r, UInt<2>(1)), 1)
+    o <= r
+    cover_values(clock, r, en) : vals
+";
+        let per = EssentOptions {
+            optimize: false,
+            partition: false,
+            ..EssentOptions::default()
+        };
+        let mut p = sim(SRC);
+        let mut b = sim_with(SRC, &per);
+        for s in [&mut p as &mut dyn Simulator, &mut b] {
+            s.reset(1);
+            s.poke("en", 1);
+            s.step_n(3);
+            s.poke("en", 0);
+            s.step_n(9);
+            s.poke("en", 1);
+            s.step_n(2);
+        }
+        assert_eq!(p.cover_counts(), b.cover_counts());
     }
 }

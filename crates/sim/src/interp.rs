@@ -3,7 +3,9 @@
 //! Evaluates the flat netlist's expression trees directly over
 //! arbitrary-width [`Bv`] values each cycle. Slower than the compiled
 //! backend but with instant spin-up and no 64-bit width restriction —
-//! exactly the Treadle/Verilator trade-off the paper describes.
+//! exactly the Treadle/Verilator trade-off the paper describes. The value
+//! environment sits behind a [`RefCell`] so `peek(&self)` can settle
+//! combinational logic lazily.
 
 use crate::compile::topo_order;
 use crate::elaborate::{elaborate, Def, FlatCircuit};
@@ -12,6 +14,7 @@ use rtlcov_core::CoverageMap;
 use rtlcov_firrtl::bv::Bv;
 use rtlcov_firrtl::eval::{eval, Value};
 use rtlcov_firrtl::ir::Circuit;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Tree-walking interpreter.
@@ -20,12 +23,58 @@ pub struct InterpSim {
     flat: FlatCircuit,
     /// Pre-resolved evaluation schedule: (name, def, width, signed).
     schedule: Vec<(String, Def, u32, bool)>,
-    values: HashMap<String, Value>,
+    values: RefCell<HashMap<String, Value>>,
     mems: HashMap<String, Vec<Bv>>,
     cover_counts: Vec<u64>,
     cover_values_counts: Vec<HashMap<u64, u64>>,
     cycles: u64,
     fuel: Fuel,
+}
+
+fn eval_in(values: &HashMap<String, Value>, e: &rtlcov_firrtl::ir::Expr) -> Value {
+    eval(e, &|n| values.get(n).cloned()).expect("elaboration guarantees bound references")
+}
+
+/// Evaluate the combinational schedule in topological order, writing each
+/// result back into `values` (memories are only read here).
+fn settle_in(
+    schedule: &[(String, Def, u32, bool)],
+    values: &mut HashMap<String, Value>,
+    mems: &HashMap<String, Vec<Bv>>,
+) {
+    for (name, def, width, signed) in schedule {
+        let (width, signed) = (*width, *signed);
+        let value = match def {
+            Def::Expr(e) => {
+                let v = eval_in(values, e);
+                Value {
+                    bits: v.extend_to(width).resize_zext(width),
+                    signed,
+                }
+            }
+            Def::MemRead { mem, addr, en } => {
+                let en_v = values[en].is_true();
+                let addr_v = values[addr].bits.to_u64() as usize;
+                let storage = &mems[mem];
+                let bits = if en_v && addr_v < storage.len() {
+                    storage[addr_v].clone()
+                } else {
+                    Bv::zero(width)
+                };
+                Value {
+                    bits,
+                    signed: false,
+                }
+            }
+            _ => continue,
+        };
+        // reuse the existing key allocation where possible
+        if let Some(slot) = values.get_mut(name) {
+            *slot = value;
+        } else {
+            values.insert(name.clone(), value);
+        }
+    }
 }
 
 impl InterpSim {
@@ -65,7 +114,7 @@ impl InterpSim {
         Ok(InterpSim {
             flat,
             schedule,
-            values,
+            values: RefCell::new(values),
             mems,
             cover_counts,
             cover_values_counts,
@@ -79,77 +128,23 @@ impl InterpSim {
         self.cycles
     }
 
-    fn eval_expr(&self, e: &rtlcov_firrtl::ir::Expr) -> Value {
-        let lookup = |name: &str| self.values.get(name).cloned();
-        eval(e, &lookup).expect("elaboration guarantees bound references")
-    }
-
-    fn settle(&mut self) {
-        // the schedule is topologically ordered and immutable, so split
-        // the borrow: values/mems are read through a shared lookup while
-        // each result is written back after evaluation
-        for i in 0..self.schedule.len() {
-            let (name, def, width, signed) = (
-                &self.schedule[i].0,
-                &self.schedule[i].1,
-                self.schedule[i].2,
-                self.schedule[i].3,
-            );
-            let value = match def {
-                Def::Expr(e) => {
-                    let lookup = |n: &str| self.values.get(n).cloned();
-                    let v = eval(e, &lookup).expect("elaboration guarantees bound references");
-                    Value {
-                        bits: v.extend_to(width).resize_zext(width),
-                        signed,
-                    }
-                }
-                Def::MemRead { mem, addr, en } => {
-                    let en_v = self.values[en].is_true();
-                    let addr_v = self.values[addr].bits.to_u64() as usize;
-                    let storage = &self.mems[mem];
-                    let bits = if en_v && addr_v < storage.len() {
-                        storage[addr_v].clone()
-                    } else {
-                        Bv::zero(width)
-                    };
-                    Value {
-                        bits,
-                        signed: false,
-                    }
-                }
-                _ => continue,
-            };
-            // reuse the existing key allocation where possible
-            if let Some(slot) = self.values.get_mut(name) {
-                *slot = value;
-            } else {
-                self.values.insert(name.clone(), value);
-            }
-        }
+    fn settle(&self) {
+        settle_in(&self.schedule, &mut self.values.borrow_mut(), &self.mems);
     }
 
     fn sample_covers(&mut self) {
+        let values = self.values.get_mut();
         for (i, c) in self.flat.covers.iter().enumerate() {
-            let pred = eval(&c.pred, &|n| self.values.get(n).cloned())
-                .expect("bound")
-                .is_true();
-            let en = eval(&c.enable, &|n| self.values.get(n).cloned())
-                .expect("bound")
-                .is_true();
+            let pred = eval_in(values, &c.pred).is_true();
+            let en = eval_in(values, &c.enable).is_true();
             if pred && en {
                 self.cover_counts[i] = self.cover_counts[i].saturating_add(1);
             }
         }
         for (i, cv) in self.flat.cover_values.iter().enumerate() {
-            let en = eval(&cv.enable, &|n| self.values.get(n).cloned())
-                .expect("bound")
-                .is_true();
+            let en = eval_in(values, &cv.enable).is_true();
             if en {
-                let v = eval(&cv.signal, &|n| self.values.get(n).cloned())
-                    .expect("bound")
-                    .bits
-                    .to_u64();
+                let v = eval_in(values, &cv.signal).bits.to_u64();
                 let entry = self.cover_values_counts[i].entry(v).or_insert(0);
                 *entry = entry.saturating_add(1);
             }
@@ -157,14 +152,15 @@ impl InterpSim {
     }
 
     fn commit(&mut self) {
+        let values = self.values.get_mut();
         // memory writes with pre-edge values
         for m in &self.flat.mems {
             for w in &m.writers {
-                let en = self.values[&w.en].is_true() && self.values[&w.mask].is_true();
+                let en = values[&w.en].is_true() && values[&w.mask].is_true();
                 if en {
-                    let addr = self.values[&w.addr].bits.to_u64() as usize;
+                    let addr = values[&w.addr].bits.to_u64() as usize;
                     if addr < m.depth {
-                        let data = self.values[&w.data].bits.resize_zext(m.width);
+                        let data = values[&w.data].bits.resize_zext(m.width);
                         self.mems.get_mut(&m.name).expect("mem exists")[addr] = data;
                     }
                 }
@@ -173,11 +169,13 @@ impl InterpSim {
         // register updates with pre-edge values
         let mut updates = Vec::with_capacity(self.flat.regs.len());
         for r in &self.flat.regs {
-            let next = self.eval_expr(&r.next);
+            let next = eval_in(values, &r.next);
             let mut value = next.extend_to(r.width).resize_zext(r.width);
             if let Some((rst, init)) = &r.reset {
-                if self.eval_expr(rst).is_true() {
-                    value = self.eval_expr(init).extend_to(r.width).resize_zext(r.width);
+                if eval_in(values, rst).is_true() {
+                    value = eval_in(values, init)
+                        .extend_to(r.width)
+                        .resize_zext(r.width);
                 }
             }
             updates.push((
@@ -189,14 +187,14 @@ impl InterpSim {
             ));
         }
         for (name, value) in updates {
-            self.values.insert(name, value);
+            values.insert(name, value);
         }
     }
 
     /// Read a wide signal as a [`Bv`] (no 64-bit restriction).
-    pub fn peek_bv(&mut self, signal: &str) -> Bv {
+    pub fn peek_bv(&self, signal: &str) -> Bv {
         self.settle();
-        self.values[signal].bits.clone()
+        self.values.borrow()[signal].bits.clone()
     }
 
     /// Drive a wide input.
@@ -206,7 +204,7 @@ impl InterpSim {
             bits: value.resize_zext(sig.width),
             signed: sig.signed,
         };
-        self.values.insert(signal.to_string(), v);
+        self.values.get_mut().insert(signal.to_string(), v);
     }
 }
 
@@ -216,7 +214,7 @@ impl Simulator for InterpSim {
         self.poke_bv(signal, Bv::from_u64(value, width.min(64)));
     }
 
-    fn peek(&mut self, signal: &str) -> u64 {
+    fn peek(&self, signal: &str) -> u64 {
         self.peek_bv(signal).to_u64()
     }
 

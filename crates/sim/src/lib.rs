@@ -23,6 +23,8 @@ pub mod compiled;
 pub mod elaborate;
 pub mod essent;
 pub mod interp;
+pub mod opt;
+pub mod partition;
 pub mod testbench;
 pub mod vcd;
 
@@ -103,7 +105,9 @@ pub trait Simulator {
     fn poke(&mut self, signal: &str, value: u64);
 
     /// Read any signal's current value (after combinational settle).
-    fn peek(&mut self, signal: &str) -> u64;
+    /// Backends settle lazily through interior mutability, so peeking
+    /// never requires `&mut`.
+    fn peek(&self, signal: &str) -> u64;
 
     /// Advance one clock cycle: settle combinational logic, sample covers
     /// on the rising edge, commit registers and memory writes.
@@ -190,17 +194,76 @@ impl SimKind {
         SimKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
-    /// Build this backend for a lowered circuit.
+    /// Build this backend for a lowered circuit with default options
+    /// (optimizer and partitioning on, honoring the env escape hatches).
     ///
     /// # Errors
     ///
     /// Propagates simulator construction failures (elaboration errors,
     /// combinational loops).
     pub fn build(&self, circuit: &Circuit) -> Result<Box<dyn Simulator>, SimError> {
+        self.build_with(circuit, &SimBuildOptions::from_env())
+    }
+
+    /// Build this backend with explicit pipeline options. The interpreter
+    /// has no compiled program, so it ignores both knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures (elaboration errors,
+    /// combinational loops).
+    pub fn build_with(
+        &self,
+        circuit: &Circuit,
+        opts: &SimBuildOptions,
+    ) -> Result<Box<dyn Simulator>, SimError> {
         Ok(match self {
             SimKind::Interp => Box::new(interp::InterpSim::new(circuit)?),
-            SimKind::Compiled => Box::new(compiled::CompiledSim::new(circuit)?),
-            SimKind::Essent => Box::new(essent::EssentSim::new(circuit)?),
+            SimKind::Compiled => {
+                let o = if opts.optimize {
+                    opt::OptOptions::default()
+                } else {
+                    opt::OptOptions::none()
+                };
+                Box::new(compiled::CompiledSim::new_with(circuit, &o)?)
+            }
+            SimKind::Essent => {
+                let o = essent::EssentOptions {
+                    optimize: opts.optimize,
+                    partition: opts.partition,
+                    ..essent::EssentOptions::default()
+                };
+                Box::new(essent::EssentSim::new_with(circuit, &o)?)
+            }
         })
+    }
+}
+
+/// Backend-agnostic pipeline knobs for [`SimKind::build_with`] — the
+/// subset of per-backend options a campaign can configure uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimBuildOptions {
+    /// Run the micro-op program optimizer (compiled and essent backends).
+    pub optimize: bool,
+    /// Use partitioned activity scheduling (essent backend).
+    pub partition: bool,
+}
+
+impl Default for SimBuildOptions {
+    fn default() -> Self {
+        SimBuildOptions {
+            optimize: true,
+            partition: true,
+        }
+    }
+}
+
+impl SimBuildOptions {
+    /// Defaults, honoring `RTLCOV_SIM_NO_OPT` / `RTLCOV_SIM_NO_PARTITION`.
+    pub fn from_env() -> Self {
+        SimBuildOptions {
+            optimize: std::env::var_os("RTLCOV_SIM_NO_OPT").is_none(),
+            partition: std::env::var_os("RTLCOV_SIM_NO_PARTITION").is_none(),
+        }
     }
 }

@@ -50,7 +50,7 @@ impl VcdRecorder {
     }
 
     /// Sample the simulator's current values; emits only changes.
-    pub fn sample(&mut self, sim: &mut dyn Simulator) {
+    pub fn sample(&mut self, sim: &dyn Simulator) {
         let mut changes = String::new();
         for (i, (name, width, id)) in self.signals.iter().enumerate() {
             let v = sim.peek(name);
@@ -197,7 +197,7 @@ circuit T :
         s.reset(1);
         s.poke("en", 1);
         for _ in 0..4 {
-            rec.sample(&mut s);
+            rec.sample(&s);
             s.step();
         }
         let vcd = rec.render();
@@ -218,7 +218,7 @@ circuit T :
         for (reset, en) in stimulus {
             s.poke("reset", reset);
             s.poke("en", en);
-            rec.sample(&mut s);
+            rec.sample(&s);
             s.step();
         }
         let final_o = s.peek("o");
